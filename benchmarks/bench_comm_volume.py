@@ -1,0 +1,76 @@
+"""E8 — communication volume: single-level O(N^2) replication vs the
+multi-level data onion (Section III.C).
+
+For the single-level algorithm every rank replicates the whole fine
+mesh, so aggregate traffic is R x V_fine — quadratic as machine and
+problem grow together, and the per-node memory need alone exceeds the
+K20X. The 2-level scheme replaces that with the (small) coarse level
+plus patch halos. This bench tabulates both per-rank and aggregate
+volumes across problem sizes and rank counts.
+"""
+
+import pytest
+
+from repro.dessim import (
+    RMCRTProblem,
+    multi_level_comm_per_rank,
+    single_level_comm_per_rank,
+)
+from repro.machine import TITAN
+
+PROBLEMS = {128: RMCRTProblem(128), 256: RMCRTProblem(256), 512: RMCRTProblem(512)}
+RANKS = [256, 1024, 4096, 16384]
+
+
+def sweep():
+    rows = []
+    for n, problem in PROBLEMS.items():
+        for r in RANKS:
+            s = single_level_comm_per_rank(problem, 16, r)
+            m = multi_level_comm_per_rank(problem, 16, r)
+            rows.append((n, r, s.total_bytes, m.total_bytes))
+    return rows
+
+
+def test_comm_volume_table(benchmark):
+    rows = benchmark(sweep)
+    print("\n--- E8: per-rank comm volume, single vs 2-level ---")
+    print(f"{'fine':>6} {'ranks':>7} {'single/rank':>12} {'multi/rank':>11} "
+          f"{'reduction':>9} {'single agg':>11}")
+    for n, r, s, m in rows:
+        print(f"{n:>6} {r:>7} {s / 1e9:>10.2f}GB {m / 1e6:>9.1f}MB "
+              f"{s / m:>8.0f}x {s * r / 1e12:>9.1f}TB")
+
+    # reduction factor grows with problem size (the point of the onion)
+    red_128 = next(s / m for n, r, s, m in rows if n == 128 and r == 4096)
+    red_512 = next(s / m for n, r, s, m in rows if n == 512 and r == 4096)
+    assert red_512 > red_128
+
+    # single-level LARGE cannot even fit one rank's replica in GPU memory
+    s_large = next(s for n, r, s, m in rows if n == 512 and r == 4096)
+    assert s_large > 0.49 * TITAN.gpu_memory_bytes  # ~3.2 GB replica vs 6 GB card
+
+    # aggregate single-level traffic grows ~linearly in R (per-rank ~const):
+    # together with R growing ~N^3 for fixed work/rank this is the O(N^2)
+    # wall of Section III.C
+    aggs = [s * r for n, r, s, m in rows if n == 512]
+    assert aggs == sorted(aggs)
+
+
+def test_multi_level_per_rank_bounded(benchmark):
+    """2-level per-rank volume is bounded by the coarse level size,
+    independent of rank count — what makes 16k GPUs feasible."""
+
+    def volumes():
+        return [
+            multi_level_comm_per_rank(PROBLEMS[512], 16, r).total_bytes
+            for r in RANKS
+        ]
+
+    vols = benchmark(volumes)
+    coarse_bytes = PROBLEMS[512].coarse_level_bytes
+    print(f"\nmulti-level per-rank volumes: "
+          f"{[f'{v / 1e6:.1f}MB' for v in vols]} "
+          f"(coarse level = {coarse_bytes / 1e6:.1f} MB)")
+    for v in vols:
+        assert v < 1.6 * coarse_bytes

@@ -1,0 +1,47 @@
+"""E1b — measured thread contention of the request pools.
+
+The live counterpart to the Table I model: real Python threads drive
+real messages through the wait-free and locked pools over the simulated
+MPI fabric. Reports per-message processing cost per pool and thread
+count, plus the legacy pool's buffer-leak rate — the numbers that
+justify the pool-model constants used in E1.
+"""
+
+import pytest
+
+from repro.comm import make_pool, run_comm_workload
+
+MESSAGES = 600
+
+
+@pytest.mark.parametrize("threads", [1, 4, 8])
+@pytest.mark.parametrize("kind", ["waitfree", "locked"])
+def test_pool_throughput(benchmark, kind, threads):
+    def run():
+        return run_comm_workload(
+            make_pool(kind), num_threads=threads, num_messages=MESSAGES
+        )
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    per_msg = result.wall_time / result.processed
+    print(f"\n{kind} pool, {threads} threads: "
+          f"{result.throughput:,.0f} msgs/s ({per_msg * 1e6:.1f} us/msg), "
+          f"leaked={result.leaked_buffers}")
+    assert result.clean
+
+
+def test_legacy_racy_leak_rate(benchmark):
+    """How badly the Section IV.A race leaks under 8 threads."""
+
+    def run():
+        return run_comm_workload(
+            make_pool("legacy-racy", unpack_delay=1e-5),
+            num_threads=8,
+            num_messages=400,
+        )
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    print(f"\nlegacy-racy, 8 threads: processed {result.processed}, "
+          f"leaked {result.leaked_buffers} buffers "
+          f"({result.leaked_bytes / 1024:.0f} KiB) per {result.expected} messages")
+    assert result.processed == result.expected

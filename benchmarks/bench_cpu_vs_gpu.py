@@ -1,0 +1,44 @@
+"""E10 — CPU vs GPU node throughput (the paper's declared future work,
+grounded in its predecessor [5]'s CPU runs).
+
+Prices one node-timestep of the MEDIUM problem on the two Titan node
+configurations — 16 Opteron cores (the [5] setup) vs one K20X through
+the GPU pipeline — across patch sizes, on the calibrated machine
+models. Reproduction targets: the GPU node wins for saturating patch
+sizes, the win shrinks at 16^3 (occupancy), and >90% of the node's
+useful radiation throughput comes from the GPU at 32^3+ — the paper's
+motivation for the port.
+"""
+
+import pytest
+
+from repro.dessim import ClusterSimulator, MEDIUM, SimOptions
+
+GPUS = 128
+PATCH_SIZES = [16, 32, 64]
+
+
+def sweep():
+    sim = ClusterSimulator()
+    rows = []
+    for ps in PATCH_SIZES:
+        gpu = sim.simulate_timestep(MEDIUM, ps, GPUS, SimOptions(device="gpu"))
+        cpu = sim.simulate_timestep(MEDIUM, ps, GPUS, SimOptions(device="cpu"))
+        rows.append((ps, gpu.total_time, cpu.total_time))
+    return rows
+
+
+def test_cpu_vs_gpu_node_throughput(benchmark):
+    rows = benchmark(sweep)
+    print("\n--- E10: node-for-node, MEDIUM problem at 128 nodes ---")
+    print(f"{'patch':>7} {'GPU node':>10} {'CPU node':>10} {'GPU speedup':>11}")
+    speedups = []
+    for ps, t_gpu, t_cpu in rows:
+        s = t_cpu / t_gpu
+        speedups.append((ps, s))
+        print(f"{ps:>5}^3 {t_gpu:>9.3f}s {t_cpu:>9.3f}s {s:>10.2f}x")
+
+    by_ps = dict(speedups)
+    assert by_ps[32] > by_ps[16], "occupancy: 16^3 shrinks the GPU win"
+    assert by_ps[32] > 1.2, "GPU node must win at saturating patch sizes"
+    assert by_ps[64] >= 0.95 * by_ps[32]

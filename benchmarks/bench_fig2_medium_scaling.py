@@ -1,0 +1,54 @@
+"""E2 — Figure 2: GPU strong scaling, MEDIUM 2-level problem.
+
+256^3 fine CFD mesh + 64^3 coarse radiation mesh (17.04M cells),
+refinement ratio 4, 100 rays per fine cell, patch sizes 16^3 / 32^3 /
+64^3 — on the discrete-event Titan model. Reproduction targets are the
+paper's qualitative findings: larger patches are faster (occupancy),
+each series strong-scales near-ideally while patches-per-GPU > 1, and
+a series ends when the decomposition runs out of patches.
+"""
+
+import pytest
+
+from repro.dessim import MEDIUM, SimOptions, StrongScalingStudy
+
+GPU_COUNTS = [16, 32, 64, 128, 256, 512, 1024, 2048, 4096]
+PATCH_SIZES = [16, 32, 64]
+
+
+def run_study():
+    return StrongScalingStudy().run(MEDIUM, PATCH_SIZES, GPU_COUNTS)
+
+
+def test_fig2_medium_scaling(benchmark):
+    results = benchmark(run_study)
+
+    print("\n--- Figure 2: MEDIUM strong scaling (mean time per timestep, s) ---")
+    header = f"{'GPUs':>6} |" + "".join(f" patch {ps}^3" for ps in PATCH_SIZES)
+    print(header)
+    for g in GPU_COUNTS:
+        row = f"{g:>6} |"
+        for ps in PATCH_SIZES:
+            s = results[ps]
+            row += (
+                f" {s.times[s.gpu_counts.index(g)]:9.3f}"
+                if g in s.gpu_counts
+                else f" {'--':>9}"
+            )
+        print(row)
+
+    # the 64^3 series ends at 64 GPUs (4^3 patches), 32^3 at 512
+    assert results[64].gpu_counts[-1] == 64
+    assert results[32].gpu_counts[-1] == 512
+    assert results[16].gpu_counts[-1] == 4096
+
+    # larger patches beat 16^3 wherever both exist (GPU occupancy)
+    for g in results[32].gpu_counts:
+        t16 = results[16].times[results[16].gpu_counts.index(g)]
+        t32 = results[32].times[results[32].gpu_counts.index(g)]
+        assert t16 > 2.0 * t32
+
+    # near-ideal strong scaling while over-decomposed (paper finding 2)
+    s16 = results[16]
+    for a, b in zip(s16.gpu_counts[:-1], s16.gpu_counts[1:]):
+        assert s16.efficiency(a, b) > 0.85

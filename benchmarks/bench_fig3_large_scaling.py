@@ -1,0 +1,56 @@
+"""E3 — Figure 3: GPU strong scaling, LARGE 2-level problem to 16,384
+GPUs.
+
+512^3 fine + 128^3 coarse (136.31M cells), RR 4, 100 rays per cell,
+patch sizes 16^3 / 32^3 / 64^3. The headline reproduction targets are
+the paper's quoted strong-scaling efficiencies for the configuration
+that reaches 16,384 GPUs: 96% from 4096->8192 and 89% from 4096->16384
+(eq. 3), which the model must hit within a few points.
+"""
+
+import pytest
+
+from repro.dessim import LARGE, StrongScalingStudy
+
+GPU_COUNTS = [64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384]
+PATCH_SIZES = [16, 32, 64]
+
+
+def run_study():
+    return StrongScalingStudy().run(LARGE, PATCH_SIZES, GPU_COUNTS)
+
+
+def test_fig3_large_scaling(benchmark):
+    results = benchmark(run_study)
+
+    print("\n--- Figure 3: LARGE strong scaling (mean time per timestep, s) ---")
+    header = f"{'GPUs':>6} |" + "".join(f" patch {ps}^3" for ps in PATCH_SIZES)
+    print(header)
+    for g in GPU_COUNTS:
+        row = f"{g:>6} |"
+        for ps in PATCH_SIZES:
+            s = results[ps]
+            row += (
+                f" {s.times[s.gpu_counts.index(g)]:9.3f}"
+                if g in s.gpu_counts
+                else f" {'--':>9}"
+            )
+        print(row)
+
+    s16 = results[16]
+    e_8k = s16.efficiency(4096, 8192)
+    e_16k = s16.efficiency(4096, 16384)
+    print(f"\nefficiency 4096->8192:  {e_8k:6.1%}  (paper: 96%)")
+    print(f"efficiency 4096->16384: {e_16k:6.1%}  (paper: 89%)")
+
+    assert s16.gpu_counts[-1] == 16384, "16^3 series must reach 16,384 GPUs"
+    assert 0.86 <= e_8k <= 1.0
+    assert 0.79 <= e_16k <= 1.0
+    assert e_16k < e_8k
+
+    # larger patches faster; truncated series (paper's blue line)
+    assert results[64].gpu_counts[-1] == 512
+    for g in results[64].gpu_counts:
+        t16 = results[16].times[results[16].gpu_counts.index(g)]
+        t64 = results[64].times[results[64].gpu_counts.index(g)]
+        assert t16 > 3.0 * t64

@@ -1,0 +1,87 @@
+"""E5 — kernel throughput vs patch size: the GPU/CPU contrast.
+
+Real (measured, not modelled) timings of the two marching kernels on
+Burns & Christon patches of growing size:
+
+* the vectorized batch kernel (this reproduction's "device" path:
+  SoA state, masked divergence, one lane per ray), and
+* the scalar per-ray loop (the "CPU" reference path).
+
+The paper's Section V premise — larger patches provide more work per
+kernel launch and better throughput — shows up here as cells*rays/s
+rising with patch size for the batch kernel while the scalar path
+stays flat.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import LevelFields, trace_patch_single_level
+from repro.core.cpu_kernel import trace_rays_scalar
+from repro.core.rays import generate_patch_rays
+from repro.grid import Box
+from repro.radiation import BurnsChristonBenchmark
+
+RAYS = 8
+
+
+def make_fields(resolution):
+    bench = BurnsChristonBenchmark(resolution=resolution)
+    grid = bench.single_level_grid()
+    level = grid.finest_level
+    props = bench.properties_for_level(level)
+    return LevelFields.from_properties(level, props)
+
+
+@pytest.mark.parametrize("patch", [4, 8, 16, 24])
+def test_vectorized_kernel_throughput(benchmark, patch):
+    fields = make_fields(24)
+    box = Box.cube(patch)
+    rng = np.random.default_rng(0)
+
+    def run():
+        return trace_patch_single_level(fields, box, RAYS, rng)
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+    cell_rays = box.volume * RAYS
+    rate = cell_rays / benchmark.stats.stats.mean
+    print(f"\nbatch kernel, patch {patch}^3: {rate:,.0f} cell-rays/s")
+
+
+@pytest.mark.parametrize("patch", [4, 8])
+def test_scalar_kernel_throughput(benchmark, patch):
+    fields = make_fields(24)
+    box = Box.cube(patch)
+    rng = np.random.default_rng(0)
+    _, origins, dirs = generate_patch_rays(fields, box, RAYS, rng)
+
+    def run():
+        return trace_rays_scalar(fields, origins, dirs)
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+    rate = origins.shape[0] / benchmark.stats.stats.mean
+    print(f"\nscalar kernel, patch {patch}^3: {rate:,.0f} rays/s")
+
+
+def test_batch_beats_scalar(benchmark):
+    """The device-style kernel's throughput advantage (the reason the
+    GPU port exists) — measured, must be at least ~5x here."""
+    import time
+
+    fields = make_fields(16)
+    box = Box.cube(8)
+    rng = np.random.default_rng(1)
+    _, origins, dirs = generate_patch_rays(fields, box, RAYS, rng)
+
+    def compare():
+        t0 = time.perf_counter()
+        trace_rays_scalar(fields, origins, dirs)
+        t_scalar = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        trace_patch_single_level(fields, box, RAYS, np.random.default_rng(1))
+        t_batch = time.perf_counter() - t0
+        return t_scalar / t_batch
+
+    speedup = benchmark.pedantic(compare, rounds=1, iterations=1)
+    print(f"\nbatch vs scalar speedup on {box.volume * RAYS} rays: {speedup:.1f}x")
+    assert speedup > 5.0

@@ -1,0 +1,75 @@
+"""E7 — the GPU DataWarehouse level database ablation (contribution ii).
+
+With and without the shared per-level database, on both layers of the
+reproduction:
+
+* the *executable* runtime: the distributed RMCRT pipeline's device
+  tasks through the GPU scheduler, counting actual level-variable
+  uploads and device residency, and
+* the *cluster model*: PCIe traffic and device-memory feasibility for
+  the LARGE problem as patches-per-GPU grows.
+"""
+
+import pytest
+
+from repro.core import DistributedRMCRT, benchmark_property_init
+from repro.dw import GPUDataWarehouse
+from repro.dessim import ClusterSimulator, LARGE, SimOptions
+from repro.radiation import BurnsChristonBenchmark
+
+
+def run_gpu_pipeline(use_level_db):
+    bench = BurnsChristonBenchmark(resolution=16)
+    # RR 2 => an 8^3 coarse level whose redundant per-task copies
+    # dominate the traffic, as the 128^3 level did on Titan
+    grid = bench.two_level_grid(refinement_ratio=2, fine_patch_size=4)  # 64 tasks
+    drm = DistributedRMCRT(
+        grid, benchmark_property_init(bench),
+        rays_per_cell=2, halo=1, seed=1, device=True,
+    )
+    gpu = GPUDataWarehouse(use_level_db=use_level_db)
+    drm.solve("gpu", gpu=gpu)
+    return gpu
+
+
+@pytest.mark.parametrize("use_level_db", [True, False])
+def test_executable_level_uploads(benchmark, use_level_db):
+    gpu = benchmark.pedantic(run_gpu_pipeline, args=(use_level_db,),
+                             rounds=1, iterations=1)
+    mode = "level-DB" if use_level_db else "legacy"
+    print(f"\n{mode}: H2D transfers {gpu.stats.h2d_transfers}, "
+          f"H2D bytes {gpu.stats.h2d_bytes:,}, peak usage {gpu.peak_usage:,}")
+    if use_level_db:
+        assert gpu.resident_summary()["level_db_entries"] == 3
+
+
+def test_executable_traffic_ratio(benchmark):
+    def both():
+        return run_gpu_pipeline(True), run_gpu_pipeline(False)
+
+    with_db, without = benchmark.pedantic(both, rounds=1, iterations=1)
+    ratio = without.stats.h2d_bytes / with_db.stats.h2d_bytes
+    print(f"\nH2D bytes legacy/level-DB: {ratio:.1f}x (64 sharing tasks)")
+    assert ratio > 2.5
+
+
+def test_cluster_model_ablation(benchmark):
+    sim = ClusterSimulator()
+
+    def sweep():
+        rows = []
+        for gpus in (512, 1024, 2048, 4096):
+            w = sim.simulate_timestep(LARGE, 16, gpus, SimOptions(use_level_db=True))
+            wo = sim.simulate_timestep(LARGE, 16, gpus, SimOptions(use_level_db=False))
+            rows.append((gpus, w, wo))
+        return rows
+
+    rows = benchmark(sweep)
+    print("\n--- E7: level-DB ablation on the Titan model (LARGE, 16^3) ---")
+    print(f"{'GPUs':>6} {'ppg':>5} {'H2D with':>12} {'H2D without':>12} "
+          f"{'ratio':>6} {'mem ok w/o?':>11}")
+    for gpus, w, wo in rows:
+        print(f"{gpus:>6} {w.patches_per_gpu:>5} {w.h2d_bytes / 1e6:>10.1f}MB "
+              f"{wo.h2d_bytes / 1e6:>10.1f}MB {wo.h2d_bytes / w.h2d_bytes:>6.1f} "
+              f"{str(wo.gpu_memory_ok):>11}")
+        assert wo.h2d_bytes > w.h2d_bytes

@@ -1,0 +1,18 @@
+"""Shared benchmark configuration.
+
+Every benchmark prints the table/figure series it regenerates (captured
+with ``pytest benchmarks/ --benchmark-only -s`` or in the saved
+report), alongside the pytest-benchmark timing of the generating
+computation itself.
+"""
+
+import pytest
+
+
+def print_table(title, header, rows):
+    """Uniform fixed-width table printing for the bench reports."""
+    print(f"\n--- {title} ---")
+    print(header)
+    print("-" * len(header))
+    for row in rows:
+        print(row)

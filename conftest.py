@@ -1,0 +1,14 @@
+"""Repo-root pytest configuration.
+
+Puts ``src/`` on sys.path so the suite runs even in environments where
+an editable install is impossible (offline boxes without the ``wheel``
+package — see README's install notes). A properly installed ``repro``
+takes precedence when present.
+"""
+
+import pathlib
+import sys
+
+_SRC = str(pathlib.Path(__file__).resolve().parent / "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""Section IV live: the request-pool race and the allocator fix.
+
+1. Drives real threads through the legacy mutex-vector request pool
+   and shows the double-processing race leaking receive buffers (the
+   bug that killed large runs with node OOMs), then the same workload
+   through the wait-free pool: clean.
+2. Replays the RMCRT allocation trace through glibc-like, tcmalloc-like
+   and the paper's custom (mmap arena + lock-free pool) allocator
+   stacks and reports fragmentation.
+3. Runs the full distributed RMCRT task pipeline over simulated MPI
+   with each pool, verifying identical physics.
+
+Run:  python examples/infrastructure_demo.py
+"""
+
+import numpy as np
+
+from repro.comm import make_pool, run_comm_workload
+from repro.core import DistributedRMCRT, benchmark_property_init
+from repro.memory import generate_trace, replay_trace
+from repro.radiation import BurnsChristonBenchmark
+
+
+def pool_race_demo() -> None:
+    print("=== request pools under 8 threads, 400 in-flight messages ===")
+    for kind in ("legacy-racy", "locked", "waitfree"):
+        result = run_comm_workload(
+            make_pool(kind), num_threads=8, num_messages=400
+        )
+        status = "CLEAN" if result.clean else "LEAKING"
+        print(
+            f"  {kind:12s}: processed {result.processed}/{result.expected}, "
+            f"leaked buffers {result.leaked_buffers:4d} "
+            f"({result.leaked_bytes / 1024:.0f} KiB), races "
+            f"{result.races_observed:4d} -> {status}"
+        )
+    print("  (the legacy race is exactly Section IV.A: every losing thread")
+    print("   allocates a receive buffer that is never freed)")
+
+
+def allocator_demo() -> None:
+    print("\n=== heap fragmentation, 25 simulated timesteps ===")
+    events = generate_trace(timesteps=25, seed=1)
+    for kind in ("glibc", "tcmalloc", "custom"):
+        r = replay_trace(kind, events)
+        print(
+            f"  {kind:9s}: peak footprint {r.peak_footprint / 1e6:7.1f} MB "
+            f"for {r.peak_live_bytes / 1e6:6.1f} MB live "
+            f"-> fragmentation {r.fragmentation_factor:5.3f}x"
+        )
+    print("  (custom = mmap arena for large + lock-free pool for small")
+    print("   transient objects: fragmentation eliminated)")
+
+
+def distributed_demo() -> None:
+    print("\n=== distributed RMCRT over simulated MPI, 4 ranks ===")
+    bench = BurnsChristonBenchmark(resolution=16)
+    grid = bench.two_level_grid(refinement_ratio=4, fine_patch_size=8)
+    drm = DistributedRMCRT(
+        grid, benchmark_property_init(bench), rays_per_cell=8, halo=2, seed=5
+    )
+    reference = drm.solve("serial")
+    for pool in ("waitfree", "locked"):
+        result = drm.solve("distributed", num_ranks=4, pool_kind=pool)
+        identical = np.array_equal(result.divq, reference.divq)
+        print(f"  pool {pool:9s}: divq identical to serial run: {identical}")
+
+
+if __name__ == "__main__":
+    pool_race_demo()
+    allocator_demo()
+    distributed_demo()

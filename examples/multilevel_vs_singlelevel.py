@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""The data-onion trade-off: accuracy vs communication.
+
+Compares single-level RMCRT (every ray marches the full fine mesh;
+the whole domain must be replicated on every node) against the paper's
+multi-level algorithm (fine data only inside each patch's region of
+interest, coarsened data beyond) on a matched problem:
+
+* physics: cellwise del.q difference as the ROI halo grows,
+* systems: per-rank communication volume from the cost model — the
+  O(N^2)-type replication the AMR approach eliminates.
+
+Run:  python examples/multilevel_vs_singlelevel.py
+"""
+
+import numpy as np
+
+from repro import BurnsChristonBenchmark, MultiLevelRMCRT, SingleLevelRMCRT
+from repro.dessim import (
+    LARGE,
+    multi_level_comm_per_rank,
+    single_level_comm_per_rank,
+)
+
+
+def accuracy_study() -> None:
+    res, rays = 16, 64
+    bench = BurnsChristonBenchmark(resolution=res)
+    grid1 = bench.single_level_grid()
+    props1 = bench.properties_for_level(grid1.finest_level)
+    single = SingleLevelRMCRT(rays_per_cell=rays, seed=3,
+                              centered_origins=True).solve(grid1, props1)
+
+    print(f"single-level reference on {res}^3, {rays} rays/cell")
+    print(f"\n{'halo':>6} {'mean |ddivq|':>14} {'max |ddivq|':>13} {'rel mean':>10}")
+    for halo in (0, 2, 4, 8):
+        grid2 = bench.two_level_grid(refinement_ratio=4, fine_patch_size=8)
+        props2 = bench.properties_for_level(grid2.finest_level)
+        multi = MultiLevelRMCRT(
+            rays_per_cell=rays, seed=3, halo=halo, centered_origins=True
+        ).solve(grid2, props2)
+        diff = np.abs(multi.divq - single.divq)
+        print(f"{halo:>6} {diff.mean():>14.5f} {diff.max():>13.5f} "
+              f"{diff.mean() / single.divq.mean():>10.2%}")
+    print("\nlarger halos shrink the onion error; even halo 0 stays within")
+    print("Monte Carlo noise of the single-level answer.")
+
+
+def communication_study() -> None:
+    print("\nPer-rank communication for the LARGE problem (512^3 fine):")
+    print(f"{'ranks':>7} {'single-level':>14} {'multi-level':>13} {'reduction':>10}")
+    for ranks in (512, 2048, 8192, 16384):
+        s = single_level_comm_per_rank(LARGE, 16, ranks).total_bytes
+        m = multi_level_comm_per_rank(LARGE, 16, ranks).total_bytes
+        print(f"{ranks:>7} {s / 1e9:>12.2f}GB {m / 1e6:>11.1f}MB {s / m:>9.0f}x")
+    print("\nsingle-level replication also exceeds the K20X's 6 GB device")
+    print("memory outright — the configuration the paper calls intractable.")
+
+
+if __name__ == "__main__":
+    accuracy_study()
+    communication_study()

@@ -1,0 +1,54 @@
+#!/usr/bin/env python
+"""Non-grey radiation: the paper's future-work band loop, implemented.
+
+Solves the Burns & Christon benchmark with a 3-band
+weighted-sum-of-grey-gases spectrum (thick CO2/H2O band, moderate band,
+transparent window) and compares the band-resolved divergence of the
+heat flux against the grey approximation the paper's production runs
+used ("currently we are using a mean absorption coefficient
+approximation ... adding spectral frequencies would entail adding a
+loop over wave-lengths").
+
+Run:  python examples/spectral_bands.py
+"""
+
+import numpy as np
+
+from repro import BurnsChristonBenchmark, SingleLevelRMCRT
+from repro.radiation import COMBUSTION_3_BAND, SpectralRMCRT, band_properties
+
+
+def main() -> None:
+    bench = BurnsChristonBenchmark(resolution=17)
+    grid = bench.single_level_grid()
+    props = bench.properties_for_level(grid.finest_level)
+    rays = 64
+
+    grey = SingleLevelRMCRT(rays_per_cell=rays, seed=9).solve(grid, props)
+    spectral = SpectralRMCRT(
+        SingleLevelRMCRT(rays_per_cell=rays, seed=9), COMBUSTION_3_BAND
+    ).solve(grid, props)
+
+    print("3-band WSGG spectrum:")
+    for i, band in enumerate(COMBUSTION_3_BAND):
+        bp = band_properties(props, band)
+        print(f"  band {i}: weight {band.weight:.2f}, "
+              f"kappa x{band.kappa_scale:<4} "
+              f"(peak kappa {bp.interior_view('abskg').max():.2f})")
+
+    x, grey_line = bench.centerline(grey.divq)
+    _, spec_line = bench.centerline(spectral.divq)
+    print(f"\n{'x':>8} {'grey divQ':>11} {'3-band divQ':>12} {'ratio':>7}")
+    for xi, g, s in zip(x[::2], grey_line[::2], spec_line[::2]):
+        print(f"{xi:8.3f} {g:11.4f} {s:12.4f} {s / g:7.3f}")
+
+    print(f"\ndomain totals: grey {grey.divq.sum():.1f}, "
+          f"3-band {spectral.divq.sum():.1f} "
+          f"({spectral.divq.sum() / grey.divq.sum():.2f}x)")
+    print("the thick band self-absorbs near the centre while the window")
+    print("band radiates straight to the cold walls — the non-grey")
+    print("redistribution a grey coefficient cannot capture.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+#!/usr/bin/env python
+"""Regenerate the paper's Figures 2 and 3 on the Titan cluster model.
+
+Strong scaling of the MEDIUM (256^3 + 64^3) and LARGE (512^3 + 128^3)
+2-level Burns & Christon problems for fine-patch sizes 16^3 / 32^3 /
+64^3, 100 rays per cell, refinement ratio 4 — the exact configurations
+of the paper's Section V — on the discrete-event Titan simulator.
+
+Run:  python examples/titan_strong_scaling.py
+"""
+
+from repro import LARGE, MEDIUM, StrongScalingStudy
+
+
+def print_figure(title, problem, gpu_counts, quote=None):
+    print(f"\n=== {title} ===")
+    study = StrongScalingStudy()
+    results = study.run(problem, [16, 32, 64], gpu_counts)
+    header = f"{'GPUs':>7} |" + "".join(f"  patch {ps}^3" for ps in (16, 32, 64))
+    print(header)
+    print("-" * len(header))
+    for g in gpu_counts:
+        row = f"{g:>7} |"
+        for ps in (16, 32, 64):
+            series = results[ps]
+            if g in series.gpu_counts:
+                row += f" {series.times[series.gpu_counts.index(g)]:9.3f}s"
+            else:
+                row += f" {'--':>10}"
+        print(row)
+    print("(series end where the problem runs out of patches — the paper's")
+    print(" truncated 64^3 line)")
+    if quote:
+        s16 = results[16]
+        e1 = s16.efficiency(4096, 8192)
+        e2 = s16.efficiency(4096, 16384)
+        print(f"\nstrong-scaling efficiency (16^3 patches, eq. 3):")
+        print(f"  4096 -> 8192  GPUs: {e1:6.1%}   (paper: 96%)")
+        print(f"  4096 -> 16384 GPUs: {e2:6.1%}   (paper: 89%)")
+    return results
+
+
+def main() -> None:
+    medium_gpus = [16, 32, 64, 128, 256, 512, 1024, 2048, 4096]
+    large_gpus = [64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384]
+    print_figure("Figure 2: MEDIUM, 17.04M cells, RR:4, 100 rays", MEDIUM, medium_gpus)
+    print_figure("Figure 3: LARGE, 136.31M cells, RR:4, 100 rays", LARGE,
+                 large_gpus, quote=True)
+
+
+if __name__ == "__main__":
+    main()

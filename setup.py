@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The environment this repo targets may lack the ``wheel`` package that
+PEP 660 editable installs require; ``python setup.py develop`` works
+without it. All real metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,170 @@
+"""repro — reproduction of Humphrey et al., "Radiative Heat Transfer
+Calculation on 16384 GPUs Using a Reverse Monte Carlo Ray Tracing
+Approach with Adaptive Mesh Refinement" (IPDPS 2016).
+
+The package implements the paper's multi-level RMCRT radiation solver
+together with every substrate it runs on: a structured-AMR grid, a
+Uintah-style DataWarehouse and task runtime (host + GPU), simulated
+MPI, the wait-free request pool and custom allocators of Section IV,
+an ARCHES-lite CFD host code, and a discrete-event Titan cluster
+simulator used to regenerate the paper's scaling studies.
+
+Quickstart::
+
+    from repro import RMCRTSolver
+    result = RMCRTSolver(rays_per_cell=25).solve_benchmark(resolution=41)
+    print(result.divq.mean())
+
+See DESIGN.md for the full system inventory and EXPERIMENTS.md for the
+paper-vs-measured record.
+"""
+
+__version__ = "1.0.0"
+
+# grid substrate
+from repro.grid import (
+    Box,
+    CellType,
+    Grid,
+    Level,
+    LoadBalancer,
+    Patch,
+    build_single_level_grid,
+    build_two_level_grid,
+    decompose_level,
+)
+
+# radiation physics
+from repro.radiation import (
+    BurnsChristonBenchmark,
+    DiscreteOrdinates,
+    RadiativeProperties,
+    SpectralBand,
+    SpectralRMCRT,
+    product_quadrature,
+    sn_level_symmetric,
+)
+
+# the paper's core contribution
+from repro.core import (
+    DistributedRMCRT,
+    LevelFields,
+    MultiLevelRMCRT,
+    RMCRTResult,
+    RMCRTSolver,
+    SingleLevelRMCRT,
+    VirtualRadiometer,
+    benchmark_property_init,
+)
+
+# runtime
+from repro.runtime import (
+    Computes,
+    DistributedScheduler,
+    GPUScheduler,
+    MultiGPUScheduler,
+    Requires,
+    SerialScheduler,
+    SimMPI,
+    SimulationController,
+    Task,
+    TaskGraph,
+    ThreadedScheduler,
+)
+
+# DataWarehouse
+from repro.dw import (
+    CCVariable,
+    DataArchive,
+    DataWarehouse,
+    GPUDataWarehouse,
+    VarLabel,
+)
+
+# Section IV infrastructure
+from repro.comm import LockedVectorCommPool, WaitFreeCommPool
+from repro.memory import ArenaAllocator, SimulatedHeap, SizeClassPool
+
+# machine + cluster simulation
+from repro.machine import GPUModel, NetworkModel, TitanSpec, TITAN
+from repro.dessim import (
+    ClusterSimulator,
+    LARGE,
+    MEDIUM,
+    RMCRTProblem,
+    SimOptions,
+    StrongScalingStudy,
+)
+
+# ARCHES-lite
+from repro.arches import BoilerScenario, CoupledSimulation, EnergyEquation
+
+__all__ = [
+    "__version__",
+    # grid
+    "Box",
+    "CellType",
+    "Grid",
+    "Level",
+    "LoadBalancer",
+    "Patch",
+    "build_single_level_grid",
+    "build_two_level_grid",
+    "decompose_level",
+    # radiation
+    "BurnsChristonBenchmark",
+    "DiscreteOrdinates",
+    "RadiativeProperties",
+    "SpectralBand",
+    "SpectralRMCRT",
+    "product_quadrature",
+    "sn_level_symmetric",
+    # core
+    "DistributedRMCRT",
+    "LevelFields",
+    "MultiLevelRMCRT",
+    "RMCRTResult",
+    "RMCRTSolver",
+    "SingleLevelRMCRT",
+    "VirtualRadiometer",
+    "benchmark_property_init",
+    # runtime
+    "Computes",
+    "DistributedScheduler",
+    "GPUScheduler",
+    "MultiGPUScheduler",
+    "Requires",
+    "SerialScheduler",
+    "SimMPI",
+    "SimulationController",
+    "Task",
+    "TaskGraph",
+    "ThreadedScheduler",
+    # dw
+    "CCVariable",
+    "DataArchive",
+    "DataWarehouse",
+    "GPUDataWarehouse",
+    "VarLabel",
+    # infrastructure
+    "LockedVectorCommPool",
+    "WaitFreeCommPool",
+    "ArenaAllocator",
+    "SimulatedHeap",
+    "SizeClassPool",
+    # machine / dessim
+    "GPUModel",
+    "NetworkModel",
+    "TitanSpec",
+    "TITAN",
+    "ClusterSimulator",
+    "LARGE",
+    "MEDIUM",
+    "RMCRTProblem",
+    "SimOptions",
+    "StrongScalingStudy",
+    # arches
+    "BoilerScenario",
+    "CoupledSimulation",
+    "EnergyEquation",
+]

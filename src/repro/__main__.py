@@ -1,0 +1,60 @@
+"""Command-line front end: ``python -m repro <input.ups>``.
+
+Runs a Burns & Christon RMCRT problem from a Uintah-style UPS input
+file and prints solve statistics plus the centreline del.q profile —
+the closest thing to ``sus input.ups`` this reproduction offers.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.radiation.benchmark import BurnsChristonBenchmark
+from repro.ups import parse_ups, run_ups
+from repro.util.errors import ReproError
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Run an RMCRT benchmark from a UPS input file.",
+    )
+    parser.add_argument("ups", help="path to the UPS XML input file")
+    parser.add_argument(
+        "--centerline",
+        action="store_true",
+        help="print the centreline del.q profile",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        spec = parse_ups(args.ups)
+        result = run_ups(spec)
+    except (ReproError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+    g, r, s = spec.grid, spec.rmcrt, spec.scheduler
+    print(
+        f"grid {g.resolution}^3 x {g.levels} level(s) RR:{g.refinement_ratio}"
+        + (f", patches {g.patch_size}^3" if g.patch_size else "")
+    )
+    print(f"RMCRT: {r.n_divq_rays} rays/cell, threshold {r.threshold}, "
+          f"halo {r.halo}, scheduler {s.type}"
+          + (f" x{s.ranks} ranks ({s.pool})" if s.type == "distributed" else ""))
+    print(f"rays traced: {result.rays_traced:,}")
+    print(f"solve time:  {result.timers('rmcrt_solve').elapsed:.3f} s")
+    print(f"del.q: mean {result.divq.mean():.4f}, max {result.divq.max():.4f}")
+
+    if args.centerline:
+        bench = BurnsChristonBenchmark(resolution=g.resolution)
+        x, line = bench.centerline(result.divq)
+        print(f"\n{'x':>8} {'divQ':>10}")
+        for xi, v in zip(x, line):
+            print(f"{xi:8.3f} {v:10.4f}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,51 @@
+"""Strong-stability-preserving Runge-Kutta time integrators.
+
+ARCHES integrates its discretized transport equations with explicit
+SSP RK2/RK3 (paper Section II.A, ref [22] Gottlieb, Shu & Tadmor).
+The integrators operate on plain ndarrays (or tuples of them) and a
+right-hand-side callable.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.util.errors import ReproError
+
+State = np.ndarray
+RHS = Callable[[State, float], State]
+
+
+def ssp_rk1(rhs: RHS, u: State, t: float, dt: float) -> State:
+    """Forward Euler (the building block; exposed for tests)."""
+    return u + dt * rhs(u, t)
+
+
+def ssp_rk2(rhs: RHS, u: State, t: float, dt: float) -> State:
+    """Two-stage second-order SSP (Heun): u1 = u + dt L(u);
+    u_{n+1} = (u + u1 + dt L(u1)) / 2."""
+    u1 = u + dt * rhs(u, t)
+    return 0.5 * (u + u1 + dt * rhs(u1, t + dt))
+
+
+def ssp_rk3(rhs: RHS, u: State, t: float, dt: float) -> State:
+    """Three-stage third-order SSP (Shu-Osher)."""
+    u1 = u + dt * rhs(u, t)
+    u2 = 0.75 * u + 0.25 * (u1 + dt * rhs(u1, t + dt))
+    return (u + 2.0 * (u2 + dt * rhs(u2, t + 0.5 * dt))) / 3.0
+
+
+_INTEGRATORS = {1: ssp_rk1, 2: ssp_rk2, 3: ssp_rk3}
+
+
+def get_integrator(order: int) -> Callable[[RHS, State, float, float], State]:
+    try:
+        return _INTEGRATORS[order]
+    except KeyError:
+        raise ReproError(f"no SSP-RK integrator of order {order} (use 1, 2, 3)") from None
+
+
+def advance(rhs: RHS, u: State, t: float, dt: float, order: int = 2) -> State:
+    return get_integrator(order)(rhs, u, t, dt)

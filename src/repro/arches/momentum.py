@@ -1,0 +1,113 @@
+"""Incompressible momentum transport.
+
+Completes the ARCHES-lite low-Mach solution procedure (paper Section
+II.A): advect and diffuse the velocity field (molecular plus optional
+Smagorinsky eddy viscosity), then project onto the divergence-free
+space through the pressure Poisson solve — advection/diffusion with
+SSP-RK, projection once per step, periodic boundaries (the projection
+operator's domain).
+
+Verification: a single diffusing Fourier mode decays at exactly
+exp(-nu k^2 t), and the Taylor-Green vortex decays monotonically at no
+less than its viscous rate (upwind advection adds numerical
+dissipation, never energy) — both pinned in tests/test_momentum.py.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.arches.integrators import advance
+from repro.arches.operators import divergence, laplacian, upwind_advection
+from repro.arches.projection import PressureProjection
+from repro.arches.turbulence import SmagorinskyModel
+from repro.util.errors import ReproError
+
+Velocity = Tuple[np.ndarray, np.ndarray, np.ndarray]
+
+
+class MomentumSolver:
+    """Periodic incompressible momentum: advance + project."""
+
+    def __init__(
+        self,
+        dx: Tuple[float, float, float],
+        viscosity: float = 1e-2,
+        smagorinsky: Optional[SmagorinskyModel] = None,
+        rk_order: int = 2,
+        projection_rtol: float = 1e-8,
+    ) -> None:
+        if viscosity < 0:
+            raise ReproError("viscosity must be >= 0")
+        self.dx = tuple(float(v) for v in dx)
+        self.viscosity = float(viscosity)
+        self.smagorinsky = smagorinsky
+        self.rk_order = int(rk_order)
+        self.projection = PressureProjection(self.dx, rtol=projection_rtol)
+        self.last_pressure: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------
+    def rhs(self, velocity: Velocity) -> Velocity:
+        """d(u_i)/dt from advection + (molecular + eddy) diffusion."""
+        nu = self.viscosity
+        if self.smagorinsky is not None:
+            nu = nu + self.smagorinsky.eddy_viscosity(velocity, self.dx)
+        out = []
+        for comp in velocity:
+            adv = upwind_advection(comp, velocity, self.dx, bc="periodic")
+            diff = nu * laplacian(comp, self.dx, bc="periodic")
+            out.append(adv + diff)
+        return tuple(out)  # type: ignore[return-value]
+
+    def step(self, velocity: Velocity, dt: float) -> Tuple[Velocity, np.ndarray]:
+        """One timestep; returns (projected velocity, pressure)."""
+        if dt <= 0:
+            raise ReproError("dt must be positive")
+        shapes = {v.shape for v in velocity}
+        if len(shapes) != 1:
+            raise ReproError("velocity components must share a shape")
+
+        packed = np.stack(velocity)
+
+        def f(state, _t):
+            rhs = self.rhs((state[0], state[1], state[2]))
+            return np.stack(rhs)
+
+        advanced = advance(f, packed, 0.0, dt, order=self.rk_order)
+        u, v, w, p = self.projection.project(advanced[0], advanced[1], advanced[2])
+        self.last_pressure = p
+        return (u, v, w), p
+
+    def stable_dt(self, velocity: Velocity, safety: float = 0.4) -> float:
+        umax = max(float(np.abs(c).max()) for c in velocity)
+        dt_adv = min(self.dx) / umax if umax > 0 else np.inf
+        nu = self.viscosity
+        if self.smagorinsky is not None:
+            nu = nu + float(self.smagorinsky.eddy_viscosity(velocity, self.dx).max())
+        dt_diff = min(d ** 2 for d in self.dx) / (6.0 * nu) if nu > 0 else np.inf
+        return safety * min(dt_adv, dt_diff)
+
+    # ------------------------------------------------------------------
+    def kinetic_energy(self, velocity: Velocity) -> float:
+        """Domain-integrated KE per unit density (cell sum x dV)."""
+        dv = self.dx[0] * self.dx[1] * self.dx[2]
+        return 0.5 * dv * float(sum((c ** 2).sum() for c in velocity))
+
+    def max_divergence(self, velocity: Velocity) -> float:
+        return float(np.abs(divergence(*velocity, self.dx, bc="periodic")).max())
+
+
+def taylor_green(n: int, amplitude: float = 1.0) -> Tuple[Velocity, Tuple[float, float, float]]:
+    """The 2-D Taylor-Green vortex on a periodic [0, 2*pi)^3 grid.
+
+    u =  A sin(x) cos(y), v = -A cos(x) sin(y), w = 0 — an exact
+    Navier-Stokes solution decaying as exp(-2 nu t).
+    """
+    x = np.linspace(0, 2 * np.pi, n, endpoint=False)
+    X, Y, _ = np.meshgrid(x, x, x, indexing="ij")
+    u = amplitude * np.sin(X) * np.cos(Y)
+    v = -amplitude * np.cos(X) * np.sin(Y)
+    w = np.zeros_like(u)
+    return (u, v, w), (2 * np.pi / n,) * 3

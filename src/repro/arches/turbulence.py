@@ -1,0 +1,44 @@
+"""Subgrid turbulence closure.
+
+ARCHES models subgrid velocity/species fluctuations with the dynamic
+Smagorinsky closure (paper Section II.A). The lite version implements
+the constant-coefficient Smagorinsky eddy viscosity
+
+    nu_t = (Cs * Delta)^2 |S|,
+
+which is the base model the dynamic procedure localizes.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.arches.operators import strain_rate_magnitude
+from repro.util.errors import ReproError
+
+
+class SmagorinskyModel:
+    def __init__(self, cs: float = 0.17) -> None:
+        if not 0 < cs < 1:
+            raise ReproError(f"Smagorinsky constant {cs} outside (0, 1)")
+        self.cs = float(cs)
+
+    def eddy_viscosity(
+        self,
+        velocity: Tuple[np.ndarray, np.ndarray, np.ndarray],
+        dx: Sequence[float],
+    ) -> np.ndarray:
+        delta = (dx[0] * dx[1] * dx[2]) ** (1.0 / 3.0)
+        return (self.cs * delta) ** 2 * strain_rate_magnitude(velocity, dx)
+
+    def effective_diffusivity(
+        self,
+        velocity: Tuple[np.ndarray, np.ndarray, np.ndarray],
+        dx: Sequence[float],
+        molecular: float,
+        prandtl_t: float = 0.9,
+    ) -> np.ndarray:
+        """Molecular + turbulent diffusivity for scalar transport."""
+        return molecular + self.eddy_viscosity(velocity, dx) / prandtl_t

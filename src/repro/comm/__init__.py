@@ -1,0 +1,19 @@
+"""MPI-request management data structures (paper Section IV.A):
+the legacy mutex-protected vector (with its historical race available
+for demonstration) and the wait-free slot pool that replaced it."""
+
+from repro.comm.request import BufferLedger, CommNode
+from repro.comm.pool_locked import LockedVectorCommPool
+from repro.comm.pool_waitfree import ProtectedIterator, WaitFreeCommPool
+from repro.comm.driver import WorkloadResult, make_pool, run_comm_workload
+
+__all__ = [
+    "BufferLedger",
+    "CommNode",
+    "LockedVectorCommPool",
+    "WaitFreeCommPool",
+    "ProtectedIterator",
+    "WorkloadResult",
+    "make_pool",
+    "run_comm_workload",
+]

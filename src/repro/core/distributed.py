@@ -1,0 +1,355 @@
+"""Multi-level RMCRT expressed as a Uintah task graph.
+
+This is the paper's production shape: radiation is not a monolithic
+solve but three task types compiled into the per-timestep graph —
+
+1. ``rmcrt.initProperties`` (per fine patch): evaluate/copy the
+   radiative properties onto the patch (in ARCHES these come from the
+   CFD state; here from a property-initializer callable).
+2. ``rmcrt.coarsen`` (once per graph): project the fine properties to
+   every coarse radiation level and publish them as PER_LEVEL
+   variables — the "global halo on all coarse levels" requirement that
+   the level database and the per-rank broadcast dedup make affordable.
+3. ``rmcrt.trace`` (per fine patch, optionally a device task): march
+   the patch's rays over fine data restricted to the patch ROI plus the
+   shared coarse levels, computing del.q.
+
+Faithfulness guard: the trace task materializes fine-level data ONLY
+inside its declared ROI (everything else is NaN), so any kernel read
+outside the data the task graph actually communicated poisons the
+result instead of silently using data a real distributed run would not
+have.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.grid.box import Box
+from repro.grid.celltype import CellType
+from repro.grid.grid import Grid
+from repro.grid.level import Level
+from repro.grid.loadbalance import LoadBalancer
+from repro.grid.refinement import coarsen_average, coarsen_max
+from repro.dw.label import cc, per_level
+from repro.radiation.constants import SIGMA_SB
+from repro.core.fields import LevelFields
+from repro.core.kernels import patch_roi, trace_patch_multi_level
+from repro.core.single_level import RMCRTResult
+from repro.runtime.scheduler import (
+    DistributedScheduler,
+    SerialScheduler,
+    ThreadedScheduler,
+    gather_cc,
+)
+from repro.runtime.gpu_scheduler import GPUScheduler
+from repro.runtime.task import Computes, Requires, Task
+from repro.runtime.taskgraph import TaskGraph
+from repro.util.errors import ReproError
+from repro.util.rng import spawn_stream
+from repro.util.timing import TimerRegistry
+
+ABSKG = cc("abskg")
+SIGMA_T4 = cc("sigma_t4")
+CELL_TYPE = cc("cell_type")
+DIVQ = cc("divq")
+WALL_FLUX = cc("wall_flux")
+
+PropertyInit = Callable[[Level, Box], Dict[str, np.ndarray]]
+
+
+def benchmark_property_init(benchmark) -> PropertyInit:
+    """Property initializer for a Burns & Christon benchmark object."""
+
+    def init(level: Level, box: Box) -> Dict[str, np.ndarray]:
+        return {
+            "abskg": benchmark.abskg_field(level, box),
+            "sigma_t4": np.ones(box.extent),
+            "cell_type": np.full(box.extent, CellType.FLOW, dtype=np.int8),
+        }
+
+    return init
+
+
+class DistributedRMCRT:
+    """The 3-task RMCRT pipeline over any of the runtime's schedulers."""
+
+    def __init__(
+        self,
+        grid: Grid,
+        property_init: PropertyInit,
+        rays_per_cell: int = 25,
+        halo: int = 4,
+        threshold: float = 1e-4,
+        seed: int = 0,
+        wall_temperature: float = 0.0,
+        wall_emissivity: float = 1.0,
+        device: bool = False,
+        compute_boundary_flux: bool = False,
+        flux_rays_per_face: int = 16,
+    ) -> None:
+        if grid.num_levels < 2:
+            raise ReproError("DistributedRMCRT needs a multi-level grid")
+        if not grid.finest_level.patches:
+            raise ReproError("the finest level must be decomposed into patches")
+        self.grid = grid
+        self.property_init = property_init
+        self.rays_per_cell = int(rays_per_cell)
+        self.halo = int(halo)
+        self.threshold = float(threshold)
+        self.seed = int(seed)
+        self.wall_temperature = float(wall_temperature)
+        self.wall_emissivity = float(wall_emissivity)
+        self.device = bool(device)
+        self.compute_boundary_flux = bool(compute_boundary_flux)
+        self.flux_rays_per_face = int(flux_rays_per_face)
+        self._coarse_labels = {
+            idx: {
+                "abskg": per_level(f"abskg_L{idx}"),
+                "sigma_t4": per_level(f"sigma_t4_L{idx}"),
+                "cell_type": per_level(f"cell_type_L{idx}"),
+            }
+            for idx in range(grid.num_levels - 1)
+        }
+
+    # ------------------------------------------------------------------
+    # task callbacks
+    # ------------------------------------------------------------------
+    def _init_cb(self, ctx) -> None:
+        fields = self.property_init(ctx.level, ctx.patch.box)
+        ctx.compute(ABSKG, fields["abskg"])
+        ctx.compute(SIGMA_T4, fields["sigma_t4"])
+        ctx.compute(CELL_TYPE, fields["cell_type"].astype(np.float64))
+
+    def _coarsen_cb(self, ctx) -> None:
+        abskg = ctx.require(ABSKG)
+        st4 = ctx.require(SIGMA_T4)
+        ct = ctx.require(CELL_TYPE)
+        fine_idx = self.grid.num_levels - 1
+        for idx in range(fine_idx - 1, -1, -1):
+            ratio = self.grid.level(idx + 1).refinement_ratio[0]
+            abskg = coarsen_average(abskg, ratio)
+            st4 = coarsen_average(st4, ratio)
+            ct = coarsen_max(ct, ratio)
+            labels = self._coarse_labels[idx]
+            ctx.compute_level(labels["abskg"], abskg)
+            ctx.compute_level(labels["sigma_t4"], st4)
+            ctx.compute_level(labels["cell_type"], ct)
+
+    def _wall_ring_fields(self, level: Level) -> LevelFields:
+        """Level-shaped arrays pre-filled with the wall ring; interior NaN."""
+        interior = level.domain_box
+        ring = interior.grow(1)
+        abskg = np.full(ring.extent, self.wall_emissivity)
+        st4 = np.full(ring.extent, SIGMA_SB * self.wall_temperature ** 4)
+        ct = np.full(ring.extent, CellType.WALL, dtype=np.int8)
+        inner = interior.slices(origin=ring.lo)
+        abskg[inner] = np.nan
+        st4[inner] = np.nan
+        ct[inner] = CellType.FLOW
+        return LevelFields(
+            abskg=abskg,
+            sigma_t4=st4,
+            cell_type=ct,
+            interior=interior,
+            dx=level.dx,
+            anchor=level.anchor,
+        )
+
+    def _build_fields(self, ctx):
+        """Assemble the per-task level fields (fine ROI + coarse levels)
+        from the DataWarehouse — shared by the trace and boundary-flux
+        callbacks. Returns (all_fields coarsest-first, roi)."""
+        fine_level = self.grid.finest_level
+        interior = fine_level.domain_box
+        roi = patch_roi(interior, ctx.patch.box, self.halo)
+
+        fine = self._wall_ring_fields(fine_level)
+        data_region = ctx.patch.box.grow(self.halo).intersect(interior)
+        sl = data_region.slices(origin=fine.ring_lo)
+        ghost_region = ctx.patch.box.grow(self.halo)
+
+        def paste(arr_name, label):
+            ghost = ctx.require(label, default=np.nan)
+            piece = ghost[data_region.slices(origin=ghost_region.lo)]
+            getattr(fine, arr_name)[sl] = piece
+
+        paste("abskg", ABSKG)
+        paste("sigma_t4", SIGMA_T4)
+        ct_ghost = ctx.require(CELL_TYPE, default=float(CellType.WALL))
+        fine.cell_type[sl] = ct_ghost[
+            data_region.slices(origin=ghost_region.lo)
+        ].astype(np.int8)
+
+        all_fields: List[LevelFields] = []
+        for idx in range(self.grid.num_levels - 1):
+            level = self.grid.level(idx)
+            labels = self._coarse_labels[idx]
+            coarse = self._wall_ring_fields(level)
+            inner = level.domain_box.slices(origin=coarse.ring_lo)
+            coarse.abskg[inner] = ctx.require_level(labels["abskg"])
+            coarse.sigma_t4[inner] = ctx.require_level(labels["sigma_t4"])
+            coarse.cell_type[inner] = ctx.require_level(labels["cell_type"]).astype(np.int8)
+            all_fields.append(coarse)
+        all_fields.append(fine)
+        return all_fields, roi
+
+    def _trace_cb(self, ctx) -> None:
+        all_fields, roi = self._build_fields(ctx)
+        rng = spawn_stream(self.seed, 0, ctx.patch.patch_id)
+        divq = trace_patch_multi_level(
+            all_fields,
+            ctx.patch.box,
+            roi,
+            self.rays_per_cell,
+            rng,
+            threshold=self.threshold,
+        )
+        if np.isnan(divq).any():
+            raise ReproError(
+                f"trace on patch {ctx.patch.patch_id} read cells outside its "
+                f"ROI (NaN poisoning fired) — halo/ROI declaration is wrong"
+            )
+        ctx.compute(DIVQ, divq)
+
+    def _bflux_cb(self, ctx) -> None:
+        """Incident radiative flux in the patch's wall-adjacent cells —
+        the boiler designer's quantity of interest (Section III.A),
+        computed with multi-level radiometer rays."""
+        from repro.core.boundary_flux import WALLS, incident_flux_multilevel
+
+        all_fields, roi = self._build_fields(ctx)
+        interior = self.grid.finest_level.domain_box
+        flux = np.zeros(ctx.patch.box.extent)
+        for axis, side in WALLS:
+            slab_lo = list(interior.lo)
+            slab_hi = list(interior.hi)
+            if side == 0:
+                slab_hi[axis] = slab_lo[axis] + 1
+            else:
+                slab_lo[axis] = slab_hi[axis] - 1
+            face_box = Box(tuple(slab_lo), tuple(slab_hi)).intersect(ctx.patch.box)
+            if face_box.empty:
+                continue  # this patch does not touch that wall
+            rng = spawn_stream(self.seed, 1, ctx.patch.patch_id, 2 * axis + side)
+            q = incident_flux_multilevel(
+                all_fields, axis, side, face_box,
+                self.flux_rays_per_face, rng,
+                roi=roi, threshold=self.threshold,
+            )
+            if np.isnan(q).any():
+                raise ReproError(
+                    f"boundary flux on patch {ctx.patch.patch_id} read cells "
+                    f"outside its ROI"
+                )
+            target = flux[face_box.slices(origin=ctx.patch.box.lo)]
+            # edge/corner cells accumulate contributions from each wall
+            target += np.expand_dims(q, axis)
+        ctx.compute(WALL_FLUX, flux)
+
+    # ------------------------------------------------------------------
+    # graph assembly + solve
+    # ------------------------------------------------------------------
+    def build_graph(
+        self, assignment: Optional[Dict[int, int]] = None, num_ranks: int = 1
+    ):
+        fine_idx = self.grid.num_levels - 1
+        tg = TaskGraph(self.grid)
+        tg.add_task(
+            Task(
+                "rmcrt.initProperties",
+                self._init_cb,
+                computes=[Computes(ABSKG), Computes(SIGMA_T4), Computes(CELL_TYPE)],
+            ),
+            fine_idx,
+        )
+        coarse_computes = [
+            Computes(lbl, level_index=idx)
+            for idx, labels in self._coarse_labels.items()
+            for lbl in labels.values()
+        ]
+        tg.add_level_task(
+            Task(
+                "rmcrt.coarsen",
+                self._coarsen_cb,
+                requires=[Requires(ABSKG), Requires(SIGMA_T4), Requires(CELL_TYPE)],
+                computes=coarse_computes,
+            ),
+            fine_idx,
+        )
+        trace_requires = [
+            Requires(ABSKG, num_ghost=self.halo),
+            Requires(SIGMA_T4, num_ghost=self.halo),
+            Requires(CELL_TYPE, num_ghost=self.halo),
+        ] + [
+            Requires(lbl, level_index=idx)
+            for idx, labels in self._coarse_labels.items()
+            for lbl in labels.values()
+        ]
+        tg.add_task(
+            Task(
+                "rmcrt.trace",
+                self._trace_cb,
+                requires=trace_requires,
+                computes=[Computes(DIVQ)],
+                device=self.device,
+            ),
+            fine_idx,
+        )
+        if self.compute_boundary_flux:
+            tg.add_task(
+                Task(
+                    "rmcrt.boundaryFlux",
+                    self._bflux_cb,
+                    requires=list(trace_requires),
+                    computes=[Computes(WALL_FLUX)],
+                    device=self.device,
+                ),
+                fine_idx,
+            )
+        return tg.compile(assignment=assignment, num_ranks=num_ranks)
+
+    def solve(
+        self,
+        scheduler: str = "serial",
+        num_ranks: int = 1,
+        num_threads: int = 4,
+        pool_kind: str = "waitfree",
+        gpu=None,
+    ) -> RMCRTResult:
+        """Run the pipeline and gather del.q on the fine level."""
+        timers = TimerRegistry()
+        fine = self.grid.finest_level
+        rays = sum(p.num_cells for p in fine.patches) * self.rays_per_cell
+        with timers("rmcrt_solve"):
+            if scheduler == "serial":
+                graph = self.build_graph()
+                dw = SerialScheduler().execute(graph)
+                rank_dws = {0: dw}
+            elif scheduler == "threaded":
+                graph = self.build_graph()
+                dw = ThreadedScheduler(num_threads=num_threads).execute(graph)
+                rank_dws = {0: dw}
+            elif scheduler == "gpu":
+                graph = self.build_graph()
+                engine = GPUScheduler() if gpu is None else GPUScheduler(gpu=gpu)
+                dw = engine.execute(graph)
+                rank_dws = {0: dw}
+            elif scheduler == "distributed":
+                lb = LoadBalancer(num_ranks)
+                assignment = lb.assign(fine.patches)
+                graph = self.build_graph(assignment=assignment, num_ranks=num_ranks)
+                rank_dws = DistributedScheduler(num_ranks, pool_kind=pool_kind).execute(graph)
+            else:
+                raise ReproError(f"unknown scheduler {scheduler!r}")
+            divq = gather_cc(graph, rank_dws, DIVQ, self.grid.num_levels - 1)
+            wall_flux = None
+            if self.compute_boundary_flux:
+                wall_flux = gather_cc(
+                    graph, rank_dws, WALL_FLUX, self.grid.num_levels - 1
+                )
+        return RMCRTResult(
+            divq=divq, rays_traced=rays, timers=timers, wall_flux=wall_flux
+        )

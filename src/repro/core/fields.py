@@ -1,0 +1,96 @@
+"""Level-resident field bundles the marching kernels consume.
+
+A :class:`LevelFields` is the device-side view of one mesh level:
+the three radiative-property arrays (with their one-cell wall ring)
+plus the geometric metadata (spacing, anchor, ring origin) the DDA
+needs to convert between physical positions and array offsets. This is
+exactly what the GPU DataWarehouse's level database stores once per
+level and shares across all patch tasks on a GPU (paper Section III.C).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.grid.box import Box
+from repro.grid.level import Level
+from repro.radiation.properties import RadiativeProperties
+from repro.util.errors import GridError
+
+
+@dataclass
+class LevelFields:
+    """Marching view of one level's radiative properties."""
+
+    abskg: np.ndarray
+    sigma_t4: np.ndarray
+    cell_type: np.ndarray
+    interior: Box
+    dx: Tuple[float, float, float]
+    anchor: Tuple[float, float, float]
+
+    def __post_init__(self) -> None:
+        expected = self.interior.grow(1).extent
+        for name in ("abskg", "sigma_t4", "cell_type"):
+            if tuple(getattr(self, name).shape) != expected:
+                raise GridError(
+                    f"{name} shape {getattr(self, name).shape} != ring extent {expected}"
+                )
+        self.dx = tuple(float(v) for v in self.dx)
+        self.anchor = tuple(float(v) for v in self.anchor)
+
+    @property
+    def ring_box(self) -> Box:
+        return self.interior.grow(1)
+
+    @property
+    def ring_lo(self):
+        return self.ring_box.lo
+
+    @staticmethod
+    def from_properties(level: Level, props: RadiativeProperties) -> "LevelFields":
+        if props.interior != level.domain_box:
+            raise GridError(
+                f"properties interior {props.interior} != level domain {level.domain_box}"
+            )
+        return LevelFields(
+            abskg=props.abskg,
+            sigma_t4=props.sigma_t4,
+            cell_type=props.cell_type,
+            interior=level.domain_box,
+            dx=level.dx,
+            anchor=level.anchor,
+        )
+
+    # ------------------------------------------------------------------
+    # coordinate transforms (vectorized over (n, 3) arrays)
+    # ------------------------------------------------------------------
+    def position_to_cell(self, pos: np.ndarray, nudge_dir: np.ndarray = None) -> np.ndarray:
+        """Cell indices containing physical positions.
+
+        ``nudge_dir``, when given, bumps positions a relative 1e-9 of a
+        cell along the ray so a position lying exactly on a cell face
+        lands in the *downstream* cell — required at level-handoff where
+        fine-patch boundaries coincide with coarse faces.
+        """
+        dx = np.asarray(self.dx)
+        p = np.asarray(pos, dtype=np.float64)
+        if nudge_dir is not None:
+            p = p + 1e-9 * dx * np.asarray(nudge_dir)
+        return np.floor((p - np.asarray(self.anchor)) / dx).astype(np.int64)
+
+    def cell_center(self, cell: np.ndarray) -> np.ndarray:
+        return np.asarray(self.anchor) + (np.asarray(cell, dtype=np.float64) + 0.5) * np.asarray(self.dx)
+
+    def offsets(self, cell: np.ndarray) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Array offsets for cell indices (caller guarantees in-ring)."""
+        lo = self.ring_lo
+        c = np.asarray(cell)
+        return c[..., 0] - lo[0], c[..., 1] - lo[1], c[..., 2] - lo[2]
+
+    @property
+    def nbytes(self) -> int:
+        return self.abskg.nbytes + self.sigma_t4.nbytes + self.cell_type.nbytes

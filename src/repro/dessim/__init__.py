@@ -1,0 +1,53 @@
+"""Discrete-event Titan cluster simulator and the RMCRT cost model —
+the machinery that regenerates the paper's Table I and Figures 1-3."""
+
+from repro.dessim.engine import EventSimulator, SlotResource
+from repro.dessim.costmodel import (
+    BYTES_PER_VAR,
+    NUM_PROPERTY_VARS,
+    CommStats,
+    LARGE,
+    MEDIUM,
+    PoolTimingModel,
+    RMCRTProblem,
+    RayWorkModel,
+    multi_level_comm_per_rank,
+    single_level_comm_per_rank,
+)
+from repro.dessim.cluster import (
+    ClusterSimulator,
+    ScalingSeries,
+    SimOptions,
+    StrongScalingStudy,
+    TimestepBreakdown,
+)
+from repro.dessim.tracesim import (
+    TaskGraphTraceSimulator,
+    TaskTrace,
+    TraceReport,
+    rmcrt_task_cost,
+)
+
+__all__ = [
+    "EventSimulator",
+    "SlotResource",
+    "BYTES_PER_VAR",
+    "NUM_PROPERTY_VARS",
+    "CommStats",
+    "LARGE",
+    "MEDIUM",
+    "PoolTimingModel",
+    "RMCRTProblem",
+    "RayWorkModel",
+    "multi_level_comm_per_rank",
+    "single_level_comm_per_rank",
+    "ClusterSimulator",
+    "ScalingSeries",
+    "SimOptions",
+    "StrongScalingStudy",
+    "TimestepBreakdown",
+    "TaskGraphTraceSimulator",
+    "TaskTrace",
+    "TraceReport",
+    "rmcrt_task_cost",
+]

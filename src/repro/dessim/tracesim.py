@@ -1,0 +1,201 @@
+"""Task-graph trace simulation: the *real* compiled graph on the
+machine model.
+
+Where :mod:`repro.dessim.cluster` prices a statistically representative
+rank analytically, this module event-simulates an actual
+:class:`~repro.runtime.taskgraph.CompiledGraph`: every detailed task
+becomes a job on its rank's executor, every ghost message travels the
+network model, and readiness follows the graph's true dependency and
+message structure. The output is a per-rank timeline — busy, idle
+(MPI-wait), makespan — which is how the paper's team diagnosed where
+time went (their Figure 1 "local communication time" is exactly such a
+timeline component).
+
+Cost attribution is pluggable: callers hand a ``task_cost(dtask)``
+function (e.g. priced from the K20X/Opteron models or measured from a
+real run), and message latency comes from a
+:class:`~repro.machine.network.NetworkModel`.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.machine.network import GEMINI, NetworkModel
+from repro.runtime.taskgraph import CompiledGraph, DetailedTask
+from repro.util.errors import SchedulerError
+
+TaskCost = Callable[[DetailedTask], float]
+
+
+@dataclass
+class TaskTrace:
+    dtask_id: int
+    name: str
+    rank: int
+    ready: float
+    start: float
+    end: float
+
+    @property
+    def wait(self) -> float:
+        """Time spent ready but waiting for the rank's executor."""
+        return self.start - self.ready
+
+
+@dataclass
+class RankTimeline:
+    rank: int
+    busy: float = 0.0
+    finish: float = 0.0
+    tasks: int = 0
+
+    def idle(self, makespan: float) -> float:
+        return makespan - self.busy
+
+
+@dataclass
+class TraceReport:
+    makespan: float
+    traces: List[TaskTrace]
+    ranks: Dict[int, RankTimeline]
+    messages_sent: int
+    message_bytes: int
+
+    @property
+    def total_busy(self) -> float:
+        return sum(r.busy for r in self.ranks.values())
+
+    @property
+    def parallel_efficiency(self) -> float:
+        """busy / (ranks x makespan): 1.0 = no idle time anywhere."""
+        n = len(self.ranks)
+        if n == 0 or self.makespan <= 0:
+            return 1.0
+        return self.total_busy / (n * self.makespan)
+
+    def critical_rank(self) -> int:
+        return max(self.ranks.values(), key=lambda r: r.finish).rank
+
+
+class TaskGraphTraceSimulator:
+    """Event-driven execution of a compiled graph on modelled hardware.
+
+    One non-preemptive executor per rank (the per-node GPU or the
+    task-serial core — parallel intra-node execution can be modelled by
+    dividing task costs). Messages leave when their producing task
+    completes and arrive after the network model's point-to-point time;
+    a task starts when its internal dependencies have completed, its
+    messages have arrived, and its rank's executor frees up.
+    """
+
+    def __init__(self, network: Optional[NetworkModel] = None) -> None:
+        self.network = network if network is not None else GEMINI
+
+    def simulate(self, graph: CompiledGraph, task_cost: TaskCost) -> TraceReport:
+        by_id = {t.dtask_id: t for t in graph.detailed_tasks}
+        remaining_deps = {t.dtask_id: len(t.internal_deps) for t in graph.detailed_tasks}
+        remaining_msgs = {t.dtask_id: len(t.pending_msgs) for t in graph.detailed_tasks}
+        #: latest enabling time seen so far per task
+        enable_time = {t.dtask_id: 0.0 for t in graph.detailed_tasks}
+
+        outgoing: Dict[int, List] = {}
+        for msg in graph.messages:
+            outgoing.setdefault(msg.src_dtask_id, []).append(msg)
+        # level-broadcast dedup: several tasks can pend on one msg id
+        waiting_on_msg: Dict[int, List[int]] = {}
+        for t in graph.detailed_tasks:
+            for mid in t.pending_msgs:
+                waiting_on_msg.setdefault(mid, []).append(t.dtask_id)
+
+        rank_free: Dict[int, float] = {}
+        ready_heap: List[Tuple[float, int]] = []  # (ready_time, dtask_id)
+        for t in graph.detailed_tasks:
+            rank_free.setdefault(t.rank, 0.0)
+            if remaining_deps[t.dtask_id] == 0 and remaining_msgs[t.dtask_id] == 0:
+                heapq.heappush(ready_heap, (0.0, t.dtask_id))
+
+        traces: List[TaskTrace] = []
+        ranks = {r: RankTimeline(rank=r) for r in rank_free}
+        done = 0
+        total = len(by_id)
+        msg_count = 0
+        msg_bytes = 0
+
+        def enable(tid: int, when: float) -> None:
+            enable_time[tid] = max(enable_time[tid], when)
+            if remaining_deps[tid] == 0 and remaining_msgs[tid] == 0:
+                heapq.heappush(ready_heap, (enable_time[tid], tid))
+
+        while ready_heap:
+            ready, tid = heapq.heappop(ready_heap)
+            dt = by_id[tid]
+            cost = float(task_cost(dt))
+            if cost < 0:
+                raise SchedulerError(f"negative cost for {dt}")
+            start = max(ready, rank_free[dt.rank])
+            end = start + cost
+            rank_free[dt.rank] = end
+            tl = ranks[dt.rank]
+            tl.busy += cost
+            tl.finish = max(tl.finish, end)
+            tl.tasks += 1
+            traces.append(
+                TaskTrace(tid, dt.task.name, dt.rank, ready, start, end)
+            )
+            done += 1
+
+            for dep in dt.dependents:
+                if dep in remaining_deps:
+                    remaining_deps[dep] -= 1
+                    enable(dep, end)
+            for msg in outgoing.get(tid, ()):
+                arrival = end + self.network.ptp_time(msg.nbytes)
+                msg_count += 1
+                msg_bytes += msg.nbytes
+                for waiter in waiting_on_msg.get(msg.msg_id, ()):
+                    remaining_msgs[waiter] -= 1
+                    enable(waiter, arrival)
+
+        if done != total:
+            raise SchedulerError(
+                f"trace simulation stalled: {total - done} tasks never ready "
+                f"(cyclic or unsatisfied message dependencies)"
+            )
+        makespan = max((t.end for t in traces), default=0.0)
+        return TraceReport(
+            makespan=makespan,
+            traces=traces,
+            ranks=ranks,
+            messages_sent=msg_count,
+            message_bytes=msg_bytes,
+        )
+
+
+def rmcrt_task_cost(
+    problem,
+    patch_size: int,
+    gpu=None,
+    ray_model=None,
+) -> TaskCost:
+    """A cost function for the 3-task RMCRT pipeline, priced on the
+    K20X model: trace tasks pay the occupancy-dependent kernel, the
+    property init and coarsen tasks pay bandwidth-bound field sweeps."""
+    from repro.dessim.costmodel import RayWorkModel
+    from repro.machine.gpu import K20X
+
+    gpu = gpu if gpu is not None else K20X
+    ray_model = ray_model if ray_model is not None else RayWorkModel()
+    steps = ray_model.steps_per_ray(problem, patch_size)
+    cells = problem.cells_per_patch(patch_size)
+    kernel = gpu.kernel_time(cells, problem.rays_per_cell, steps)
+    sweep_rate = gpu.spec.node_memory_bandwidth / 8.0  # cells/s, host side
+
+    def cost(dt: DetailedTask) -> float:
+        if dt.task.name.endswith("trace"):
+            return kernel
+        return 3.0 * dt.patch.num_cells / sweep_rate  # three property arrays
+
+    return cost

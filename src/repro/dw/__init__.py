@@ -1,0 +1,25 @@
+"""The DataWarehouse subsystem: variable labels, grid variables, the
+host on-demand warehouse, and the GPU warehouse with its per-level
+database (paper contribution ii)."""
+
+from repro.dw.label import VarKind, VarLabel, cc, per_level, reduction
+from repro.dw.variables import CCVariable, ReductionVariable
+from repro.dw.datawarehouse import DataWarehouse, DataWarehouseManager
+from repro.dw.gpudw import GPUDataWarehouse, PCIeStats, DEFAULT_CAPACITY_BYTES
+from repro.dw.archive import DataArchive
+
+__all__ = [
+    "DataArchive",
+    "VarKind",
+    "VarLabel",
+    "cc",
+    "per_level",
+    "reduction",
+    "CCVariable",
+    "ReductionVariable",
+    "DataWarehouse",
+    "DataWarehouseManager",
+    "GPUDataWarehouse",
+    "PCIeStats",
+    "DEFAULT_CAPACITY_BYTES",
+]

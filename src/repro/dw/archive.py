@@ -1,0 +1,122 @@
+"""The data archiver: UDA-style output and checkpoint/restart.
+
+Uintah persists simulation state into "uda" directories — one
+subdirectory per saved timestep holding every variable of every patch —
+from which runs are post-processed or restarted. This is that system in
+miniature: a :class:`DataArchive` saves DataWarehouse generations into
+``t00042/``-style subdirectories (arrays in one ``.npz``, metadata in
+JSON) and reconstructs an equivalent warehouse for restart, which the
+:class:`~repro.runtime.controller.SimulationController` accepts as its
+starting state. Restarted runs continue bit-identically — the
+checkpoint/restart invariant Uintah's regression suite enforces.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.dw.datawarehouse import DataWarehouse
+from repro.dw.label import VarKind, VarLabel, cc, per_level
+from repro.dw.variables import CCVariable, ReductionVariable
+from repro.grid.box import Box
+from repro.util.errors import DataWarehouseError
+
+_STEP_DIR = re.compile(r"^t(\d{5,})$")
+
+
+class DataArchive:
+    """A uda-like on-disk archive of timestep states."""
+
+    def __init__(self, root, every: int = 1) -> None:
+        if every < 1:
+            raise DataWarehouseError("archive interval must be >= 1")
+        self.root = Path(root)
+        self.every = int(every)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    # ------------------------------------------------------------------
+    # saving
+    # ------------------------------------------------------------------
+    def should_save(self, step: int) -> bool:
+        return step % self.every == 0
+
+    def save(self, dw: DataWarehouse, step: int, time: float = 0.0) -> Path:
+        """Persist one warehouse generation."""
+        tdir = self.root / f"t{step:05d}"
+        if tdir.exists():
+            raise DataWarehouseError(f"timestep {step} already archived at {tdir}")
+        tdir.mkdir()
+
+        arrays: Dict[str, np.ndarray] = {}
+        meta: Dict = {
+            "step": step,
+            "time": time,
+            "generation": dw.generation,
+            "cc": [],
+            "level": [],
+            "reductions": [],
+        }
+        for (name, patch_id), var in dw._cc.items():
+            key = f"cc::{name}::{patch_id}"
+            arrays[key] = var.data
+            meta["cc"].append(
+                {"name": name, "patch": patch_id, "lo": list(var.box.lo),
+                 "hi": list(var.box.hi), "key": key}
+            )
+        for (name, level_index), data in dw._level.items():
+            key = f"level::{name}::{level_index}"
+            arrays[key] = np.asarray(data)
+            meta["level"].append({"name": name, "level": level_index, "key": key})
+        for name, red in dw._reductions.items():
+            meta["reductions"].append(
+                {"name": name, "value": float(red.value), "op": red.op}
+            )
+
+        np.savez_compressed(tdir / "data.npz", **arrays)
+        (tdir / "meta.json").write_text(json.dumps(meta, indent=1))
+        return tdir
+
+    # ------------------------------------------------------------------
+    # reading
+    # ------------------------------------------------------------------
+    def timesteps(self) -> List[int]:
+        out = []
+        for child in self.root.iterdir():
+            m = _STEP_DIR.match(child.name)
+            if m and (child / "meta.json").exists():
+                out.append(int(m.group(1)))
+        return sorted(out)
+
+    def load(self, step: int) -> Tuple[DataWarehouse, Dict]:
+        """Reconstruct the warehouse and return (dw, metadata)."""
+        tdir = self.root / f"t{step:05d}"
+        meta_path = tdir / "meta.json"
+        if not meta_path.exists():
+            raise DataWarehouseError(f"no archived timestep {step} under {self.root}")
+        meta = json.loads(meta_path.read_text())
+        with np.load(tdir / "data.npz") as arrays:
+            dw = DataWarehouse(generation=meta["generation"])
+            for entry in meta["cc"]:
+                box = Box(tuple(entry["lo"]), tuple(entry["hi"]))
+                dw.put(cc(entry["name"]), entry["patch"],
+                       CCVariable(box, arrays[entry["key"]].copy()))
+            for entry in meta["level"]:
+                dw.put_level(
+                    per_level(entry["name"]), entry["level"],
+                    arrays[entry["key"]].copy(),
+                )
+            for entry in meta["reductions"]:
+                dw.put_reduction(
+                    VarLabel(entry["name"], VarKind.REDUCTION),
+                    ReductionVariable(entry["value"], entry["op"]),
+                )
+        return dw, meta
+
+    def latest(self) -> Optional[int]:
+        steps = self.timesteps()
+        return steps[-1] if steps else None

@@ -1,0 +1,192 @@
+"""The on-demand DataWarehouse.
+
+Uintah tasks never exchange data directly: they ``put`` results into
+and ``get`` inputs from a DataWarehouse keyed by (label, patch), and
+the runtime satisfies ghost-cell requirements behind the scenes — "the
+illusion the application has access to memory it does not actually
+own" (paper Section III.C). This host-side DW supports:
+
+* per-patch cell-centred variables with ghost-region assembly from
+  neighbouring patches and from *foreign* pieces received over MPI,
+* per-level variables (the coarse radiation mesh's global halo
+  requirement collapses to one of these), and
+* scalar reduction variables.
+
+Two warehouse generations (old/new) flow through a timestep, swapped by
+:meth:`DataWarehouseManager.advance`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.grid.box import Box
+from repro.grid.level import Level
+from repro.dw.label import VarKind, VarLabel
+from repro.dw.variables import CCVariable, ReductionVariable
+from repro.util.errors import DataWarehouseError
+
+
+class DataWarehouse:
+    """One generation of simulation state."""
+
+    def __init__(self, generation: int = 0) -> None:
+        self.generation = generation
+        self._cc: Dict[Tuple[str, int], CCVariable] = {}
+        self._foreign: Dict[Tuple[str, int], List[CCVariable]] = {}
+        self._level: Dict[Tuple[str, int], np.ndarray] = {}
+        self._reductions: Dict[str, ReductionVariable] = {}
+
+    # ------------------------------------------------------------------
+    # cell-centred per-patch variables
+    # ------------------------------------------------------------------
+    def put(self, label: VarLabel, patch_id: int, var: CCVariable) -> None:
+        if label.kind is not VarKind.CELL_CENTERED:
+            raise DataWarehouseError(f"put() needs a CC label, got {label}")
+        key = (label.name, patch_id)
+        if key in self._cc:
+            raise DataWarehouseError(
+                f"{label.name} already computed on patch {patch_id} "
+                f"(double-compute)"
+            )
+        self._cc[key] = var
+
+    def exists(self, label: VarLabel, patch_id: int) -> bool:
+        return (label.name, patch_id) in self._cc
+
+    def get(self, label: VarLabel, patch_id: int) -> CCVariable:
+        try:
+            return self._cc[(label.name, patch_id)]
+        except KeyError:
+            raise DataWarehouseError(
+                f"{label.name} not found on patch {patch_id} in DW "
+                f"generation {self.generation}"
+            ) from None
+
+    def modify(self, label: VarLabel, patch_id: int) -> CCVariable:
+        """Like :meth:`get` but signals in-place mutation intent."""
+        return self.get(label, patch_id)
+
+    # ------------------------------------------------------------------
+    # foreign variables (ghost pieces received over MPI)
+    # ------------------------------------------------------------------
+    def add_foreign(self, label: VarLabel, patch_id: int, var: CCVariable) -> None:
+        """Stage a piece of a *remote* patch's data needed locally."""
+        self._foreign.setdefault((label.name, patch_id), []).append(var)
+
+    def get_region(
+        self,
+        label: VarLabel,
+        level: Level,
+        region: Box,
+        default: Optional[float] = None,
+    ) -> np.ndarray:
+        """Assemble ``region`` from local patches + foreign pieces.
+
+        Every cell of ``region`` intersecting the level's domain must be
+        covered unless ``default`` is given (used for regions poking
+        into the wall ring, which no patch owns).
+        """
+        out = np.full(region.extent, np.nan)
+        covered = 0
+        for patch in level.patches_intersecting(region):
+            if not self.exists(label, patch.patch_id):
+                continue
+            var = self.get(label, patch.patch_id)
+            overlap = var.box.intersect(region)
+            if overlap.empty:
+                continue
+            out[overlap.slices(origin=region.lo)] = var.view(overlap)
+            covered += overlap.volume
+        for (name, _pid), pieces in self._foreign.items():
+            if name != label.name:
+                continue
+            for var in pieces:
+                overlap = var.box.intersect(region)
+                if overlap.empty:
+                    continue
+                out[overlap.slices(origin=region.lo)] = var.view(overlap)
+        missing = np.isnan(out)
+        if missing.any():
+            if default is None:
+                raise DataWarehouseError(
+                    f"{label.name}: {int(missing.sum())} of {region.volume} cells "
+                    f"of {region} are not covered by local or foreign data"
+                )
+            out[missing] = default
+        return out
+
+    # ------------------------------------------------------------------
+    # per-level variables
+    # ------------------------------------------------------------------
+    def put_level(self, label: VarLabel, level_index: int, data: np.ndarray) -> None:
+        if label.kind is not VarKind.PER_LEVEL:
+            raise DataWarehouseError(f"put_level() needs a PER_LEVEL label, got {label}")
+        key = (label.name, level_index)
+        if key in self._level:
+            raise DataWarehouseError(
+                f"level variable {label.name} already exists on level {level_index}"
+            )
+        self._level[key] = data
+
+    def get_level(self, label: VarLabel, level_index: int) -> np.ndarray:
+        try:
+            return self._level[(label.name, level_index)]
+        except KeyError:
+            raise DataWarehouseError(
+                f"level variable {label.name} not found on level {level_index}"
+            ) from None
+
+    def has_level(self, label: VarLabel, level_index: int) -> bool:
+        return (label.name, level_index) in self._level
+
+    # ------------------------------------------------------------------
+    # reductions
+    # ------------------------------------------------------------------
+    def put_reduction(self, label: VarLabel, var: ReductionVariable) -> None:
+        if label.kind is not VarKind.REDUCTION:
+            raise DataWarehouseError(f"put_reduction() needs a REDUCTION label")
+        existing = self._reductions.get(label.name)
+        self._reductions[label.name] = var if existing is None else existing.combine(var)
+
+    def get_reduction(self, label: VarLabel) -> ReductionVariable:
+        try:
+            return self._reductions[label.name]
+        except KeyError:
+            raise DataWarehouseError(f"reduction {label.name} not found") from None
+
+    # ------------------------------------------------------------------
+    # accounting
+    # ------------------------------------------------------------------
+    @property
+    def nbytes(self) -> int:
+        total = sum(v.nbytes for v in self._cc.values())
+        total += sum(v.nbytes for pieces in self._foreign.values() for v in pieces)
+        total += sum(a.nbytes for a in self._level.values())
+        return total
+
+    def variable_names(self) -> List[str]:
+        names = {n for n, _ in self._cc} | {n for n, _ in self._level}
+        names |= set(self._reductions)
+        return sorted(names)
+
+
+class DataWarehouseManager:
+    """Old/new DW pair with timestep advancement."""
+
+    def __init__(self) -> None:
+        self._generation = 0
+        self.old_dw: Optional[DataWarehouse] = None
+        self.new_dw = DataWarehouse(generation=0)
+
+    def advance(self) -> None:
+        """End of timestep: new becomes old, a fresh new is created."""
+        self._generation += 1
+        self.old_dw = self.new_dw
+        self.new_dw = DataWarehouse(generation=self._generation)
+
+    @property
+    def generation(self) -> int:
+        return self._generation

@@ -1,0 +1,201 @@
+"""The GPU DataWarehouse with a per-mesh-level database.
+
+Contribution (ii) of the paper: Titan's K20X has 6 GB of device memory
+against 32 GB host-side, and the naive port copied the coarse radiation
+mesh's properties to the GPU *once per fine patch task* — redundant
+copies that blew the device budget and saturated PCIe. The fix was a
+level database inside the GPU DW: one device-resident copy of each
+per-level variable, shared by every patch task running on that GPU.
+
+This model keeps the arrays (host memory doubles as "device" memory in
+this reproduction) and does exact byte accounting: capacity checks,
+H2D/D2H traffic, and peak usage. The ``use_level_db`` flag switches
+between the shared-copy design and the legacy per-task-copy behaviour,
+which is what the E7 ablation measures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.dw.label import VarKind, VarLabel
+from repro.dw.variables import CCVariable
+from repro.util.errors import DataWarehouseError
+
+#: K20X global memory
+DEFAULT_CAPACITY_BYTES = 6 * 1024 ** 3
+
+
+@dataclass
+class PCIeStats:
+    h2d_bytes: int = 0
+    d2h_bytes: int = 0
+    h2d_transfers: int = 0
+    d2h_transfers: int = 0
+
+
+class GPUDataWarehouse:
+    """Device-side variable store with capacity and traffic accounting."""
+
+    def __init__(
+        self,
+        device_id: int = 0,
+        capacity_bytes: int = DEFAULT_CAPACITY_BYTES,
+        use_level_db: bool = True,
+    ) -> None:
+        if capacity_bytes <= 0:
+            raise DataWarehouseError("capacity must be positive")
+        self.device_id = device_id
+        self.capacity_bytes = int(capacity_bytes)
+        self.use_level_db = bool(use_level_db)
+        self.stats = PCIeStats()
+        self.usage = 0
+        self.peak_usage = 0
+        # per-patch device variables: (name, patch) -> (array, nbytes)
+        self._patch_vars: Dict[Tuple[str, int], Tuple[np.ndarray, int]] = {}
+        # shared level database: (name, level) -> (array, nbytes)
+        self._level_db: Dict[Tuple[str, int], Tuple[np.ndarray, int]] = {}
+        # legacy mode: per-task level copies: (name, level, task) -> nbytes
+        self._task_level_copies: Dict[Tuple[str, int, int], Tuple[np.ndarray, int]] = {}
+
+    # ------------------------------------------------------------------
+    # capacity
+    # ------------------------------------------------------------------
+    def _reserve(self, nbytes: int, what: str) -> None:
+        if self.usage + nbytes > self.capacity_bytes:
+            raise DataWarehouseError(
+                f"GPU {self.device_id} out of memory uploading {what}: "
+                f"{self.usage + nbytes} > capacity {self.capacity_bytes} bytes"
+            )
+        self.usage += nbytes
+        self.peak_usage = max(self.peak_usage, self.usage)
+
+    def _release_bytes(self, nbytes: int) -> None:
+        self.usage -= nbytes
+        if self.usage < 0:
+            raise DataWarehouseError("GPU DW byte accounting went negative")
+
+    @property
+    def free_bytes(self) -> int:
+        return self.capacity_bytes - self.usage
+
+    # ------------------------------------------------------------------
+    # per-patch variables (one copy per patch task, as on the CPU side)
+    # ------------------------------------------------------------------
+    def upload_patch_var(self, label: VarLabel, patch_id: int, var: CCVariable) -> np.ndarray:
+        key = (label.name, patch_id)
+        if key in self._patch_vars:
+            return self._patch_vars[key][0]  # already resident
+        nbytes = var.nbytes
+        self._reserve(nbytes, f"{label.name}@patch{patch_id}")
+        device = var.data  # host array doubles as device memory
+        self._patch_vars[key] = (device, nbytes)
+        self.stats.h2d_bytes += nbytes
+        self.stats.h2d_transfers += 1
+        return device
+
+    def get_patch_var(self, label: VarLabel, patch_id: int) -> np.ndarray:
+        try:
+            return self._patch_vars[(label.name, patch_id)][0]
+        except KeyError:
+            raise DataWarehouseError(
+                f"{label.name} not resident on GPU {self.device_id} for patch {patch_id}"
+            ) from None
+
+    def download_patch_var(self, label: VarLabel, patch_id: int) -> np.ndarray:
+        data = self.get_patch_var(label, patch_id)
+        self.stats.d2h_bytes += data.nbytes
+        self.stats.d2h_transfers += 1
+        return data
+
+    def release_patch_var(self, label: VarLabel, patch_id: int) -> None:
+        key = (label.name, patch_id)
+        entry = self._patch_vars.pop(key, None)
+        if entry is None:
+            raise DataWarehouseError(f"release of non-resident {key}")
+        self._release_bytes(entry[1])
+
+    # ------------------------------------------------------------------
+    # level variables
+    # ------------------------------------------------------------------
+    def upload_level_var(
+        self,
+        label: VarLabel,
+        level_index: int,
+        data: np.ndarray,
+        task_id: Optional[int] = None,
+    ) -> np.ndarray:
+        """Make a per-level variable device-resident for a task.
+
+        With the level DB the first caller pays the transfer and every
+        later task shares the single copy; in legacy mode every task
+        uploads (and holds) its own copy — ``task_id`` is required so
+        the copies can be released per task.
+        """
+        if label.kind is not VarKind.PER_LEVEL:
+            raise DataWarehouseError(f"upload_level_var needs a PER_LEVEL label")
+        if self.use_level_db:
+            key = (label.name, level_index)
+            if key in self._level_db:
+                return self._level_db[key][0]
+            nbytes = data.nbytes
+            self._reserve(nbytes, f"level:{label.name}@L{level_index}")
+            self._level_db[key] = (data, nbytes)
+            self.stats.h2d_bytes += nbytes
+            self.stats.h2d_transfers += 1
+            return data
+        if task_id is None:
+            raise DataWarehouseError("legacy mode needs task_id for level uploads")
+        tkey = (label.name, level_index, task_id)
+        if tkey in self._task_level_copies:
+            return self._task_level_copies[tkey][0]
+        nbytes = data.nbytes
+        self._reserve(nbytes, f"level-copy:{label.name}@L{level_index}/task{task_id}")
+        self._task_level_copies[tkey] = (data, nbytes)
+        self.stats.h2d_bytes += nbytes
+        self.stats.h2d_transfers += 1
+        return data
+
+    def get_level_var(
+        self, label: VarLabel, level_index: int, task_id: Optional[int] = None
+    ) -> np.ndarray:
+        if self.use_level_db:
+            try:
+                return self._level_db[(label.name, level_index)][0]
+            except KeyError:
+                raise DataWarehouseError(
+                    f"level var {label.name}@L{level_index} not in level DB"
+                ) from None
+        try:
+            return self._task_level_copies[(label.name, level_index, task_id)][0]
+        except KeyError:
+            raise DataWarehouseError(
+                f"level var {label.name}@L{level_index} not resident for task {task_id}"
+            ) from None
+
+    def release_task(self, task_id: int) -> None:
+        """Free a finishing task's private level copies (legacy mode)."""
+        dead = [k for k in self._task_level_copies if k[2] == task_id]
+        for k in dead:
+            self._release_bytes(self._task_level_copies.pop(k)[1])
+
+    def clear_level_db(self) -> None:
+        """Drop shared level data (end of radiation timestep)."""
+        for _, nbytes in self._level_db.values():
+            self._release_bytes(nbytes)
+        self._level_db.clear()
+
+    # ------------------------------------------------------------------
+    # diagnostics
+    # ------------------------------------------------------------------
+    def resident_summary(self) -> Dict[str, int]:
+        return {
+            "patch_vars": len(self._patch_vars),
+            "level_db_entries": len(self._level_db),
+            "task_level_copies": len(self._task_level_copies),
+            "usage": self.usage,
+            "peak_usage": self.peak_usage,
+        }

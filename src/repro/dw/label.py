@@ -1,0 +1,46 @@
+"""Variable labels — typed names for simulation state.
+
+A :class:`VarLabel` identifies a variable in the DataWarehouse the way
+Uintah's ``VarLabel`` does: a unique name plus a storage kind that
+determines how the runtime distributes and communicates it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+
+class VarKind(Enum):
+    #: cell-centred, one array per patch, halo-exchanged
+    CELL_CENTERED = "cc"
+    #: one array per mesh level, shared by every task on the level
+    #: (the radiative properties of the coarse radiation mesh)
+    PER_LEVEL = "level"
+    #: a scalar combined across patches/ranks with a reduction op
+    REDUCTION = "reduction"
+
+
+@dataclass(frozen=True)
+class VarLabel:
+    name: str
+    kind: VarKind = VarKind.CELL_CENTERED
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("label name must be non-empty")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"VarLabel({self.name}, {self.kind.value})"
+
+
+def cc(name: str) -> VarLabel:
+    return VarLabel(name, VarKind.CELL_CENTERED)
+
+
+def per_level(name: str) -> VarLabel:
+    return VarLabel(name, VarKind.PER_LEVEL)
+
+
+def reduction(name: str) -> VarLabel:
+    return VarLabel(name, VarKind.REDUCTION)

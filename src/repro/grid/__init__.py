@@ -1,0 +1,54 @@
+"""Structured AMR grid substrate.
+
+Boxes, patches, levels, grid hierarchies, regular decomposition,
+inter-level transfer operators, space-filling curves and the SFC load
+balancer — the geometric machinery beneath the RMCRT solvers and the
+task runtime.
+"""
+
+from repro.grid.box import Box, ivec, union_volume
+from repro.grid.patch import Patch
+from repro.grid.level import Level
+from repro.grid.grid import Grid, build_two_level_grid, build_single_level_grid
+from repro.grid.decomposition import decompose_level, tile_box, patch_count
+from repro.grid.celltype import CellType, domain_cell_types, mark_intrusion
+from repro.grid.refinement import (
+    coarsen_average,
+    coarsen_max,
+    refine_inject,
+    project_properties,
+)
+from repro.grid.sfc import morton_encode, morton_decode, hilbert_encode, hilbert_decode, curve_order
+from repro.grid.loadbalance import LoadBalancer, round_robin_assign
+from repro.grid.regrid import TiledRegridder, flagged_tiles, flags_from_field
+
+__all__ = [
+    "TiledRegridder",
+    "flagged_tiles",
+    "flags_from_field",
+    "Box",
+    "ivec",
+    "union_volume",
+    "Patch",
+    "Level",
+    "Grid",
+    "build_two_level_grid",
+    "build_single_level_grid",
+    "decompose_level",
+    "tile_box",
+    "patch_count",
+    "CellType",
+    "domain_cell_types",
+    "mark_intrusion",
+    "coarsen_average",
+    "coarsen_max",
+    "refine_inject",
+    "project_properties",
+    "morton_encode",
+    "morton_decode",
+    "hilbert_encode",
+    "hilbert_decode",
+    "curve_order",
+    "LoadBalancer",
+    "round_robin_assign",
+]

@@ -1,0 +1,262 @@
+"""Integer index boxes — the region algebra under all AMR machinery.
+
+A :class:`Box` is a half-open axis-aligned region of cell indices
+``[lo, hi)`` in 3-D index space, mirroring Uintah's
+``Patch::getCellLowIndex/getCellHighIndex`` convention. All patch,
+ghost-region, and coarse/fine arithmetic in :mod:`repro.grid` reduces
+to operations on boxes.
+
+Boxes are immutable and hashable so they can key dependency maps in the
+task graph.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Sequence, Tuple
+
+from repro.util.errors import GridError
+
+IntVec = Tuple[int, int, int]
+
+
+def ivec(value: Sequence[int]) -> IntVec:
+    """Coerce a length-3 sequence to an integer tuple."""
+    t = tuple(int(v) for v in value)
+    if len(t) != 3:
+        raise GridError(f"expected a length-3 index vector, got {value!r}")
+    return t  # type: ignore[return-value]
+
+
+def ivec_add(a: IntVec, b: IntVec) -> IntVec:
+    return (a[0] + b[0], a[1] + b[1], a[2] + b[2])
+
+
+def ivec_sub(a: IntVec, b: IntVec) -> IntVec:
+    return (a[0] - b[0], a[1] - b[1], a[2] - b[2])
+
+
+def ivec_mul(a: IntVec, b: IntVec) -> IntVec:
+    return (a[0] * b[0], a[1] * b[1], a[2] * b[2])
+
+
+def ivec_min(a: IntVec, b: IntVec) -> IntVec:
+    return (min(a[0], b[0]), min(a[1], b[1]), min(a[2], b[2]))
+
+
+def ivec_max(a: IntVec, b: IntVec) -> IntVec:
+    return (max(a[0], b[0]), max(a[1], b[1]), max(a[2], b[2]))
+
+
+def floor_div(a: IntVec, b: IntVec) -> IntVec:
+    """Component-wise floor division (correct for negative indices)."""
+    return (a[0] // b[0], a[1] // b[1], a[2] // b[2])
+
+
+def ceil_div(a: IntVec, b: IntVec) -> IntVec:
+    """Component-wise ceiling division (correct for negative indices)."""
+    return (-((-a[0]) // b[0]), -((-a[1]) // b[1]), -((-a[2]) // b[2]))
+
+
+@dataclass(frozen=True)
+class Box:
+    """Half-open integer region ``[lo, hi)``.
+
+    ``hi[d] <= lo[d]`` in any dimension denotes the empty box; all empty
+    boxes compare unequal unless their bounds match, so use
+    :attr:`empty` rather than equality to test emptiness.
+    """
+
+    lo: IntVec
+    hi: IntVec
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "lo", ivec(self.lo))
+        object.__setattr__(self, "hi", ivec(self.hi))
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @staticmethod
+    def from_extent(lo: Sequence[int], extent: Sequence[int]) -> "Box":
+        lo_v = ivec(lo)
+        return Box(lo_v, ivec_add(lo_v, ivec(extent)))
+
+    @staticmethod
+    def cube(n: int, lo: Sequence[int] = (0, 0, 0)) -> "Box":
+        """An ``n**3`` box anchored at ``lo``."""
+        return Box.from_extent(lo, (n, n, n))
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    @property
+    def extent(self) -> IntVec:
+        return (
+            max(0, self.hi[0] - self.lo[0]),
+            max(0, self.hi[1] - self.lo[1]),
+            max(0, self.hi[2] - self.lo[2]),
+        )
+
+    @property
+    def shape(self) -> IntVec:
+        """Alias for :attr:`extent`, matching numpy vocabulary."""
+        return self.extent
+
+    @property
+    def volume(self) -> int:
+        e = self.extent
+        return e[0] * e[1] * e[2]
+
+    @property
+    def empty(self) -> bool:
+        return self.volume == 0
+
+    def contains_point(self, p: Sequence[int]) -> bool:
+        q = ivec(p)
+        return all(self.lo[d] <= q[d] < self.hi[d] for d in range(3))
+
+    def contains_box(self, other: "Box") -> bool:
+        if other.empty:
+            return True
+        return all(
+            self.lo[d] <= other.lo[d] and other.hi[d] <= self.hi[d]
+            for d in range(3)
+        )
+
+    def intersects(self, other: "Box") -> bool:
+        return not self.intersect(other).empty
+
+    # ------------------------------------------------------------------
+    # region algebra
+    # ------------------------------------------------------------------
+    def intersect(self, other: "Box") -> "Box":
+        return Box(ivec_max(self.lo, other.lo), ivec_min(self.hi, other.hi))
+
+    def bounding_union(self, other: "Box") -> "Box":
+        if self.empty:
+            return other
+        if other.empty:
+            return self
+        return Box(ivec_min(self.lo, other.lo), ivec_max(self.hi, other.hi))
+
+    def subtract(self, other: "Box") -> List["Box"]:
+        """``self \\ other`` as a list of disjoint boxes.
+
+        Uses the standard axis-sweep split: at most 6 pieces, all
+        disjoint, whose union is exactly the difference.
+        """
+        inter = self.intersect(other)
+        if inter.empty:
+            return [] if self.empty else [self]
+        pieces: List[Box] = []
+        lo, hi = list(self.lo), list(self.hi)
+        for d in range(3):
+            if lo[d] < inter.lo[d]:
+                piece_hi = hi.copy()
+                piece_hi[d] = inter.lo[d]
+                pieces.append(Box(tuple(lo), tuple(piece_hi)))
+                lo = lo.copy()
+                lo[d] = inter.lo[d]
+            if inter.hi[d] < hi[d]:
+                piece_lo = lo.copy()
+                piece_lo[d] = inter.hi[d]
+                pieces.append(Box(tuple(piece_lo), tuple(hi)))
+                hi = hi.copy()
+                hi[d] = inter.hi[d]
+        return [p for p in pieces if not p.empty]
+
+    def grow(self, n) -> "Box":
+        """Expand (or shrink, for negative ``n``) by ``n`` cells per side."""
+        g = ivec(n) if not isinstance(n, int) else (n, n, n)
+        return Box(ivec_sub(self.lo, g), ivec_add(self.hi, g))
+
+    def shift(self, offset: Sequence[int]) -> "Box":
+        o = ivec(offset)
+        return Box(ivec_add(self.lo, o), ivec_add(self.hi, o))
+
+    def coarsen(self, ratio) -> "Box":
+        """Map to the coarser index space covering the same physical
+        region: ``lo`` floors, ``hi`` ceils — the coarse box always
+        covers the whole fine box.
+        """
+        r = ivec(ratio) if not isinstance(ratio, int) else (ratio, ratio, ratio)
+        if any(c <= 0 for c in r):
+            raise GridError(f"refinement ratio must be positive, got {r}")
+        if self.empty:
+            return Box(floor_div(self.lo, r), floor_div(self.lo, r))
+        return Box(floor_div(self.lo, r), ceil_div(self.hi, r))
+
+    def refine(self, ratio) -> "Box":
+        """Map to the finer index space covering the same physical region."""
+        r = ivec(ratio) if not isinstance(ratio, int) else (ratio, ratio, ratio)
+        if any(c <= 0 for c in r):
+            raise GridError(f"refinement ratio must be positive, got {r}")
+        return Box(ivec_mul(self.lo, r), ivec_mul(self.hi, r))
+
+    # ------------------------------------------------------------------
+    # numpy interop
+    # ------------------------------------------------------------------
+    def slices(self, origin: Sequence[int] = (0, 0, 0)) -> Tuple[slice, slice, slice]:
+        """Slices addressing this box inside an array anchored at ``origin``.
+
+        The caller guarantees the array actually covers the box;
+        :meth:`contains_box` on the array's box is the check.
+        """
+        o = ivec(origin)
+        return (
+            slice(self.lo[0] - o[0], self.hi[0] - o[0]),
+            slice(self.lo[1] - o[1], self.hi[1] - o[1]),
+            slice(self.lo[2] - o[2], self.hi[2] - o[2]),
+        )
+
+    def cells(self) -> Iterator[IntVec]:
+        """Iterate all cell indices (x fastest-varying last, C order)."""
+        for i in range(self.lo[0], self.hi[0]):
+            for j in range(self.lo[1], self.hi[1]):
+                for k in range(self.lo[2], self.hi[2]):
+                    yield (i, j, k)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Box({self.lo} -> {self.hi})"
+
+
+def union_volume(boxes: Sequence[Box]) -> int:
+    """Volume of the union of (possibly overlapping) boxes.
+
+    Sweep over x-slabs of distinct lo/hi coordinates; inside each slab
+    the problem reduces to 2-D, solved the same way. Adequate for the
+    modest box counts in ghost-region bookkeeping.
+    """
+    boxes = [b for b in boxes if not b.empty]
+    if not boxes:
+        return 0
+
+    def _axis_union(intervals: List[Tuple[int, int]]) -> int:
+        intervals.sort()
+        total = 0
+        cur_lo, cur_hi = intervals[0]
+        for lo, hi in intervals[1:]:
+            if lo > cur_hi:
+                total += cur_hi - cur_lo
+                cur_lo, cur_hi = lo, hi
+            else:
+                cur_hi = max(cur_hi, hi)
+        return total + (cur_hi - cur_lo)
+
+    xs = sorted({b.lo[0] for b in boxes} | {b.hi[0] for b in boxes})
+    total = 0
+    for x0, x1 in zip(xs[:-1], xs[1:]):
+        slab = [b for b in boxes if b.lo[0] <= x0 and x1 <= b.hi[0]]
+        if not slab:
+            continue
+        ys = sorted({b.lo[1] for b in slab} | {b.hi[1] for b in slab})
+        area = 0
+        for y0, y1 in zip(ys[:-1], ys[1:]):
+            col = [b for b in slab if b.lo[1] <= y0 and y1 <= b.hi[1]]
+            if not col:
+                continue
+            zlen = _axis_union([(b.lo[2], b.hi[2]) for b in col])
+            area += (y1 - y0) * zlen
+        total += (x1 - x0) * area
+    return total

@@ -1,0 +1,50 @@
+"""Cell classification — RMCRT's ``cellType`` field.
+
+Every computational cell is either interior *flow* (participating
+medium), a domain-boundary *wall* (emitting/absorbing surface), or an
+*intrusion* (solid geometry inside the domain, e.g. boiler tubes).
+Rays march through flow cells and terminate (or reflect) at wall and
+intrusion cells.
+"""
+
+from __future__ import annotations
+
+from enum import IntEnum
+
+import numpy as np
+
+from repro.grid.box import Box
+
+
+class CellType(IntEnum):
+    FLOW = 0
+    WALL = 1
+    INTRUSION = 2
+
+
+def domain_cell_types(interior: Box, with_boundary_layer: bool = True) -> np.ndarray:
+    """Cell-type array for ``interior`` plus a one-cell wall layer.
+
+    Returns an array shaped ``interior.grow(1).extent`` when
+    ``with_boundary_layer`` (the usual RMCRT layout: the walls live in
+    the ghost ring so a marching ray indexes them directly), else
+    shaped ``interior.extent`` and all-FLOW.
+    """
+    if not with_boundary_layer:
+        return np.full(interior.extent, CellType.FLOW, dtype=np.int8)
+    outer = interior.grow(1)
+    ct = np.full(outer.extent, CellType.WALL, dtype=np.int8)
+    ct[interior.slices(origin=outer.lo)] = CellType.FLOW
+    return ct
+
+
+def mark_intrusion(cell_types: np.ndarray, region: Box, origin, domain: Box) -> None:
+    """Mark ``region`` (clipped to ``domain``) as INTRUSION in-place.
+
+    ``origin`` is the index of ``cell_types[0,0,0]`` so callers can pass
+    arrays with or without the wall ring.
+    """
+    clipped = region.intersect(domain)
+    if clipped.empty:
+        return
+    cell_types[clipped.slices(origin=origin)] = CellType.INTRUSION

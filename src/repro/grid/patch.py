@@ -1,0 +1,54 @@
+"""Mesh patches — the unit of work distribution.
+
+A :class:`Patch` is a rectangular sub-box of one level's index space.
+Uintah assigns patches to ranks, schedules one task per (task-type,
+patch), and communicates ghost regions between neighbouring patches;
+this class carries exactly the geometry those steps need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.grid.box import Box
+
+
+@dataclass(frozen=True)
+class Patch:
+    """An immutable patch: identity plus its interior cell box."""
+
+    patch_id: int
+    level_index: int
+    box: Box
+
+    @property
+    def lo(self):
+        return self.box.lo
+
+    @property
+    def hi(self):
+        return self.box.hi
+
+    @property
+    def num_cells(self) -> int:
+        return self.box.volume
+
+    def ghost_box(self, num_ghost: int) -> Box:
+        """Interior plus ``num_ghost`` halo cells per side."""
+        return self.box.grow(num_ghost)
+
+    def ghost_region(self, num_ghost: int):
+        """Halo-only region: ``ghost_box \\ interior`` as disjoint boxes."""
+        return self.ghost_box(num_ghost).subtract(self.box)
+
+    def centroid_index(self) -> Tuple[float, float, float]:
+        """Fractional index-space centre, used for SFC ordering."""
+        return (
+            0.5 * (self.box.lo[0] + self.box.hi[0]),
+            0.5 * (self.box.lo[1] + self.box.hi[1]),
+            0.5 * (self.box.lo[2] + self.box.hi[2]),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Patch(id={self.patch_id}, L{self.level_index}, {self.box})"

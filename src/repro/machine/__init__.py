@@ -1,0 +1,23 @@
+"""Calibrated models of the evaluation platform: Titan XK7 node specs,
+the Gemini network, and the K20X GPU."""
+
+from repro.machine.titan import TITAN, TitanSpec
+from repro.machine.network import GEMINI, NetworkModel
+from repro.machine.gpu import K20X, GPUModel
+from repro.machine.cpu import OPTERON_6274, CPUNodeModel
+from repro.machine.summit import SUMMIT, SUMMIT_NETWORK, V100, summit_simulator
+
+__all__ = [
+    "SUMMIT",
+    "SUMMIT_NETWORK",
+    "V100",
+    "summit_simulator",
+    "TITAN",
+    "TitanSpec",
+    "GEMINI",
+    "NetworkModel",
+    "K20X",
+    "GPUModel",
+    "OPTERON_6274",
+    "CPUNodeModel",
+]

@@ -1,0 +1,46 @@
+"""CPU node timing model — the "CPU vs GPU" comparison axis.
+
+The paper defers a CPU/GPU performance study to future work but its
+predecessor [5] ran the same multi-level RMCRT on Titan's 16-core
+Opteron nodes. This model prices that configuration: one ray-marching
+task per core through Uintah's threaded scheduler, no PCIe stage, a
+per-core scalar DDA rate (dependent loads, ~100 cycles/step on a
+2.2 GHz Opteron), and a threading efficiency for shared-memory-bandwidth
+contention across 16 cores.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.machine.titan import TITAN, TitanSpec
+from repro.util.errors import ReproError
+
+
+@dataclass
+class CPUNodeModel:
+    spec: TitanSpec = TITAN
+    #: scalar DDA cell-steps per second per core
+    steps_per_second_per_core: float = 2.2e7
+    #: scaling efficiency across the node's cores (memory contention)
+    parallel_efficiency: float = 0.85
+
+    def __post_init__(self) -> None:
+        if self.steps_per_second_per_core <= 0:
+            raise ReproError("per-core rate must be positive")
+        if not 0 < self.parallel_efficiency <= 1:
+            raise ReproError("parallel_efficiency must be in (0, 1]")
+
+    @property
+    def cores(self) -> int:
+        return self.spec.cores_per_node
+
+    def task_time(self, cells: int, rays_per_cell: int, steps_per_ray: float) -> float:
+        """One patch task on one core (Uintah: task == core)."""
+        if cells <= 0 or rays_per_cell <= 0 or steps_per_ray <= 0:
+            raise ReproError("task_time needs positive work")
+        work = cells * rays_per_cell * steps_per_ray
+        return work / (self.steps_per_second_per_core * self.parallel_efficiency)
+
+
+OPTERON_6274 = CPUNodeModel()

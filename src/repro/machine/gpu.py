@@ -1,0 +1,69 @@
+"""K20X kernel and PCIe timing model.
+
+The patch-size study of Section V hinges on one mechanism: Uintah's
+GPU RMCRT launches one thread per fine-mesh cell, so a patch's cell
+count is the kernel's resident thread count. 16^3 = 4,096 threads
+cannot fill a K20X (14 SMX x 2,048 threads = 28,672 resident threads),
+32^3 = 32,768 just saturates it, and 64^3 = 262,144 runs several full
+waves — which is exactly why "using larger patches provides more work
+per GPU and yields a more significant speedup".
+
+``dda_steps_per_second`` is the calibrated full-occupancy traversal
+rate. RMCRT's inner loop is memory-latency bound (incoherent gathers of
+abskg/sigmaT4 per cell step); the default is chosen so the LARGE
+benchmark lands at O(seconds)/timestep at a few thousand GPUs, matching
+the scale of the paper's figures. Absolute values are not the
+reproduction target — curve shapes and efficiency ratios are.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.machine.titan import TITAN, TitanSpec
+from repro.util.errors import ReproError
+
+
+@dataclass
+class GPUModel:
+    spec: TitanSpec = TITAN
+    #: full-occupancy DDA cell-steps per second. Each step performs
+    #: several dependent, uncoalesced gathers (abskg, sigma_t4,
+    #: cell_type at an arbitrary cell), so the achievable rate is a
+    #: small fraction of the 250 GB/s streaming bandwidth:
+    #: ~250e9 / (3 gathers x 128-byte transactions) ~ 6e8 steps/s.
+    dda_steps_per_second: float = 6e8
+    #: occupancy floor: even one warp makes some progress
+    min_efficiency: float = 0.02
+
+    def occupancy_efficiency(self, threads: int) -> float:
+        """Fraction of peak traversal rate at ``threads`` resident threads.
+
+        Linear ramp to full occupancy — the usual shape for a
+        latency-bound kernel, where more resident warps hide more
+        memory latency.
+        """
+        if threads <= 0:
+            raise ReproError("threads must be positive")
+        full = self.spec.full_occupancy_threads
+        return max(self.min_efficiency, min(1.0, threads / full))
+
+    def kernel_time(self, cells: int, rays_per_cell: int, steps_per_ray: float) -> float:
+        """One RMCRT patch kernel: one thread per cell, looping rays."""
+        if cells <= 0 or rays_per_cell <= 0 or steps_per_ray <= 0:
+            raise ReproError("kernel_time needs positive work")
+        work = cells * rays_per_cell * steps_per_ray
+        eff = self.occupancy_efficiency(cells)
+        return self.spec.gpu_kernel_launch_s + work / (self.dda_steps_per_second * eff)
+
+    def h2d_time(self, nbytes: int) -> float:
+        return self.spec.pcie_latency_s + nbytes / self.spec.pcie_bandwidth
+
+    def d2h_time(self, nbytes: int) -> float:
+        return self.spec.pcie_latency_s + nbytes / self.spec.pcie_bandwidth
+
+    def fits_in_memory(self, nbytes: int) -> bool:
+        return nbytes <= self.spec.gpu_memory_bytes
+
+
+K20X = GPUModel()

@@ -1,0 +1,65 @@
+"""Gemini network cost model: alpha-beta point-to-point plus the
+collectives the RMCRT communication phase is built from."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.machine.titan import TITAN
+from repro.util.errors import ReproError
+
+
+@dataclass
+class NetworkModel:
+    """Alpha-beta model with a torus congestion knob.
+
+    ``congestion`` scales effective bandwidth down for traffic patterns
+    that cross the torus bisection (1.0 = pure injection-bound).
+    """
+
+    latency_s: float = TITAN.network_latency_s
+    bandwidth: float = TITAN.injection_bandwidth
+    congestion: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.latency_s < 0 or self.bandwidth <= 0 or not 0 < self.congestion <= 1:
+            raise ReproError("invalid network parameters")
+
+    @property
+    def effective_bandwidth(self) -> float:
+        return self.bandwidth * self.congestion
+
+    def ptp_time(self, nbytes: int) -> float:
+        """One point-to-point message."""
+        return self.latency_s + nbytes / self.effective_bandwidth
+
+    def allgather_time(self, total_bytes: int, num_ranks: int) -> float:
+        """Bandwidth-optimal ring allgather of a ``total_bytes`` result
+        over ``num_ranks`` (each rank contributes 1/R)."""
+        if num_ranks < 1:
+            raise ReproError("num_ranks must be >= 1")
+        if num_ranks == 1:
+            return 0.0
+        r = num_ranks
+        per_step = total_bytes / r
+        return (r - 1) * (self.latency_s + per_step / self.effective_bandwidth)
+
+    def bcast_time(self, nbytes: int, num_ranks: int) -> float:
+        """Binomial-tree broadcast."""
+        if num_ranks <= 1:
+            return 0.0
+        import math
+
+        steps = math.ceil(math.log2(num_ranks))
+        return steps * (self.latency_s + nbytes / self.effective_bandwidth)
+
+    def halo_exchange_time(self, num_neighbors: int, bytes_per_neighbor: int) -> float:
+        """Nearest-neighbour exchange, neighbours overlapped: one latency
+        per posted message, payload serialized through the injection port."""
+        return (
+            num_neighbors * self.latency_s
+            + num_neighbors * bytes_per_neighbor / self.effective_bandwidth
+        )
+
+
+GEMINI = NetworkModel()

@@ -1,0 +1,46 @@
+"""DOE Titan (Cray XK7) machine constants.
+
+From the paper's footnote: each node hosts a 16-core AMD Opteron 6274
+at 2.2 GHz, 32 GB DDR3, and one NVIDIA Tesla K20X with 6 GB GDDR5;
+the Gemini 3-D torus has 1.4 us latency and 20 GB/s peak injection
+bandwidth; 52 GB/s node memory bandwidth; 18,688 nodes total.
+K20X figures are the public datasheet values.
+"""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class TitanSpec:
+    # node
+    cores_per_node: int = 16
+    cpu_clock_hz: float = 2.2e9
+    host_memory_bytes: int = 32 * 1024 ** 3
+    node_memory_bandwidth: float = 52e9
+    gpus_per_node: int = 1
+    num_nodes: int = 18_688
+
+    # Gemini 3-D torus
+    network_latency_s: float = 1.4e-6
+    injection_bandwidth: float = 20e9
+
+    # PCIe gen-2 x16 effective
+    pcie_bandwidth: float = 6e9
+    pcie_latency_s: float = 10e-6
+
+    # Tesla K20X
+    gpu_memory_bytes: int = 6 * 1024 ** 3
+    gpu_peak_flops: float = 1.31e12
+    gpu_memory_bandwidth: float = 250e9
+    gpu_sm_count: int = 14
+    gpu_threads_per_sm: int = 2048
+    gpu_kernel_launch_s: float = 10e-6
+    gpu_copy_engines: int = 2
+
+    @property
+    def full_occupancy_threads(self) -> int:
+        """Resident threads needed to saturate the device."""
+        return self.gpu_sm_count * self.gpu_threads_per_sm
+
+
+TITAN = TitanSpec()

@@ -1,0 +1,33 @@
+"""Memory-management substrate (paper Section IV.B): heap models,
+the mmap arena, the lock-free small-object pool, allocation tracking,
+and the fragmentation workload replay."""
+
+from repro.memory.heap import SimulatedHeap, SizeClassHeap
+from repro.memory.arena import ArenaAllocator, PAGE_SIZE
+from repro.memory.pool import GlobalLockAllocator, SizeClassPool
+from repro.memory.tracker import AllocationTracker, TagSummary
+from repro.memory.workload import (
+    AllocatorStack,
+    CATEGORIES,
+    ReplayResult,
+    TraceEvent,
+    generate_trace,
+    replay_trace,
+)
+
+__all__ = [
+    "SimulatedHeap",
+    "SizeClassHeap",
+    "ArenaAllocator",
+    "PAGE_SIZE",
+    "GlobalLockAllocator",
+    "SizeClassPool",
+    "AllocationTracker",
+    "TagSummary",
+    "AllocatorStack",
+    "CATEGORIES",
+    "ReplayResult",
+    "TraceEvent",
+    "generate_trace",
+    "replay_trace",
+]

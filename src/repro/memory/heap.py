@@ -1,0 +1,246 @@
+"""A byte-accurate heap model.
+
+Section IV.B's failure mode is an *address-space* phenomenon:
+persistent small allocations sprinkled between transient large ones pin
+the break pointer up, so the heap footprint keeps growing even though
+live bytes stay flat — it "acts as though a significant memory leak
+still existed". To reproduce it we model the heap as an integer
+address space with a free list:
+
+* :class:`SimulatedHeap` — glibc-style first-fit (or best-fit) with
+  splitting, coalescing, and sbrk growth at the top.
+* :class:`SizeClassHeap` — a tcmalloc-style segregated allocator:
+  small sizes are rounded to classes and carved out of pages; a page is
+  only returned when every slot in it is free, so one persistent object
+  pins a whole page (why tcmalloc "reduced but did not eliminate" the
+  fragmentation).
+
+The interesting outputs are :attr:`footprint` (how much address space
+the allocator holds) versus :attr:`live_bytes` (what the application
+actually has allocated); their ratio is the fragmentation factor.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Dict, List, Optional, Tuple
+
+from repro.util.errors import AllocationError
+
+
+class SimulatedHeap:
+    """Free-list heap over integer addresses [0, heap_end)."""
+
+    def __init__(self, policy: str = "first_fit", alignment: int = 16) -> None:
+        if policy not in ("first_fit", "best_fit"):
+            raise AllocationError(f"unknown policy {policy!r}")
+        if alignment < 1:
+            raise AllocationError("alignment must be >= 1")
+        self.policy = policy
+        self.alignment = int(alignment)
+        self.heap_end = 0
+        #: free blocks as (addr, size), sorted by addr, non-adjacent
+        self._free: List[Tuple[int, int]] = []
+        #: allocated addr -> size
+        self._live: Dict[int, int] = {}
+        self.live_bytes = 0
+        self.peak_live_bytes = 0
+        self.malloc_calls = 0
+        self.free_calls = 0
+
+    # ------------------------------------------------------------------
+    def _round(self, size: int) -> int:
+        a = self.alignment
+        return ((size + a - 1) // a) * a
+
+    def malloc(self, size: int) -> int:
+        if size <= 0:
+            raise AllocationError(f"malloc of non-positive size {size}")
+        size = self._round(size)
+        self.malloc_calls += 1
+        idx = self._find_block(size)
+        if idx is not None:
+            addr, bsize = self._free[idx]
+            if bsize == size:
+                self._free.pop(idx)
+            else:
+                self._free[idx] = (addr + size, bsize - size)
+        else:
+            addr = self.heap_end
+            self.heap_end += size  # sbrk
+        self._live[addr] = size
+        self.live_bytes += size
+        self.peak_live_bytes = max(self.peak_live_bytes, self.live_bytes)
+        return addr
+
+    def _find_block(self, size: int) -> Optional[int]:
+        if self.policy == "first_fit":
+            for i, (_, bsize) in enumerate(self._free):
+                if bsize >= size:
+                    return i
+            return None
+        best, best_size = None, None
+        for i, (_, bsize) in enumerate(self._free):
+            if bsize >= size and (best_size is None or bsize < best_size):
+                best, best_size = i, bsize
+        return best
+
+    def free(self, addr: int) -> None:
+        size = self._live.pop(addr, None)
+        if size is None:
+            raise AllocationError(f"free of unallocated address {addr}")
+        self.free_calls += 1
+        self.live_bytes -= size
+        # insert sorted and coalesce with neighbours
+        i = bisect.bisect_left(self._free, (addr, 0))
+        lo = hi = None
+        if i > 0 and self._free[i - 1][0] + self._free[i - 1][1] == addr:
+            lo = i - 1
+        if i < len(self._free) and addr + size == self._free[i][0]:
+            hi = i
+        if lo is not None and hi is not None:
+            a, s = self._free[lo]
+            self._free[lo] = (a, s + size + self._free[hi][1])
+            self._free.pop(hi)
+        elif lo is not None:
+            a, s = self._free[lo]
+            self._free[lo] = (a, s + size)
+        elif hi is not None:
+            self._free[hi] = (addr, size + self._free[hi][1])
+        else:
+            self._free.insert(i, (addr, size))
+        # release a trailing free block back to the OS (brk shrink),
+        # as glibc does only when the top of the heap frees
+        if self._free and self._free[-1][0] + self._free[-1][1] == self.heap_end:
+            a, s = self._free.pop()
+            self.heap_end = a
+
+    # ------------------------------------------------------------------
+    @property
+    def footprint(self) -> int:
+        """Address space held from the OS."""
+        return self.heap_end
+
+    @property
+    def free_bytes(self) -> int:
+        return sum(s for _, s in self._free)
+
+    @property
+    def fragmentation(self) -> float:
+        """Held-but-unused fraction of the footprint (0 = none)."""
+        if self.heap_end == 0:
+            return 0.0
+        return (self.heap_end - self.live_bytes) / self.heap_end
+
+    def largest_free_block(self) -> int:
+        return max((s for _, s in self._free), default=0)
+
+    def check_invariants(self) -> None:
+        """Free list is sorted, disjoint, non-adjacent, inside the heap;
+        free + live cover exactly the footprint."""
+        prev_end = None
+        for addr, size in self._free:
+            if size <= 0 or addr < 0 or addr + size > self.heap_end:
+                raise AllocationError(f"corrupt free block ({addr}, {size})")
+            if prev_end is not None and addr < prev_end:
+                raise AllocationError("free list overlapping/unsorted")
+            if prev_end is not None and addr == prev_end:
+                raise AllocationError("free list has uncoalesced neighbours")
+            prev_end = addr + size
+        if self.free_bytes + self.live_bytes != self.heap_end:
+            raise AllocationError(
+                f"accounting mismatch: free {self.free_bytes} + live "
+                f"{self.live_bytes} != heap_end {self.heap_end}"
+            )
+
+
+class SizeClassHeap:
+    """tcmalloc-style: pages carved into power-of-two size classes.
+
+    Allocations above ``page_size // 2`` go to an internal first-fit
+    large-object heap (tcmalloc's page heap).
+    """
+
+    def __init__(self, page_size: int = 4096) -> None:
+        if page_size < 64:
+            raise AllocationError("page_size must be >= 64")
+        self.page_size = int(page_size)
+        self._large = SimulatedHeap(policy="first_fit")
+        # per class: list of pages; each page: (base_addr, bitmap of used slots)
+        self._pages: Dict[int, List[Tuple[int, List[bool]]]] = {}
+        self._addr_class: Dict[int, Tuple[int, int, int]] = {}  # addr -> (cls, page idx key, slot)
+        self._next_page_addr = 1 << 40  # small pages live far from the large heap
+        self.pages_mapped = 0
+        self.live_bytes = 0
+        self.peak_live_bytes = 0
+        self.malloc_calls = 0
+        self.free_calls = 0
+
+    def _size_class(self, size: int) -> int:
+        cls = 16
+        while cls < size:
+            cls <<= 1
+        return cls
+
+    def malloc(self, size: int) -> int:
+        if size <= 0:
+            raise AllocationError(f"malloc of non-positive size {size}")
+        self.malloc_calls += 1
+        if size > self.page_size // 2:
+            addr = self._large.malloc(size)
+            self.live_bytes += size
+            self.peak_live_bytes = max(self.peak_live_bytes, self.live_bytes)
+            self._addr_class[addr] = (-1, -1, size)
+            return addr
+        cls = self._size_class(size)
+        pages = self._pages.setdefault(cls, [])
+        for base, used in pages:
+            for slot, taken in enumerate(used):
+                if not taken:
+                    used[slot] = True
+                    addr = base + slot * cls
+                    self._addr_class[addr] = (cls, base, slot)
+                    self.live_bytes += cls
+                    self.peak_live_bytes = max(self.peak_live_bytes, self.live_bytes)
+                    return addr
+        # map a fresh page for this class
+        base = self._next_page_addr
+        self._next_page_addr += self.page_size
+        self.pages_mapped += 1
+        used = [False] * (self.page_size // cls)
+        used[0] = True
+        pages.append((base, used))
+        self._addr_class[base] = (cls, base, 0)
+        self.live_bytes += cls
+        self.peak_live_bytes = max(self.peak_live_bytes, self.live_bytes)
+        return base
+
+    def free(self, addr: int) -> None:
+        meta = self._addr_class.pop(addr, None)
+        if meta is None:
+            raise AllocationError(f"free of unallocated address {addr}")
+        self.free_calls += 1
+        cls, base, slot_or_size = meta
+        if cls == -1:
+            self._large.free(addr)
+            self.live_bytes -= slot_or_size
+            return
+        pages = self._pages[cls]
+        for i, (b, used) in enumerate(pages):
+            if b == base:
+                used[slot_or_size] = False
+                self.live_bytes -= cls
+                if not any(used):
+                    pages.pop(i)  # whole page free: unmap
+                    self.pages_mapped -= 1
+                return
+        raise AllocationError("size-class metadata corrupt")
+
+    @property
+    def footprint(self) -> int:
+        return self.pages_mapped * self.page_size + self._large.footprint
+
+    @property
+    def fragmentation(self) -> float:
+        fp = self.footprint
+        return 0.0 if fp == 0 else (fp - self.live_bytes) / fp

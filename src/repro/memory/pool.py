@@ -1,0 +1,187 @@
+"""The lock-free small-object pool over the arena.
+
+Frequent small transient allocations (communication records, task
+metadata) were the throughput problem: many threads hitting a global
+heap lock (Section IV.B.1: "frequent small allocations from multiple
+threads caused a performance degradation due to contention of shared
+resources"). The fix layers per-size-class free lists, each guarded by
+its own try-lock (the Python stand-in for a CAS loop on the list
+head), on top of arena chunks — threads in different classes never
+touch the same lock, and threads in the same class fall through to a
+fresh chunk rather than blocking.
+
+:class:`GlobalLockAllocator` is the before-picture: one lock around a
+shared heap, used by the contention benchmark.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Optional
+
+from repro.memory.arena import ArenaAllocator
+from repro.memory.heap import SimulatedHeap
+from repro.util.errors import AllocationError
+
+
+class GlobalLockAllocator:
+    """One big lock around a shared heap — the contended baseline.
+
+    ``hold_time`` models the critical-section work (free-list walk,
+    coalescing) with a GIL-releasing sleep so Python threads really do
+    pile up on the lock; ``contended_acquires`` counts how often a
+    thread found the lock already held — the serialization the paper's
+    per-object flags eliminate.
+    """
+
+    def __init__(self, heap: Optional[SimulatedHeap] = None, hold_time: float = 0.0) -> None:
+        self.heap = heap if heap is not None else SimulatedHeap()
+        self._lock = threading.Lock()
+        self.hold_time = float(hold_time)
+        self.contended_acquires = 0
+
+    def _acquire(self) -> None:
+        if not self._lock.acquire(blocking=False):
+            self.contended_acquires += 1
+            self._lock.acquire()
+
+    def malloc(self, size: int) -> int:
+        self._acquire()
+        try:
+            if self.hold_time:
+                _hold(self.hold_time)
+            return self.heap.malloc(size)
+        finally:
+            self._lock.release()
+
+    def free(self, addr: int) -> None:
+        self._acquire()
+        try:
+            if self.hold_time:
+                _hold(self.hold_time)
+            self.heap.free(addr)
+        finally:
+            self._lock.release()
+
+    @property
+    def footprint(self) -> int:
+        return self.heap.footprint
+
+
+def _hold(duration: float) -> None:
+    """Critical-section work stand-in that RELEASES the GIL, so lock
+    contention between Python threads is real rather than masked."""
+    import time
+
+    time.sleep(duration)
+
+
+class _ClassList:
+    __slots__ = ("lock", "free_addrs")
+
+    def __init__(self) -> None:
+        self.lock = threading.Lock()
+        self.free_addrs: List[int] = []
+
+
+class SizeClassPool:
+    """Per-class free lists on arena chunks; O(1) allocate/free.
+
+    Chunks of ``chunk_slots`` objects are carved from the arena per
+    class; freed objects push onto their class's list. Chunks are never
+    unmapped while the pool lives (slab semantics) — steady-state
+    footprint is bounded by the high-water mark per class, which for
+    transient objects is small and constant, not growing.
+    """
+
+    def __init__(
+        self,
+        arena: Optional[ArenaAllocator] = None,
+        max_size: int = 2048,
+        chunk_slots: int = 64,
+        hold_time: float = 0.0,
+    ) -> None:
+        if max_size < 16:
+            raise AllocationError("max_size must be >= 16")
+        self.arena = arena if arena is not None else ArenaAllocator()
+        self.max_size = int(max_size)
+        self.chunk_slots = int(chunk_slots)
+        self.hold_time = float(hold_time)
+        self._classes: Dict[int, _ClassList] = {}
+        self._classes_lock = threading.Lock()
+        self._addr_class: Dict[int, int] = {}
+        self._meta_lock = threading.Lock()
+        self.live_objects = 0
+        self.chunk_maps = 0
+        self.contended_acquires = 0
+
+    def _size_class(self, size: int) -> int:
+        if size > self.max_size:
+            raise AllocationError(
+                f"size {size} exceeds pool max {self.max_size}; route large "
+                f"allocations to the arena directly"
+            )
+        cls = 16
+        while cls < size:
+            cls <<= 1
+        return cls
+
+    def _class_list(self, cls: int) -> _ClassList:
+        lst = self._classes.get(cls)
+        if lst is None:
+            with self._classes_lock:
+                lst = self._classes.setdefault(cls, _ClassList())
+        return lst
+
+    def malloc(self, size: int) -> int:
+        cls = self._size_class(size)
+        lst = self._class_list(cls)
+        # fast path: try-lock pop (a CAS on the list head in C++)
+        if lst.lock.acquire(blocking=False):
+            try:
+                if self.hold_time:
+                    _hold(self.hold_time)
+                if lst.free_addrs:
+                    addr = lst.free_addrs.pop()
+                    with self._meta_lock:
+                        self.live_objects += 1
+                    return addr
+            finally:
+                lst.lock.release()
+        # slow path: carve a fresh chunk (no blocking on the class lock)
+        base = self.arena.malloc(cls * self.chunk_slots)
+        with self._meta_lock:
+            self.chunk_maps += 1
+            self.live_objects += 1
+        extras = [base + i * cls for i in range(1, self.chunk_slots)]
+        with lst.lock:
+            lst.free_addrs.extend(extras)
+        with self._meta_lock:
+            self._addr_class[base] = cls
+            for a in extras:
+                self._addr_class[a] = cls
+        return base
+
+    def free(self, addr: int) -> None:
+        with self._meta_lock:
+            cls = self._addr_class.get(addr)
+        if cls is None:
+            raise AllocationError(f"pool free of unknown address {addr}")
+        lst = self._class_list(cls)
+        if not lst.lock.acquire(blocking=False):
+            self.contended_acquires += 1
+            lst.lock.acquire()
+        try:
+            if self.hold_time:
+                _hold(self.hold_time)
+            if addr in lst.free_addrs:
+                raise AllocationError(f"double free of pool address {addr}")
+            lst.free_addrs.append(addr)
+        finally:
+            lst.lock.release()
+        with self._meta_lock:
+            self.live_objects -= 1
+
+    @property
+    def footprint(self) -> int:
+        return self.arena.mapped_bytes

@@ -1,0 +1,82 @@
+"""Allocation tracking.
+
+The paper's future work ("extend the use of our custom memory
+allocators and trackers ... to identify allocation patterns that do not
+scale") — implemented here: every allocation is recorded with a tag
+and lifetime, and two runs' summaries can be diffed to find the tags
+whose footprint grows with scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.util.errors import AllocationError
+
+
+@dataclass
+class TagSummary:
+    count: int = 0
+    bytes_total: int = 0
+    bytes_peak_live: int = 0
+    _live: int = 0
+
+    def on_alloc(self, size: int) -> None:
+        self.count += 1
+        self.bytes_total += size
+        self._live += size
+        self.bytes_peak_live = max(self.bytes_peak_live, self._live)
+
+    def on_free(self, size: int) -> None:
+        self._live -= size
+
+
+class AllocationTracker:
+    """Tag-keyed accounting layered over any allocator-like object."""
+
+    def __init__(self) -> None:
+        self._tags: Dict[str, TagSummary] = {}
+        self._live: Dict[int, tuple] = {}  # addr -> (tag, size)
+
+    def record_alloc(self, tag: str, addr: int, size: int) -> None:
+        if addr in self._live:
+            raise AllocationError(f"tracker saw address {addr} allocated twice")
+        self._live[addr] = (tag, size)
+        self._tags.setdefault(tag, TagSummary()).on_alloc(size)
+
+    def record_free(self, addr: int) -> None:
+        entry = self._live.pop(addr, None)
+        if entry is None:
+            raise AllocationError(f"tracker saw free of untracked address {addr}")
+        tag, size = entry
+        self._tags[tag].on_free(size)
+
+    def summary(self) -> Dict[str, TagSummary]:
+        return dict(self._tags)
+
+    @property
+    def live_allocations(self) -> int:
+        return len(self._live)
+
+    def leaked_by_tag(self) -> Dict[str, int]:
+        """Live bytes per tag — nonzero at shutdown means a leak."""
+        out: Dict[str, int] = {}
+        for _, (tag, size) in self._live.items():
+            out[tag] = out.get(tag, 0) + size
+        return out
+
+    @staticmethod
+    def compare(small_run: "AllocationTracker", big_run: "AllocationTracker",
+                scale_factor: float) -> List[str]:
+        """Tags whose peak live bytes grew faster than ``scale_factor``
+        between two runs — allocation patterns that do not scale."""
+        flagged = []
+        for tag, big in big_run.summary().items():
+            small = small_run.summary().get(tag)
+            if small is None or small.bytes_peak_live == 0:
+                continue
+            growth = big.bytes_peak_live / small.bytes_peak_live
+            if growth > scale_factor * 1.05:
+                flagged.append(tag)
+        return sorted(flagged)

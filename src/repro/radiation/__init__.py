@@ -1,0 +1,56 @@
+"""Radiation physics: property fields, the Burns & Christon benchmark,
+angular quadrature, and the discrete-ordinates baseline solver."""
+
+from repro.radiation.constants import SIGMA_SB, T_UNIT_EMISSION
+from repro.radiation.properties import RadiativeProperties
+from repro.radiation.benchmark import (
+    BurnsChristonBenchmark,
+    burns_christon_abskg,
+    MEDIUM_PROBLEM,
+    LARGE_PROBLEM,
+)
+from repro.radiation.quadrature import Quadrature, sn_level_symmetric, product_quadrature
+from repro.radiation.dom import DiscreteOrdinates, dom_reference_divq
+from repro.radiation.analysis import (
+    ConvergenceStudy,
+    max_error,
+    monte_carlo_convergence,
+    relative_l2_error,
+    rms_error,
+    symmetry_deviation,
+)
+from repro.radiation.spectral import (
+    COMBUSTION_3_BAND,
+    GREY,
+    SpectralBand,
+    SpectralRMCRT,
+    band_properties,
+    validate_bands,
+)
+
+__all__ = [
+    "ConvergenceStudy",
+    "max_error",
+    "monte_carlo_convergence",
+    "relative_l2_error",
+    "rms_error",
+    "symmetry_deviation",
+    "COMBUSTION_3_BAND",
+    "GREY",
+    "SpectralBand",
+    "SpectralRMCRT",
+    "band_properties",
+    "validate_bands",
+    "SIGMA_SB",
+    "T_UNIT_EMISSION",
+    "RadiativeProperties",
+    "BurnsChristonBenchmark",
+    "burns_christon_abskg",
+    "MEDIUM_PROBLEM",
+    "LARGE_PROBLEM",
+    "Quadrature",
+    "sn_level_symmetric",
+    "product_quadrature",
+    "DiscreteOrdinates",
+    "dom_reference_divq",
+]

@@ -1,0 +1,137 @@
+"""The Burns & Christon benchmark (paper refs [30], [3]).
+
+The standard verification problem for participating-media radiation
+used throughout the paper's evaluation: a unit cube of hot medium with
+a spatially varying absorption coefficient
+
+    kappa(x, y, z) = C * (1 - 2|x - 1/2|) (1 - 2|y - 1/2|) (1 - 2|z - 1/2|) + K0
+
+(C = 0.9, K0 = 0.1 in Uintah's benchmark initialization: kappa peaks at
+1.0 in the centre and falls to 0.1 at the walls), uniform medium
+temperature normalized so sigma*T^4 = 1, and cold black walls. The
+quantity of interest is the divergence of the heat flux, del.q, whose
+centreline profile is the published comparison curve.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.grid.box import Box
+from repro.grid.grid import Grid, build_single_level_grid, build_two_level_grid
+from repro.grid.level import Level
+from repro.radiation.properties import RadiativeProperties
+from repro.util.errors import GridError
+
+
+def burns_christon_abskg(
+    x: np.ndarray, y: np.ndarray, z: np.ndarray, c: float = 0.9, k0: float = 0.1
+) -> np.ndarray:
+    """The benchmark absorption coefficient at points (broadcastable)."""
+    return (
+        c
+        * (1.0 - 2.0 * np.abs(x - 0.5))
+        * (1.0 - 2.0 * np.abs(y - 0.5))
+        * (1.0 - 2.0 * np.abs(z - 0.5))
+        + k0
+    )
+
+
+@dataclass
+class BurnsChristonBenchmark:
+    """Benchmark problem factory.
+
+    ``resolution`` is the fine-mesh cells per dimension. The physical
+    domain is the unit cube; the medium emissive power sigma*T^4 is 1
+    everywhere and the walls are cold (sigma*T^4 = 0) and black
+    (emissivity 1), so every computed intensity lies in [0, 1).
+    """
+
+    resolution: int = 41
+    c: float = 0.9
+    k0: float = 0.1
+
+    def abskg_field(self, level: Level, box: Optional[Box] = None) -> np.ndarray:
+        b = box if box is not None else level.domain_box
+        x, y, z = level.cell_centers(b)
+        return burns_christon_abskg(
+            x[:, None, None], y[None, :, None], z[None, None, :], self.c, self.k0
+        )
+
+    def properties_for_level(self, level: Level) -> RadiativeProperties:
+        """Analytic property bundle evaluated at a level's resolution."""
+        abskg = self.abskg_field(level)
+        sigma_t4 = np.ones(level.domain_box.extent)
+        return RadiativeProperties.from_fields(
+            level.domain_box,
+            abskg=abskg,
+            sigma_t4=sigma_t4,
+            wall_temperature=0.0,
+            wall_emissivity=1.0,
+        )
+
+    # ------------------------------------------------------------------
+    # grids
+    # ------------------------------------------------------------------
+    def single_level_grid(self, patch_size: Optional[int] = None) -> Grid:
+        return build_single_level_grid(self.resolution, patch_size=patch_size)
+
+    def two_level_grid(
+        self,
+        refinement_ratio: int = 4,
+        fine_patch_size: Optional[int] = None,
+        coarse_patch_size: Optional[int] = None,
+    ) -> Grid:
+        return build_two_level_grid(
+            self.resolution,
+            refinement_ratio=refinement_ratio,
+            fine_patch_size=fine_patch_size,
+            coarse_patch_size=coarse_patch_size,
+        )
+
+    # ------------------------------------------------------------------
+    # analysis helpers
+    # ------------------------------------------------------------------
+    def centerline(self, divq: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """(x, del.q) along the x axis through the cube centre.
+
+        For even resolutions the two central rows are averaged, matching
+        how the published profiles are sampled.
+        """
+        n = divq.shape[0]
+        if divq.shape != (n, n, n):
+            raise GridError(f"expected a cubic field, got {divq.shape}")
+        x = (np.arange(n) + 0.5) / n
+        if n % 2 == 1:
+            mid = n // 2
+            line = divq[:, mid, mid]
+        else:
+            m = n // 2
+            line = 0.25 * (
+                divq[:, m - 1, m - 1]
+                + divq[:, m - 1, m]
+                + divq[:, m, m - 1]
+                + divq[:, m, m]
+            )
+        return x, line
+
+    def expected_divq_bounds(self) -> Tuple[float, float]:
+        """Loose physical bounds on del.q for this problem.
+
+        del.q = 4*pi*kappa*(sigma_t4/pi - sumI/N) with sigma_t4 = 1,
+        kappa in [k0, k0+c], and incoming intensity in [0, 1): the
+        divergence is positive (net emission everywhere, cold walls)
+        and bounded by 4*kappa_max.
+        """
+        kappa_max = self.k0 + self.c
+        return 0.0, 4.0 * kappa_max
+
+
+MEDIUM_PROBLEM = dict(fine_cells=256, refinement_ratio=4, rays_per_cell=100)
+"""Figure 2's problem: 256^3 fine + 64^3 coarse = 17.04M cells."""
+
+LARGE_PROBLEM = dict(fine_cells=512, refinement_ratio=4, rays_per_cell=100)
+"""Figure 3's problem: 512^3 fine + 128^3 coarse = 136.31M cells."""

@@ -1,0 +1,9 @@
+"""Physical constants for radiative transfer."""
+
+#: Stefan-Boltzmann constant [W m^-2 K^-4]
+SIGMA_SB = 5.670374419e-8
+
+#: Temperature at which sigma*T^4 == 1 W/m^2 — the Burns & Christon
+#: benchmark medium temperature (the paper's benchmark normalizes the
+#: black-body emissive power to unity).
+T_UNIT_EMISSION = (1.0 / SIGMA_SB) ** 0.25  # ~64.804 K

@@ -1,0 +1,143 @@
+"""Discrete ordinates (S_N) solver — the baseline RMCRT replaces.
+
+The paper's ARCHES component historically computed the radiative source
+with a parallel DOM solver (Krishnamoorthy et al., paper ref [4]); DOM
+is also the method whose cost and false-scattering artifacts motivate
+RMCRT (Section III.A). This is a single-level, non-scattering S_N
+solver using the standard first-order upwind ("step") finite-volume
+sweep, vectorized over wavefront hyperplanes so each ordinate's sweep
+is a sequence of fully-vectorized plane updates rather than a Python
+triple loop.
+
+For an absorbing/emitting (non-scattering) grey medium the RTE per
+ordinate m reduces to
+
+    s_m . grad I_m + kappa I_m = kappa * sigma_t4 / pi
+
+after which G = sum_m w_m I_m and  del.q = kappa (4 sigma_t4 - G).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.radiation.properties import RadiativeProperties
+from repro.radiation.quadrature import Quadrature, product_quadrature, sn_level_symmetric
+from repro.util.errors import ReproError
+
+
+@lru_cache(maxsize=16)
+def _hyperplanes(shape: Tuple[int, int, int]):
+    """Per-plane index arrays: cells with i+j+k == p, for p ascending.
+
+    Cached per grid shape; each entry is (ii, jj, kk) int arrays.
+    """
+    nx, ny, nz = shape
+    i, j, k = np.indices(shape)
+    plane = (i + j + k).ravel()
+    order = np.argsort(plane, kind="stable")
+    ii, jj, kk = i.ravel()[order], j.ravel()[order], k.ravel()[order]
+    bounds = np.searchsorted(plane[order], np.arange(nx + ny + nz - 1))
+    bounds = np.append(bounds, plane.size)
+    return [
+        (ii[bounds[p]: bounds[p + 1]], jj[bounds[p]: bounds[p + 1]], kk[bounds[p]: bounds[p + 1]])
+        for p in range(nx + ny + nz - 2)
+    ]
+
+
+def _sweep_ordinate(
+    direction: np.ndarray,
+    kappa: np.ndarray,
+    source: np.ndarray,
+    inflow: Tuple[np.ndarray, np.ndarray, np.ndarray],
+    dx: Tuple[float, float, float],
+) -> np.ndarray:
+    """Upwind sweep for one all-positive-octant direction.
+
+    ``inflow`` holds the three upstream boundary-face intensity planes
+    (shapes (ny,nz), (nx,nz), (nx,ny)). Arrays are already flipped so
+    the sweep always runs low-to-high on every axis.
+    """
+    nx, ny, nz = kappa.shape
+    ax = abs(direction[0]) / dx[0]
+    ay = abs(direction[1]) / dx[1]
+    az = abs(direction[2]) / dx[2]
+
+    ipad = np.zeros((nx + 1, ny + 1, nz + 1))
+    ipad[0, 1:, 1:] = inflow[0]
+    ipad[1:, 0, 1:] = inflow[1]
+    ipad[1:, 1:, 0] = inflow[2]
+
+    for ii, jj, kk in _hyperplanes((nx, ny, nz)):
+        upx = ipad[ii, jj + 1, kk + 1]
+        upy = ipad[ii + 1, jj, kk + 1]
+        upz = ipad[ii + 1, jj + 1, kk]
+        kap = kappa[ii, jj, kk]
+        num = ax * upx + ay * upy + az * upz + kap * source[ii, jj, kk]
+        ipad[ii + 1, jj + 1, kk + 1] = num / (ax + ay + az + kap)
+    return ipad[1:, 1:, 1:]
+
+
+class DiscreteOrdinates:
+    """Single-level S_N solver over a :class:`RadiativeProperties` bundle."""
+
+    def __init__(
+        self,
+        quadrature: Optional[Quadrature] = None,
+        sn_order: int = 4,
+    ) -> None:
+        if quadrature is None:
+            quadrature = sn_level_symmetric(sn_order)
+        if not quadrature.check_moments(atol=1e-6):
+            raise ReproError(f"quadrature {quadrature.name!r} fails moment checks")
+        self.quadrature = quadrature
+
+    def solve(
+        self,
+        props: RadiativeProperties,
+        dx: Tuple[float, float, float],
+    ) -> np.ndarray:
+        """Compute del.q on the interior cells.
+
+        Non-scattering grey medium; intrusion cells are not supported by
+        this baseline (matching its role as the pre-RMCRT comparator on
+        the open-box benchmark).
+        """
+        inner_sl = props.interior.slices(origin=props.origin)
+        kappa = props.abskg[inner_sl]
+        st4 = props.sigma_t4[inner_sl]
+        source = st4 / np.pi
+        incident = np.zeros_like(kappa)  # G = integral of I over 4pi
+
+        ring_st4 = props.sigma_t4
+        for s, w in zip(self.quadrature.directions, self.quadrature.weights):
+            flips = tuple(slice(None, None, -1) if s[d] < 0 else slice(None) for d in range(3))
+            k_f = kappa[flips]
+            src_f = source[flips]
+            ring_f = ring_st4[tuple(
+                slice(None, None, -1) if s[d] < 0 else slice(None) for d in range(3)
+            )]
+            inflow = (
+                ring_f[0, 1:-1, 1:-1] / np.pi,
+                ring_f[1:-1, 0, 1:-1] / np.pi,
+                ring_f[1:-1, 1:-1, 0] / np.pi,
+            )
+            i_f = _sweep_ordinate(s, k_f, src_f, inflow, dx)
+            incident += w * i_f[flips]
+
+        return kappa * (4.0 * st4 - incident)
+
+
+def dom_reference_divq(
+    props: RadiativeProperties,
+    dx: Tuple[float, float, float],
+    n_polar: int = 8,
+    n_azimuthal: int = 16,
+) -> np.ndarray:
+    """High-order product-quadrature DOM solve, used as a smooth
+    deterministic reference for Monte Carlo validation."""
+    solver = DiscreteOrdinates(product_quadrature(n_polar, n_azimuthal))
+    return solver.solve(props, dx)

@@ -1,0 +1,176 @@
+"""Radiative property fields.
+
+RMCRT needs exactly three cell-centred fields everywhere a ray can
+march (paper Section III.B): the absorption coefficient ``abskg``
+(kappa), the black-body emissive power ``sigma_t4`` (sigma*T^4), and
+``cell_type``. This module bundles them, including the one-cell wall
+ring the marching kernels index directly, and provides the projection
+of the bundle onto coarser radiation levels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.grid.box import Box
+from repro.grid.celltype import domain_cell_types
+from repro.grid.refinement import coarsen_average, coarsen_max
+from repro.radiation.constants import SIGMA_SB
+from repro.util.errors import GridError
+
+
+@dataclass
+class RadiativeProperties:
+    """Property bundle for one level.
+
+    Arrays are shaped ``interior.grow(1).extent`` — interior cells plus
+    the wall ring — and anchored at ``interior.lo - 1``. Wall-ring
+    values of ``sigma_t4`` are the *wall* emissive powers; wall-ring
+    ``abskg`` holds the wall emissivity (Uintah stores wall emissivity
+    in abskg's boundary cells for the ray-hit accumulation).
+    """
+
+    interior: Box
+    abskg: np.ndarray
+    sigma_t4: np.ndarray
+    cell_type: np.ndarray
+
+    def __post_init__(self) -> None:
+        expected = self.interior.grow(1).extent
+        for name in ("abskg", "sigma_t4", "cell_type"):
+            arr = getattr(self, name)
+            if tuple(arr.shape) != expected:
+                raise GridError(
+                    f"{name} shape {arr.shape} != interior+ring {expected}"
+                )
+
+    @property
+    def origin(self):
+        """Index of array element [0,0,0]."""
+        return self.interior.grow(1).lo
+
+    @property
+    def num_interior_cells(self) -> int:
+        return self.interior.volume
+
+    def interior_view(self, name: str) -> np.ndarray:
+        """View of a field restricted to interior cells."""
+        return getattr(self, name)[self.interior.slices(origin=self.origin)]
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @staticmethod
+    def from_fields(
+        interior: Box,
+        abskg: np.ndarray,
+        temperature: Optional[np.ndarray] = None,
+        sigma_t4: Optional[np.ndarray] = None,
+        wall_temperature: float = 0.0,
+        wall_emissivity: float = 1.0,
+        cell_type: Optional[np.ndarray] = None,
+    ) -> "RadiativeProperties":
+        """Build the bundle from interior-shaped fields.
+
+        Exactly one of ``temperature`` / ``sigma_t4`` must be given;
+        the wall ring is synthesized from the scalar wall properties.
+        """
+        if (temperature is None) == (sigma_t4 is None):
+            raise GridError("pass exactly one of temperature / sigma_t4")
+        if tuple(abskg.shape) != interior.extent:
+            raise GridError(f"abskg shape {abskg.shape} != interior {interior.extent}")
+        if sigma_t4 is None:
+            sigma_t4 = SIGMA_SB * np.asarray(temperature, dtype=np.float64) ** 4
+        if tuple(sigma_t4.shape) != interior.extent:
+            raise GridError(
+                f"sigma_t4 shape {sigma_t4.shape} != interior {interior.extent}"
+            )
+
+        outer = interior.grow(1)
+        inner_sl = interior.slices(origin=outer.lo)
+
+        full_abskg = np.full(outer.extent, float(wall_emissivity), dtype=np.float64)
+        full_abskg[inner_sl] = abskg
+        wall_st4 = SIGMA_SB * float(wall_temperature) ** 4
+        full_st4 = np.full(outer.extent, wall_st4, dtype=np.float64)
+        full_st4[inner_sl] = sigma_t4
+
+        if cell_type is None:
+            full_ct = domain_cell_types(interior)
+        else:
+            if tuple(cell_type.shape) == interior.extent:
+                full_ct = domain_cell_types(interior)
+                full_ct[inner_sl] = cell_type
+            elif tuple(cell_type.shape) == outer.extent:
+                full_ct = np.asarray(cell_type, dtype=np.int8)
+            else:
+                raise GridError(
+                    f"cell_type shape {cell_type.shape} matches neither interior "
+                    f"{interior.extent} nor interior+ring {outer.extent}"
+                )
+        return RadiativeProperties(interior, full_abskg, full_st4, full_ct)
+
+    # ------------------------------------------------------------------
+    # multi-level projection
+    # ------------------------------------------------------------------
+    def coarsen(self, ratio: int) -> "RadiativeProperties":
+        """Project the bundle to a level coarser by ``ratio``.
+
+        Interior fields restrict conservatively (mean for abskg and
+        sigma_t4, max for cell_type so walls/intrusions stay opaque);
+        the wall ring is rebuilt at coarse resolution with the mean
+        wall properties of the corresponding fine wall faces.
+        """
+        if ratio < 1:
+            raise GridError(f"ratio must be >= 1, got {ratio}")
+        for d in range(3):
+            if self.interior.extent[d] % ratio != 0:
+                raise GridError(
+                    f"interior extent {self.interior.extent} not divisible by {ratio}"
+                )
+        inner_sl = self.interior.slices(origin=self.origin)
+        c_abskg = coarsen_average(self.abskg[inner_sl], ratio)
+        c_st4 = coarsen_average(self.sigma_t4[inner_sl], ratio)
+        c_ct = coarsen_max(self.cell_type[inner_sl], ratio)
+        c_interior = self.interior.coarsen(ratio)
+
+        out = RadiativeProperties.from_fields(
+            c_interior,
+            abskg=c_abskg,
+            sigma_t4=c_st4,
+            cell_type=c_ct.astype(np.int8),
+        )
+        # rebuild the wall ring as the face-mean of the fine ring so
+        # non-uniform wall temperatures project correctly
+        self._project_wall_ring(out, ratio)
+        return out
+
+    def _project_wall_ring(self, coarse: "RadiativeProperties", ratio: int) -> None:
+        fine_outer = self.interior.grow(1)
+        for axis in range(3):
+            for side in (0, -1):
+                f_sl = [slice(1, -1)] * 3
+                f_sl[axis] = side
+                c_sl = [slice(1, -1)] * 3
+                c_sl[axis] = side
+                for name in ("abskg", "sigma_t4"):
+                    fine_face = getattr(self, name)[tuple(f_sl)]
+                    ny, nz = fine_face.shape
+                    blocks = fine_face.reshape(ny // ratio, ratio, nz // ratio, ratio)
+                    getattr(coarse, name)[tuple(c_sl)] = blocks.mean(axis=(1, 3))
+        _ = fine_outer  # documented intent; ring corners keep defaults
+
+    def as_dict(self) -> Dict[str, np.ndarray]:
+        return {
+            "abskg": self.abskg,
+            "sigma_t4": self.sigma_t4,
+            "cell_type": self.cell_type,
+        }
+
+    @property
+    def nbytes(self) -> int:
+        """Total memory footprint — what the GPU DataWarehouse budgets."""
+        return self.abskg.nbytes + self.sigma_t4.nbytes + self.cell_type.nbytes

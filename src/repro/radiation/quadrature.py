@@ -1,0 +1,117 @@
+"""Angular quadrature sets for the discrete-ordinates baseline.
+
+Two families:
+
+* **Level-symmetric S_N** (S2, S4) — the classic DOM sets: octant
+  symmetry, equal weights for these low orders. These match what the
+  ARCHES DOM solver the paper compares against uses at production
+  orders.
+* **Product quadrature** — Gauss-Legendre in the polar cosine times
+  uniform azimuthal: arbitrary accuracy, used where high-order angular
+  resolution is needed (e.g. generating reference solutions).
+
+Every set satisfies the zeroth and first moment identities
+``sum(w) = 4*pi`` and ``sum(w * s) = 0`` exactly (to roundoff), which
+the tests enforce.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.util.errors import ReproError
+
+
+@dataclass(frozen=True)
+class Quadrature:
+    """Directions (n, 3 unit vectors) and weights (n,) on the sphere."""
+
+    directions: np.ndarray
+    weights: np.ndarray
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        d = np.asarray(self.directions, dtype=np.float64)
+        w = np.asarray(self.weights, dtype=np.float64)
+        if d.ndim != 2 or d.shape[1] != 3 or w.shape != (d.shape[0],):
+            raise ReproError(
+                f"directions {d.shape} / weights {w.shape} mismatch"
+            )
+        object.__setattr__(self, "directions", d)
+        object.__setattr__(self, "weights", w)
+
+    @property
+    def num_ordinates(self) -> int:
+        return self.directions.shape[0]
+
+    def check_moments(self, atol: float = 1e-10) -> bool:
+        """Zeroth moment = 4*pi, first moment = 0 (vector)."""
+        ok0 = abs(self.weights.sum() - 4 * np.pi) < atol
+        ok1 = np.allclose(self.weights @ self.directions, 0.0, atol=atol)
+        return bool(ok0 and ok1)
+
+
+def _octant_expand(mu_triples: np.ndarray, weights: np.ndarray) -> Quadrature:
+    """Expand first-octant (mu, eta, xi) points over all 8 octants."""
+    dirs = []
+    w = []
+    for sx in (1, -1):
+        for sy in (1, -1):
+            for sz in (1, -1):
+                for (mx, my, mz), wt in zip(mu_triples, weights):
+                    dirs.append((sx * mx, sy * my, sz * mz))
+                    w.append(wt)
+    return Quadrature(np.array(dirs), np.array(w))
+
+
+def sn_level_symmetric(order: int) -> Quadrature:
+    """Level-symmetric S_N set for order 2 or 4.
+
+    S2: one ordinate per octant at mu = 1/sqrt(3), weight pi/2.
+    S4: three ordinates per octant built from mu1 = 0.3500212 and
+    mu2 = sqrt(1 - 2*mu1^2), all equal weight pi/6.
+    """
+    if order == 2:
+        m = 1.0 / np.sqrt(3.0)
+        q = _octant_expand(np.array([[m, m, m]]), np.array([np.pi / 2]))
+    elif order == 4:
+        mu1 = 0.3500212
+        mu2 = np.sqrt(1.0 - 2.0 * mu1 ** 2)
+        pts = np.array([[mu2, mu1, mu1], [mu1, mu2, mu1], [mu1, mu1, mu2]])
+        q = _octant_expand(pts, np.full(3, np.pi / 6))
+    else:
+        raise ReproError(
+            f"level-symmetric order {order} not tabulated (use 2 or 4, or "
+            f"product_quadrature for higher angular resolution)"
+        )
+    return Quadrature(q.directions, q.weights, name=f"S{order}")
+
+
+def product_quadrature(n_polar: int, n_azimuthal: int) -> Quadrature:
+    """Gauss-Legendre (polar cosine) x uniform (azimuth) product set.
+
+    Exact for spherical harmonics up to degree ``2*n_polar - 1`` in the
+    polar direction; the uniform azimuthal rule is exact for all
+    azimuthal modes below ``n_azimuthal``.
+    """
+    if n_polar < 1 or n_azimuthal < 1:
+        raise ReproError("quadrature sizes must be positive")
+    mu, wmu = np.polynomial.legendre.leggauss(n_polar)
+    phi = (np.arange(n_azimuthal) + 0.5) * (2 * np.pi / n_azimuthal)
+    wphi = 2 * np.pi / n_azimuthal
+    sin_theta = np.sqrt(1.0 - mu ** 2)
+    dirs = np.empty((n_polar * n_azimuthal, 3))
+    w = np.empty(n_polar * n_azimuthal)
+    k = 0
+    for i in range(n_polar):
+        for j in range(n_azimuthal):
+            dirs[k] = (
+                sin_theta[i] * np.cos(phi[j]),
+                sin_theta[i] * np.sin(phi[j]),
+                mu[i],
+            )
+            w[k] = wmu[i] * wphi
+            k += 1
+    return Quadrature(dirs, w, name=f"P{n_polar}x{n_azimuthal}")

@@ -1,0 +1,141 @@
+"""The simulation controller: timestepping through the runtime.
+
+Uintah's SimulationController owns the outer loop: each timestep it
+swaps DataWarehouse generations (new -> old), re-executes the compiled
+task graph against the fresh warehouses, and collects per-timestep
+statistics. Applications declare their per-timestep tasks once; the
+controller re-runs the same compiled graph every step, which is what
+lets Uintah amortize task-graph compilation across a whole simulation.
+
+Because our CompiledGraph carries immutable declarations and the
+schedulers take the warehouses as arguments, re-execution needs no
+recompilation — matching Uintah's static-taskgraph fast path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.dw.datawarehouse import DataWarehouse, DataWarehouseManager
+from repro.runtime.scheduler import SerialScheduler
+from repro.runtime.taskgraph import CompiledGraph
+from repro.util.errors import SchedulerError
+from repro.util.timing import TimerRegistry
+
+
+@dataclass
+class TimestepReport:
+    step: int
+    time: float
+    dt: float
+    dw_generation: int
+
+
+class SimulationController:
+    """Run a per-timestep task graph for many steps.
+
+    ``initial_graph`` (optional) runs once against the very first new
+    DW — the initialization taskgraph in Uintah terms. ``graph`` then
+    runs every timestep with old/new warehouse swapping.
+    """
+
+    def __init__(
+        self,
+        graph: CompiledGraph,
+        scheduler=None,
+        initial_graph: Optional[CompiledGraph] = None,
+        archive=None,
+    ) -> None:
+        self.graph = graph
+        self.initial_graph = initial_graph
+        self.scheduler = scheduler if scheduler is not None else SerialScheduler()
+        if not hasattr(self.scheduler, "execute"):
+            raise SchedulerError("scheduler must expose .execute(graph, old, new)")
+        self.archive = archive
+        self.dw_manager = DataWarehouseManager()
+        self.timers = TimerRegistry()
+        self.reports: List[TimestepReport] = []
+        self.time = 0.0
+        self.step = 0
+        self._initialized = False
+
+    @classmethod
+    def restart(
+        cls,
+        graph: CompiledGraph,
+        archive,
+        step: Optional[int] = None,
+        scheduler=None,
+    ) -> "SimulationController":
+        """Resume from an archived timestep (checkpoint/restart).
+
+        The loaded warehouse becomes the controller's current state;
+        the next :meth:`advance` swaps it to the old generation exactly
+        as if the run had never stopped, so a restarted simulation
+        continues bit-identically.
+        """
+        ctrl = cls(graph, scheduler=scheduler, archive=archive)
+        step = step if step is not None else archive.latest()
+        if step is None:
+            raise SchedulerError(f"archive {archive.root} holds no timesteps")
+        dw, meta = archive.load(step)
+        ctrl.dw_manager.new_dw = dw
+        ctrl.dw_manager._generation = dw.generation
+        ctrl.time = float(meta["time"])
+        ctrl.step = int(meta["step"])
+        ctrl._initialized = True
+        return ctrl
+
+    # ------------------------------------------------------------------
+    def initialize(self) -> DataWarehouse:
+        """Run the initialization graph (or mark ready without one)."""
+        if self._initialized:
+            raise SchedulerError("controller already initialized")
+        if self.initial_graph is not None:
+            with self.timers("initialization"):
+                self.scheduler.execute(
+                    self.initial_graph, old_dw=None, new_dw=self.dw_manager.new_dw
+                )
+        self._initialized = True
+        return self.dw_manager.new_dw
+
+    def advance(self, dt: float) -> DataWarehouse:
+        """One timestep: swap warehouses, execute the graph."""
+        if not self._initialized:
+            raise SchedulerError("call initialize() before advance()")
+        if dt <= 0:
+            raise SchedulerError("dt must be positive")
+        self.dw_manager.advance()
+        with self.timers("timestep"):
+            self.scheduler.execute(
+                self.graph,
+                old_dw=self.dw_manager.old_dw,
+                new_dw=self.dw_manager.new_dw,
+            )
+        self.time += dt
+        self.step += 1
+        self.reports.append(
+            TimestepReport(
+                step=self.step,
+                time=self.time,
+                dt=dt,
+                dw_generation=self.dw_manager.generation,
+            )
+        )
+        if self.archive is not None and self.archive.should_save(self.step):
+            self.archive.save(self.dw_manager.new_dw, self.step, self.time)
+        return self.dw_manager.new_dw
+
+    def run(self, num_steps: int, dt: float) -> DataWarehouse:
+        """Initialize (if needed) and advance ``num_steps`` steps."""
+        if not self._initialized:
+            self.initialize()
+        dw = self.dw_manager.new_dw
+        for _ in range(num_steps):
+            dw = self.advance(dt)
+        return dw
+
+    @property
+    def steps_taken(self) -> int:
+        return len(self.reports)

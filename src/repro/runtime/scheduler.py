@@ -1,0 +1,356 @@
+"""Execution engines for compiled task graphs.
+
+Three schedulers mirror Uintah's evolution (paper Sections II and IV):
+
+* :class:`SerialScheduler` — topological-order reference execution.
+* :class:`ThreadedScheduler` — a pool of worker threads pulling ready
+  tasks from a shared queue (the nodal shared-memory model), with
+  optional randomized pull order to shake out order dependencies the
+  way Uintah's out-of-order execution does.
+* :class:`DistributedScheduler` — one thread per simulated MPI rank;
+  every cross-rank dependency becomes an isend/irecv pair over
+  :class:`~repro.runtime.mpi.SimMPI`, with receives managed by one of
+  the Section IV request pools (wait-free by default).
+
+All three produce identical DataWarehouse contents for the same graph —
+the invariant the integration tests enforce.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.dw.datawarehouse import DataWarehouse
+from repro.dw.label import VarKind
+from repro.dw.variables import CCVariable
+from repro.runtime.mpi import SimMPI
+from repro.runtime.task import TaskContext
+from repro.runtime.taskgraph import CompiledGraph, DetailedTask
+from repro.util.errors import SchedulerError
+from repro.util.timing import TimerRegistry
+
+
+class SerialScheduler:
+    """Reference executor: one rank, dependency order."""
+
+    def __init__(self) -> None:
+        self.timers = TimerRegistry()
+
+    def execute(
+        self,
+        graph: CompiledGraph,
+        old_dw: Optional[DataWarehouse] = None,
+        new_dw: Optional[DataWarehouse] = None,
+    ) -> DataWarehouse:
+        if graph.num_ranks != 1 or graph.messages:
+            raise SchedulerError(
+                "SerialScheduler runs single-rank graphs (compile with "
+                "num_ranks=1 and no assignment)"
+            )
+        dw = new_dw if new_dw is not None else DataWarehouse()
+        with self.timers("taskexec"):
+            for dt in graph.topological_order():
+                ctx = TaskContext(
+                    dt.task, dt.patch, graph.grid.level(dt.level_index), old_dw, dw
+                )
+                dt.task.callback(ctx)
+        return dw
+
+
+class ThreadedScheduler:
+    """Shared-memory multi-threaded executor (one node, many cores)."""
+
+    def __init__(self, num_threads: int = 4, shuffle: bool = False, seed: int = 0) -> None:
+        if num_threads < 1:
+            raise SchedulerError("num_threads must be >= 1")
+        self.num_threads = int(num_threads)
+        self.shuffle = bool(shuffle)
+        self.seed = int(seed)
+        self.timers = TimerRegistry()
+
+    def execute(
+        self,
+        graph: CompiledGraph,
+        old_dw: Optional[DataWarehouse] = None,
+        new_dw: Optional[DataWarehouse] = None,
+    ) -> DataWarehouse:
+        if graph.num_ranks != 1 or graph.messages:
+            raise SchedulerError("ThreadedScheduler runs single-rank graphs")
+        dw = new_dw if new_dw is not None else DataWarehouse()
+        by_id = {t.dtask_id: t for t in graph.detailed_tasks}
+        indeg = {t.dtask_id: len(t.internal_deps) for t in graph.detailed_tasks}
+        lock = threading.Lock()
+        ready: List[int] = [tid for tid, d in indeg.items() if d == 0]
+        rng = random.Random(self.seed)
+        remaining = len(by_id)
+        errors: List[BaseException] = []
+        done_cv = threading.Condition(lock)
+
+        def pull() -> Optional[DetailedTask]:
+            with lock:
+                while True:
+                    if errors or not remaining_holder[0]:
+                        return None
+                    if ready:
+                        idx = rng.randrange(len(ready)) if self.shuffle else 0
+                        return by_id[ready.pop(idx)]
+                    done_cv.wait(0.05)
+
+        remaining_holder = [remaining]
+
+        def finish(dt: DetailedTask) -> None:
+            with lock:
+                remaining_holder[0] -= 1
+                for dep in dt.dependents:
+                    if dep in indeg:
+                        indeg[dep] -= 1
+                        if indeg[dep] == 0:
+                            ready.append(dep)
+                done_cv.notify_all()
+
+        def worker() -> None:
+            while True:
+                dt = pull()
+                if dt is None:
+                    return
+                try:
+                    ctx = TaskContext(
+                        dt.task, dt.patch, graph.grid.level(dt.level_index), old_dw, dw
+                    )
+                    dt.task.callback(ctx)
+                except BaseException as exc:  # propagate to caller
+                    with lock:
+                        errors.append(exc)
+                        done_cv.notify_all()
+                    return
+                finish(dt)
+
+        with self.timers("taskexec"):
+            threads = [threading.Thread(target=worker) for _ in range(self.num_threads)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        if errors:
+            raise errors[0]
+        if remaining_holder[0] != 0:
+            raise SchedulerError(
+                f"{remaining_holder[0]} tasks never became ready (deadlock)"
+            )
+        return dw
+
+
+@dataclass
+class RankStats:
+    """Per-rank execution accounting, Uintah's ExecTimes in miniature.
+
+    ``local_comm_time`` is the executable counterpart of Figure 1's
+    measured quantity: wall time the rank spent inside its request
+    pool (posting/testing/processing messages)."""
+
+    rank: int
+    task_exec_time: float = 0.0
+    local_comm_time: float = 0.0
+    tasks_executed: int = 0
+    messages_sent: int = 0
+    bytes_sent: int = 0
+    idle_spins: int = 0
+
+
+class DistributedScheduler:
+    """One thread per rank over simulated MPI (the full Uintah shape).
+
+    ``pool_kind`` selects the request-pool implementation processing
+    each rank's receives: 'waitfree' (the paper's fix), 'locked', or
+    'legacy-racy' (for demonstrating the Section IV.A failure).
+    """
+
+    def __init__(
+        self,
+        num_ranks: int,
+        pool_kind: str = "waitfree",
+        delivery_jitter: float = 0.0,
+        jitter_seed: int = 0,
+    ) -> None:
+        """``delivery_jitter`` > 0 injects randomized message arrival
+        order/latency into the fabric (failure-injection testing)."""
+        if num_ranks < 1:
+            raise SchedulerError("num_ranks must be >= 1")
+        self.num_ranks = int(num_ranks)
+        self.pool_kind = pool_kind
+        self.delivery_jitter = float(delivery_jitter)
+        self.jitter_seed = int(jitter_seed)
+        self.timers = TimerRegistry()
+        self.fabric: Optional[SimMPI] = None
+        #: per-rank ExecTimes, populated by execute()
+        self.rank_stats: Dict[int, RankStats] = {}
+
+    def execute(
+        self,
+        graph: CompiledGraph,
+        old_dw: Optional[DataWarehouse] = None,
+    ) -> Dict[int, DataWarehouse]:
+        """Run the graph; returns each rank's new DataWarehouse."""
+        if graph.num_ranks != self.num_ranks:
+            raise SchedulerError(
+                f"graph compiled for {graph.num_ranks} ranks, scheduler has "
+                f"{self.num_ranks}"
+            )
+        fabric = SimMPI(
+            self.num_ranks,
+            delivery_jitter=self.delivery_jitter,
+            jitter_seed=self.jitter_seed,
+        )
+        self.fabric = fabric
+        self.rank_stats = {r: RankStats(rank=r) for r in range(self.num_ranks)}
+        rank_dws = {r: DataWarehouse() for r in range(self.num_ranks)}
+        errors: List[BaseException] = []
+        err_lock = threading.Lock()
+
+        outgoing_by_dtask: Dict[int, List] = {}
+        for msg in graph.messages:
+            outgoing_by_dtask.setdefault(msg.src_dtask_id, []).append(msg)
+
+        def rank_loop(rank: int) -> None:
+            try:
+                self._run_rank(rank, graph, fabric, rank_dws[rank], old_dw, outgoing_by_dtask)
+            except BaseException as exc:
+                with err_lock:
+                    errors.append(exc)
+
+        with self.timers("execute"):
+            threads = [
+                threading.Thread(target=rank_loop, args=(r,), name=f"rank-{r}")
+                for r in range(self.num_ranks)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        fabric.shutdown()
+        if errors:
+            raise errors[0]
+        return rank_dws
+
+    def _run_rank(
+        self,
+        rank: int,
+        graph: CompiledGraph,
+        fabric: SimMPI,
+        new_dw: DataWarehouse,
+        old_dw: Optional[DataWarehouse],
+        outgoing_by_dtask: Dict[int, List],
+    ) -> None:
+        # imported here: repro.comm builds on repro.runtime.mpi, so a
+        # module-level import would be circular
+        from repro.comm.driver import make_pool
+        from repro.comm.request import CommNode
+
+        comm = fabric.comm(rank)
+        local = graph.tasks_on_rank(rank)
+        indeg = {t.dtask_id: len(t.internal_deps) for t in local}
+        pending = {t.dtask_id: set(t.pending_msgs) for t in local}
+        by_id = {t.dtask_id: t for t in local}
+        waiting_on_msg: Dict[int, List[int]] = {}
+        for t in local:
+            for mid in t.pending_msgs:
+                waiting_on_msg.setdefault(mid, []).append(t.dtask_id)
+
+        pool = make_pool(self.pool_kind)
+        newly_satisfied: List[int] = []
+
+        def stage(msg):
+            def callback(data):
+                if msg.label.kind is VarKind.PER_LEVEL:
+                    new_dw.put_level(msg.label, msg.level_index, data)
+                else:
+                    new_dw.add_foreign(
+                        msg.label, msg.src_patch_id, CCVariable(msg.region, data)
+                    )
+                newly_satisfied.append(msg.msg_id)
+            return callback
+
+        for msg in graph.messages_to(rank):
+            req = comm.irecv(source=msg.src_rank, tag=msg.msg_id)
+            pool.insert(CommNode(req, nbytes=msg.nbytes, on_finish=stage(msg)))
+
+        ready = deque(
+            t.dtask_id for t in local if indeg[t.dtask_id] == 0 and not pending[t.dtask_id]
+        )
+        completed = 0
+        total = len(local)
+        idle_spins = 0
+        stats = self.rank_stats[rank]
+        while completed < total:
+            t0 = time.perf_counter()
+            pool.process_ready()
+            stats.local_comm_time += time.perf_counter() - t0
+            while newly_satisfied:
+                mid = newly_satisfied.pop()
+                for tid in waiting_on_msg.get(mid, ()):
+                    pend = pending[tid]
+                    pend.discard(mid)
+                    if not pend and indeg[tid] == 0:
+                        ready.append(tid)
+            if not ready:
+                idle_spins += 1
+                stats.idle_spins += 1
+                if idle_spins > 2_000_000:
+                    raise SchedulerError(
+                        f"rank {rank} deadlocked: {total - completed} tasks stuck"
+                    )
+                time.sleep(0)
+                continue
+            idle_spins = 0
+            dt = by_id[ready.popleft()]
+            ctx = TaskContext(
+                dt.task, dt.patch, graph.grid.level(dt.level_index), old_dw, new_dw, rank=rank
+            )
+            t0 = time.perf_counter()
+            dt.task.callback(ctx)
+            stats.task_exec_time += time.perf_counter() - t0
+            stats.tasks_executed += 1
+            completed += 1
+            # ship every outgoing message this task's results satisfy
+            t0 = time.perf_counter()
+            for msg in outgoing_by_dtask.get(dt.dtask_id, ()):
+                if msg.label.kind is VarKind.PER_LEVEL:
+                    data = new_dw.get_level(msg.label, msg.level_index)
+                else:
+                    data = new_dw.get(msg.label, dt.patch.patch_id).view(msg.region).copy()
+                comm.isend(data, dest=msg.dst_rank, tag=msg.msg_id)
+                stats.messages_sent += 1
+                stats.bytes_sent += msg.nbytes
+            stats.local_comm_time += time.perf_counter() - t0
+            # local dependents
+            for dep in dt.dependents:
+                if dep in indeg:
+                    indeg[dep] -= 1
+                    if indeg[dep] == 0 and not pending[dep]:
+                        ready.append(dep)
+
+
+def gather_cc(
+    graph: CompiledGraph,
+    rank_dws: Dict[int, DataWarehouse],
+    label,
+    level_index: int,
+) -> np.ndarray:
+    """Assemble one CC label's global field from the per-rank DWs
+    (verification helper: distributed result == serial result)."""
+    level = graph.grid.level(level_index)
+    out = np.full(level.domain_box.extent, np.nan)
+    for patch in level.patches:
+        rank = graph.assignment.get(patch.patch_id, 0)
+        var = rank_dws[rank].get(label, patch.patch_id)
+        out[patch.box.slices(origin=level.domain_box.lo)] = var.view(patch.box)
+    if np.isnan(out).any():
+        raise SchedulerError(f"gather of {label.name} left holes")
+    return out

@@ -1,0 +1,31 @@
+"""Shared utilities: timers, seeded RNG streams, error types.
+
+These are deliberately dependency-light; every other subpackage may
+import from here, but :mod:`repro.util` imports nothing from the rest
+of the library.
+"""
+
+from repro.util.timing import Timer, TimerRegistry, format_seconds
+from repro.util.rng import RandomStreams, spawn_stream
+from repro.util.errors import (
+    ReproError,
+    GridError,
+    SchedulerError,
+    DataWarehouseError,
+    AllocationError,
+    CommError,
+)
+
+__all__ = [
+    "Timer",
+    "TimerRegistry",
+    "format_seconds",
+    "RandomStreams",
+    "spawn_stream",
+    "ReproError",
+    "GridError",
+    "SchedulerError",
+    "DataWarehouseError",
+    "AllocationError",
+    "CommError",
+]

@@ -1,0 +1,33 @@
+"""Exception hierarchy for the repro library.
+
+Every subsystem raises a subclass of :class:`ReproError` so callers can
+catch library failures without masking genuine programming errors
+(``TypeError``, ``KeyError`` from user code, ...).
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class GridError(ReproError):
+    """Invalid grid, level, patch, or region construction/query."""
+
+
+class SchedulerError(ReproError):
+    """Task-graph compilation or execution failure (cycles, deadlock,
+    missing dependencies, double-computes)."""
+
+
+class DataWarehouseError(ReproError):
+    """Missing or conflicting variables in a DataWarehouse, ghost-cell
+    requests that cannot be satisfied, or GPU DW capacity exhaustion."""
+
+
+class AllocationError(ReproError):
+    """Out-of-memory or invalid free in the simulated allocators."""
+
+
+class CommError(ReproError):
+    """Simulated-MPI misuse: unmatched request handles, double
+    completion, messages to unknown ranks."""

@@ -1,0 +1,116 @@
+"""Lightweight wall-clock timers.
+
+Uintah reports per-component times (task exec, MPI wait, local comm);
+:class:`TimerRegistry` mirrors that: named accumulating timers that the
+schedulers and benchmark harnesses share.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+
+def format_seconds(seconds: float) -> str:
+    """Render a duration compactly (``1.234 s``, ``12.3 ms``, ``4.5 us``)."""
+    if seconds >= 1.0:
+        return f"{seconds:.3f} s"
+    if seconds >= 1e-3:
+        return f"{seconds * 1e3:.3f} ms"
+    return f"{seconds * 1e6:.3f} us"
+
+
+@dataclass
+class Timer:
+    """An accumulating stopwatch.
+
+    Supports use as a context manager::
+
+        t = Timer("kernel")
+        with t:
+            run_kernel()
+        print(t.elapsed)
+    """
+
+    name: str = ""
+    elapsed: float = 0.0
+    count: int = 0
+    _start: Optional[float] = field(default=None, repr=False)
+
+    def start(self) -> "Timer":
+        if self._start is not None:
+            raise RuntimeError(f"Timer {self.name!r} already running")
+        self._start = time.perf_counter()
+        return self
+
+    def stop(self) -> float:
+        if self._start is None:
+            raise RuntimeError(f"Timer {self.name!r} not running")
+        dt = time.perf_counter() - self._start
+        self._start = None
+        self.elapsed += dt
+        self.count += 1
+        return dt
+
+    def reset(self) -> None:
+        self.elapsed = 0.0
+        self.count = 0
+        self._start = None
+
+    @property
+    def running(self) -> bool:
+        return self._start is not None
+
+    @property
+    def mean(self) -> float:
+        """Mean duration per start/stop cycle (0 if never stopped)."""
+        return self.elapsed / self.count if self.count else 0.0
+
+    def __enter__(self) -> "Timer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+
+class TimerRegistry:
+    """A named collection of :class:`Timer` objects.
+
+    ``registry("taskexec")`` returns (creating on first use) the timer
+    with that name, so call sites never need to pre-declare timers.
+    """
+
+    def __init__(self) -> None:
+        self._timers: Dict[str, Timer] = {}
+
+    def __call__(self, name: str) -> Timer:
+        timer = self._timers.get(name)
+        if timer is None:
+            timer = Timer(name)
+            self._timers[name] = timer
+        return timer
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._timers
+
+    def __iter__(self):
+        return iter(self._timers.values())
+
+    def __len__(self) -> int:
+        return len(self._timers)
+
+    def reset(self) -> None:
+        for timer in self._timers.values():
+            timer.reset()
+
+    def report(self) -> str:
+        """A fixed-width table of all timers, longest first."""
+        rows = sorted(self._timers.values(), key=lambda t: -t.elapsed)
+        lines = [f"{'timer':<28}{'total':>14}{'count':>10}{'mean':>14}"]
+        for t in rows:
+            lines.append(
+                f"{t.name:<28}{format_seconds(t.elapsed):>14}"
+                f"{t.count:>10}{format_seconds(t.mean):>14}"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,174 @@
+"""Tests for the UDA-style data archiver and checkpoint/restart."""
+
+import numpy as np
+import pytest
+
+from repro.grid import Box, Grid, decompose_level
+from repro.dw import CCVariable, DataArchive, DataWarehouse, ReductionVariable, cc, per_level, reduction
+from repro.runtime import (
+    Computes,
+    Requires,
+    SimulationController,
+    Task,
+    TaskGraph,
+)
+from repro.util.errors import DataWarehouseError, SchedulerError
+
+PHI = cc("phi")
+
+
+def make_dw():
+    dw = DataWarehouse(generation=3)
+    dw.put(PHI, 0, CCVariable(Box.cube(4), np.arange(64.0).reshape(4, 4, 4)))
+    dw.put(PHI, 1, CCVariable(Box.cube(4, lo=(4, 0, 0)), np.ones((4, 4, 4))))
+    dw.put_level(per_level("coarse"), 0, np.full((2, 2, 2), 7.0))
+    dw.put_reduction(reduction("total"), ReductionVariable(42.0, "sum"))
+    return dw
+
+
+class TestArchive:
+    def test_roundtrip(self, tmp_path):
+        archive = DataArchive(tmp_path / "uda")
+        dw = make_dw()
+        archive.save(dw, step=5, time=0.25)
+        loaded, meta = archive.load(5)
+        assert meta["time"] == 0.25
+        assert loaded.generation == 3
+        np.testing.assert_array_equal(
+            loaded.get(PHI, 0).view(Box.cube(4)), dw.get(PHI, 0).view(Box.cube(4))
+        )
+        assert loaded.get(PHI, 1).box == Box.cube(4, lo=(4, 0, 0))
+        np.testing.assert_array_equal(
+            loaded.get_level(per_level("coarse"), 0), 7.0 * np.ones((2, 2, 2))
+        )
+        assert loaded.get_reduction(reduction("total")).value == 42.0
+
+    def test_timestep_listing(self, tmp_path):
+        archive = DataArchive(tmp_path / "uda")
+        for step in (2, 7, 4):
+            archive.save(make_dw(), step=step)
+        assert archive.timesteps() == [2, 4, 7]
+        assert archive.latest() == 7
+
+    def test_double_save_rejected(self, tmp_path):
+        archive = DataArchive(tmp_path / "uda")
+        archive.save(make_dw(), step=1)
+        with pytest.raises(DataWarehouseError):
+            archive.save(make_dw(), step=1)
+
+    def test_missing_step(self, tmp_path):
+        archive = DataArchive(tmp_path / "uda")
+        with pytest.raises(DataWarehouseError):
+            archive.load(99)
+        assert archive.latest() is None
+
+    def test_interval(self, tmp_path):
+        archive = DataArchive(tmp_path / "uda", every=3)
+        assert archive.should_save(3) and archive.should_save(6)
+        assert not archive.should_save(4)
+        with pytest.raises(DataWarehouseError):
+            DataArchive(tmp_path / "x", every=0)
+
+    def test_loaded_arrays_are_independent(self, tmp_path):
+        archive = DataArchive(tmp_path / "uda")
+        dw = make_dw()
+        archive.save(dw, step=0)
+        loaded, _ = archive.load(0)
+        loaded.get(PHI, 0).data[0, 0, 0] = -1
+        assert dw.get(PHI, 0).data[0, 0, 0] == 0.0
+
+
+N = 8
+DX = 1.0 / N
+DT = 1e-3
+
+
+def diffusion_graphs():
+    grid = Grid()
+    level = grid.add_level(Box.cube(N), (DX,) * 3)
+    decompose_level(level, (4, 4, 4))
+
+    def init_cb(ctx):
+        t = np.zeros((N, N, N))
+        t[N // 2, N // 2, N // 2] = 100.0
+        ctx.compute(PHI, t[ctx.patch.box.slices()])
+
+    def step_cb(ctx):
+        t = ctx.require(PHI, default=0.0)
+        core = t[1:-1, 1:-1, 1:-1]
+        lap = (
+            t[2:, 1:-1, 1:-1] + t[:-2, 1:-1, 1:-1]
+            + t[1:-1, 2:, 1:-1] + t[1:-1, :-2, 1:-1]
+            + t[1:-1, 1:-1, 2:] + t[1:-1, 1:-1, :-2]
+            - 6 * core
+        )
+        ctx.compute(PHI, core + 0.1 * lap)
+
+    init_tg = TaskGraph(grid)
+    init_tg.add_task(Task("init", init_cb, computes=[Computes(PHI)]), 0)
+    step_tg = TaskGraph(grid)
+    step_tg.add_task(
+        Task("step", step_cb, requires=[Requires(PHI, dw="old", num_ghost=1)],
+             computes=[Computes(PHI)]),
+        0,
+    )
+    return grid, init_tg.compile(), step_tg.compile()
+
+
+def gather(grid, dw):
+    out = np.zeros((N, N, N))
+    for p in grid.level(0).patches:
+        out[p.box.slices()] = dw.get(PHI, p.patch_id).view(p.box)
+    return out
+
+
+class TestCheckpointRestart:
+    def test_restart_continues_bit_identically(self, tmp_path):
+        grid, init_graph, step_graph = diffusion_graphs()
+
+        # uninterrupted 6-step run
+        straight = SimulationController(step_graph, initial_graph=init_graph)
+        dw_straight = straight.run(6, DT)
+
+        # run 3 steps with archiving, then restart and run 3 more
+        archive = DataArchive(tmp_path / "uda")
+        first = SimulationController(
+            step_graph, initial_graph=init_graph, archive=archive
+        )
+        first.run(3, DT)
+        assert archive.timesteps() == [1, 2, 3]
+
+        resumed = SimulationController.restart(step_graph, archive)
+        assert resumed.step == 3
+        dw_resumed = resumed.run(3, DT)
+
+        np.testing.assert_array_equal(
+            gather(grid, dw_resumed), gather(grid, dw_straight)
+        )
+        assert resumed.reports[-1].step == 6
+
+    def test_restart_from_specific_step(self, tmp_path):
+        grid, init_graph, step_graph = diffusion_graphs()
+        archive = DataArchive(tmp_path / "uda")
+        ctrl = SimulationController(
+            step_graph, initial_graph=init_graph, archive=archive
+        )
+        ctrl.run(4, DT)
+        resumed = SimulationController.restart(step_graph, archive, step=2)
+        assert resumed.step == 2
+        assert np.isclose(resumed.time, 2 * DT)
+
+    def test_restart_empty_archive_rejected(self, tmp_path):
+        _, _, step_graph = diffusion_graphs()
+        archive = DataArchive(tmp_path / "uda")
+        with pytest.raises(SchedulerError):
+            SimulationController.restart(step_graph, archive)
+
+    def test_archive_respects_interval(self, tmp_path):
+        _, init_graph, step_graph = diffusion_graphs()
+        archive = DataArchive(tmp_path / "uda", every=2)
+        ctrl = SimulationController(
+            step_graph, initial_graph=init_graph, archive=archive
+        )
+        ctrl.run(5, DT)
+        assert archive.timesteps() == [2, 4]

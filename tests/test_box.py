@@ -1,0 +1,205 @@
+"""Unit + property tests for integer box region algebra."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.grid.box import Box, union_volume
+from repro.util.errors import GridError
+
+
+def boxes(max_coord=12, max_extent=8):
+    lo = st.tuples(*[st.integers(-max_coord, max_coord)] * 3)
+    ext = st.tuples(*[st.integers(0, max_extent)] * 3)
+    return st.builds(lambda l, e: Box.from_extent(l, e), lo, ext)
+
+
+class TestConstruction:
+    def test_from_extent(self):
+        b = Box.from_extent((1, 2, 3), (4, 5, 6))
+        assert b.lo == (1, 2, 3)
+        assert b.hi == (5, 7, 9)
+        assert b.extent == (4, 5, 6)
+        assert b.volume == 120
+
+    def test_cube(self):
+        b = Box.cube(8, lo=(2, 2, 2))
+        assert b.extent == (8, 8, 8)
+        assert b.volume == 512
+
+    def test_empty(self):
+        assert Box((0, 0, 0), (0, 5, 5)).empty
+        assert Box((3, 3, 3), (2, 5, 5)).empty
+        assert not Box((0, 0, 0), (1, 1, 1)).empty
+
+    def test_bad_vector_rejected(self):
+        with pytest.raises(GridError):
+            Box((0, 0), (1, 1, 1))
+
+    def test_hashable_and_equal(self):
+        assert Box.cube(3) == Box.cube(3)
+        assert len({Box.cube(3), Box.cube(3), Box.cube(4)}) == 2
+
+
+class TestQueries:
+    def test_contains_point(self):
+        b = Box((0, 0, 0), (4, 4, 4))
+        assert b.contains_point((0, 0, 0))
+        assert b.contains_point((3, 3, 3))
+        assert not b.contains_point((4, 0, 0))
+        assert not b.contains_point((-1, 0, 0))
+
+    def test_contains_box(self):
+        outer = Box.cube(10)
+        assert outer.contains_box(Box((2, 2, 2), (5, 5, 5)))
+        assert not outer.contains_box(Box((8, 8, 8), (11, 11, 11)))
+        # empty boxes are contained everywhere
+        assert outer.contains_box(Box((100, 100, 100), (100, 100, 100)))
+
+    def test_negative_extent_clamps_to_zero_volume(self):
+        b = Box((5, 5, 5), (3, 9, 9))
+        assert b.extent == (0, 4, 4)
+        assert b.volume == 0
+
+
+class TestAlgebra:
+    def test_intersection(self):
+        a = Box((0, 0, 0), (4, 4, 4))
+        b = Box((2, 2, 2), (6, 6, 6))
+        assert a.intersect(b) == Box((2, 2, 2), (4, 4, 4))
+
+    def test_disjoint_intersection_empty(self):
+        a = Box.cube(2)
+        b = Box.cube(2, lo=(5, 5, 5))
+        assert a.intersect(b).empty
+        assert not a.intersects(b)
+
+    def test_subtract_interior_hole(self):
+        outer = Box.cube(4)
+        hole = Box((1, 1, 1), (3, 3, 3))
+        pieces = outer.subtract(hole)
+        assert sum(p.volume for p in pieces) == outer.volume - hole.volume
+        for p in pieces:
+            assert not p.intersects(hole)
+
+    def test_subtract_no_overlap_returns_self(self):
+        a = Box.cube(3)
+        assert a.subtract(Box.cube(2, lo=(10, 10, 10))) == [a]
+
+    def test_subtract_full_cover_returns_empty(self):
+        a = Box.cube(3)
+        assert a.subtract(Box.cube(5, lo=(-1, -1, -1))) == []
+
+    def test_grow(self):
+        b = Box.cube(4).grow(2)
+        assert b == Box((-2, -2, -2), (6, 6, 6))
+        assert Box.cube(4).grow((1, 0, 2)) == Box((-1, 0, -2), (5, 4, 6))
+
+    def test_shift(self):
+        assert Box.cube(2).shift((1, -1, 3)) == Box((1, -1, 3), (3, 1, 5))
+
+    def test_coarsen_covers(self):
+        b = Box((1, 1, 1), (7, 7, 7))
+        c = b.coarsen(4)
+        assert c == Box((0, 0, 0), (2, 2, 2))
+
+    def test_coarsen_negative_indices(self):
+        b = Box((-3, -3, -3), (3, 3, 3))
+        c = b.coarsen(2)
+        assert c == Box((-2, -2, -2), (2, 2, 2))
+
+    def test_refine_then_coarsen_roundtrip(self):
+        b = Box((1, 2, 3), (4, 5, 6))
+        assert b.refine(4).coarsen(4) == b
+
+    def test_bad_ratio(self):
+        with pytest.raises(GridError):
+            Box.cube(4).coarsen(0)
+        with pytest.raises(GridError):
+            Box.cube(4).refine((1, -1, 1))
+
+
+class TestSlices:
+    def test_slices_identity_origin(self):
+        b = Box((1, 2, 3), (4, 5, 6))
+        arr = np.zeros((10, 10, 10))
+        arr[b.slices()] = 1
+        assert arr.sum() == b.volume
+
+    def test_slices_with_origin(self):
+        b = Box((4, 4, 4), (6, 6, 6))
+        outer = b.grow(1)
+        arr = np.zeros(outer.extent)
+        arr[b.slices(origin=outer.lo)] = 1
+        assert arr.sum() == 8
+        assert arr[0, 0, 0] == 0
+        assert arr[1, 1, 1] == 1
+
+    def test_cells_iteration(self):
+        b = Box((0, 0, 0), (2, 2, 1))
+        assert list(b.cells()) == [(0, 0, 0), (0, 1, 0), (1, 0, 0), (1, 1, 0)]
+
+
+class TestProperties:
+    @given(boxes(), boxes())
+    def test_intersection_commutes(self, a, b):
+        assert a.intersect(b) == b.intersect(a)
+
+    @given(boxes(), boxes())
+    def test_intersection_contained(self, a, b):
+        inter = a.intersect(b)
+        if not inter.empty:
+            assert a.contains_box(inter)
+            assert b.contains_box(inter)
+
+    @given(boxes(), boxes())
+    @settings(max_examples=200)
+    def test_subtract_partitions(self, a, b):
+        """a = (a \\ b) + (a & b): volumes add up and pieces are disjoint."""
+        pieces = a.subtract(b)
+        inter = a.intersect(b)
+        assert sum(p.volume for p in pieces) + inter.volume == a.volume
+        for i, p in enumerate(pieces):
+            assert a.contains_box(p)
+            assert not p.intersects(b)
+            for q in pieces[i + 1:]:
+                assert not p.intersects(q)
+
+    @given(boxes(), st.integers(1, 4))
+    def test_coarsen_covers_property(self, b, r):
+        """The coarsened box, refined back, always covers the original."""
+        if b.empty:
+            return
+        assert b.coarsen(r).refine(r).contains_box(b)
+
+    @given(boxes(), st.integers(0, 3))
+    def test_grow_volume(self, b, g):
+        if b.empty:
+            return
+        e = b.extent
+        grown = b.grow(g)
+        assert grown.volume == (e[0] + 2 * g) * (e[1] + 2 * g) * (e[2] + 2 * g)
+
+    @given(st.lists(boxes(max_coord=6, max_extent=5), max_size=6))
+    @settings(max_examples=100)
+    def test_union_volume_against_rasterization(self, bs):
+        """Sweep-based union volume equals brute-force voxel count."""
+        expected = len({c for b in bs for c in b.cells()})
+        assert union_volume(bs) == expected
+
+
+class TestUnionVolume:
+    def test_empty(self):
+        assert union_volume([]) == 0
+
+    def test_disjoint(self):
+        assert union_volume([Box.cube(2), Box.cube(3, lo=(10, 0, 0))]) == 8 + 27
+
+    def test_nested(self):
+        assert union_volume([Box.cube(4), Box.cube(2, lo=(1, 1, 1))]) == 64
+
+    def test_overlapping(self):
+        a = Box((0, 0, 0), (2, 1, 1))
+        b = Box((1, 0, 0), (3, 1, 1))
+        assert union_volume([a, b]) == 3

@@ -1,0 +1,284 @@
+"""Tests for labels, variables, the host DW, and the GPU DW level DB."""
+
+import numpy as np
+import pytest
+
+from repro.grid import Box, Level, decompose_level
+from repro.dw import (
+    CCVariable,
+    DataWarehouse,
+    DataWarehouseManager,
+    GPUDataWarehouse,
+    ReductionVariable,
+    VarKind,
+    VarLabel,
+    cc,
+    per_level,
+    reduction,
+)
+from repro.util.errors import DataWarehouseError
+
+
+class TestLabels:
+    def test_kinds(self):
+        assert cc("x").kind is VarKind.CELL_CENTERED
+        assert per_level("x").kind is VarKind.PER_LEVEL
+        assert reduction("x").kind is VarKind.REDUCTION
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            VarLabel("")
+
+    def test_hashable(self):
+        assert len({cc("a"), cc("a"), cc("b")}) == 2
+
+
+class TestCCVariable:
+    def test_zero_init(self):
+        v = CCVariable(Box.cube(4))
+        assert v.data.shape == (4, 4, 4)
+        assert v.nbytes == 64 * 8
+
+    def test_shape_mismatch(self):
+        with pytest.raises(DataWarehouseError):
+            CCVariable(Box.cube(4), data=np.zeros((3, 3, 3)))
+
+    def test_empty_box_rejected(self):
+        with pytest.raises(DataWarehouseError):
+            CCVariable(Box((0, 0, 0), (0, 1, 1)))
+
+    def test_view_offset(self):
+        v = CCVariable(Box.cube(4, lo=(10, 10, 10)))
+        region = Box.cube(2, lo=(11, 11, 11))
+        v.view(region)[...] = 7
+        assert v.data[1, 1, 1] == 7
+        assert v.data[0, 0, 0] == 0
+
+    def test_view_outside_rejected(self):
+        v = CCVariable(Box.cube(4))
+        with pytest.raises(DataWarehouseError):
+            v.view(Box.cube(2, lo=(3, 3, 3)))
+
+    def test_copy_region_from(self):
+        a = CCVariable(Box.cube(4), data=np.ones((4, 4, 4)))
+        b = CCVariable(Box.cube(4))
+        b.copy_region_from(a, Box.cube(2, lo=(1, 1, 1)))
+        assert b.data.sum() == 8
+
+
+class TestReductionVariable:
+    def test_ops(self):
+        assert ReductionVariable(2.0, "sum").combine(ReductionVariable(3.0, "sum")).value == 5.0
+        assert ReductionVariable(2.0, "min").combine(ReductionVariable(3.0, "min")).value == 2.0
+        assert ReductionVariable(2.0, "max").combine(ReductionVariable(3.0, "max")).value == 3.0
+
+    def test_bad_op(self):
+        with pytest.raises(DataWarehouseError):
+            ReductionVariable(0.0, "mean")
+
+    def test_mixed_ops_rejected(self):
+        with pytest.raises(DataWarehouseError):
+            ReductionVariable(1.0, "sum").combine(ReductionVariable(1.0, "min"))
+
+
+class TestHostDW:
+    def setup_method(self):
+        self.level = Level(0, Box.cube(8), dx=(1 / 8,) * 3)
+        self.patches = decompose_level(self.level, (4, 4, 4))
+        self.dw = DataWarehouse()
+        self.phi = cc("phi")
+
+    def test_put_get(self):
+        v = CCVariable(self.patches[0].box)
+        self.dw.put(self.phi, 0, v)
+        assert self.dw.get(self.phi, 0) is v
+        assert self.dw.exists(self.phi, 0)
+        assert not self.dw.exists(self.phi, 1)
+
+    def test_double_compute_rejected(self):
+        self.dw.put(self.phi, 0, CCVariable(self.patches[0].box))
+        with pytest.raises(DataWarehouseError):
+            self.dw.put(self.phi, 0, CCVariable(self.patches[0].box))
+
+    def test_missing_get(self):
+        with pytest.raises(DataWarehouseError):
+            self.dw.get(self.phi, 3)
+
+    def test_wrong_kind_rejected(self):
+        with pytest.raises(DataWarehouseError):
+            self.dw.put(per_level("x"), 0, CCVariable(self.patches[0].box))
+        with pytest.raises(DataWarehouseError):
+            self.dw.put_level(cc("x"), 0, np.zeros(3))
+
+    def test_get_region_assembles_across_patches(self):
+        for p in self.patches:
+            data = np.full(p.box.extent, float(p.patch_id))
+            self.dw.put(self.phi, p.patch_id, CCVariable(p.box, data))
+        region = Box((2, 2, 2), (6, 6, 6))  # spans all 8 patches
+        out = self.dw.get_region(self.phi, self.level, region)
+        assert out.shape == (4, 4, 4)
+        assert out[0, 0, 0] == self.patches[0].patch_id
+        assert len(np.unique(out)) == 8
+
+    def test_get_region_missing_raises(self):
+        self.dw.put(self.phi, 0, CCVariable(self.patches[0].box))
+        with pytest.raises(DataWarehouseError):
+            self.dw.get_region(self.phi, self.level, Box.cube(8))
+
+    def test_get_region_default_fills_wall_ring(self):
+        for p in self.patches:
+            self.dw.put(self.phi, p.patch_id, CCVariable(p.box, np.ones(p.box.extent)))
+        out = self.dw.get_region(self.phi, self.level, Box.cube(8).grow(1), default=-5.0)
+        assert out[0, 0, 0] == -5.0
+        assert out[1, 1, 1] == 1.0
+
+    def test_foreign_pieces_cover_remote_data(self):
+        # only patch 0 is local; a foreign piece covers the one remote
+        # cell the region touches
+        self.dw.put(self.phi, 0, CCVariable(self.patches[0].box, np.ones((4, 4, 4))))
+        foreign_box = Box((4, 3, 3), (5, 4, 4))
+        self.dw.add_foreign(
+            self.phi, 4, CCVariable(foreign_box, np.full((1, 1, 1), 9.0))
+        )
+        region = Box((3, 3, 3), (5, 4, 4))
+        out = self.dw.get_region(self.phi, self.level, region)
+        assert out[0, 0, 0] == 1.0
+        assert out[1, 0, 0] == 9.0
+
+    def test_level_vars(self):
+        lbl = per_level("coarse_abskg")
+        arr = np.ones((4, 4, 4))
+        self.dw.put_level(lbl, 0, arr)
+        assert self.dw.get_level(lbl, 0) is arr
+        assert self.dw.has_level(lbl, 0)
+        with pytest.raises(DataWarehouseError):
+            self.dw.put_level(lbl, 0, arr)
+        with pytest.raises(DataWarehouseError):
+            self.dw.get_level(lbl, 1)
+
+    def test_reductions_combine(self):
+        lbl = reduction("max_temp")
+        self.dw.put_reduction(lbl, ReductionVariable(5.0, "max"))
+        self.dw.put_reduction(lbl, ReductionVariable(9.0, "max"))
+        self.dw.put_reduction(lbl, ReductionVariable(7.0, "max"))
+        assert self.dw.get_reduction(lbl).value == 9.0
+
+    def test_nbytes_and_names(self):
+        self.dw.put(self.phi, 0, CCVariable(self.patches[0].box))
+        self.dw.put_level(per_level("lv"), 0, np.zeros(10))
+        assert self.dw.nbytes == 64 * 8 + 80
+        assert self.dw.variable_names() == ["lv", "phi"]
+
+
+class TestDWManager:
+    def test_advance_swaps(self):
+        mgr = DataWarehouseManager()
+        first = mgr.new_dw
+        assert mgr.old_dw is None
+        mgr.advance()
+        assert mgr.old_dw is first
+        assert mgr.new_dw is not first
+        assert mgr.new_dw.generation == 1
+
+
+class TestGPUDW:
+    def make_var(self, n=8):
+        return CCVariable(Box.cube(n))
+
+    def test_upload_accounting(self):
+        gpu = GPUDataWarehouse(capacity_bytes=10 ** 6)
+        v = self.make_var()
+        gpu.upload_patch_var(cc("phi"), 0, v)
+        assert gpu.usage == v.nbytes
+        assert gpu.stats.h2d_bytes == v.nbytes
+        assert gpu.stats.h2d_transfers == 1
+
+    def test_reupload_free(self):
+        gpu = GPUDataWarehouse(capacity_bytes=10 ** 6)
+        v = self.make_var()
+        gpu.upload_patch_var(cc("phi"), 0, v)
+        gpu.upload_patch_var(cc("phi"), 0, v)
+        assert gpu.stats.h2d_transfers == 1
+
+    def test_capacity_enforced(self):
+        gpu = GPUDataWarehouse(capacity_bytes=1000)
+        with pytest.raises(DataWarehouseError):
+            gpu.upload_patch_var(cc("phi"), 0, self.make_var(8))  # 4 KiB
+
+    def test_release_returns_bytes(self):
+        gpu = GPUDataWarehouse(capacity_bytes=10 ** 6)
+        gpu.upload_patch_var(cc("phi"), 0, self.make_var())
+        gpu.release_patch_var(cc("phi"), 0)
+        assert gpu.usage == 0
+        with pytest.raises(DataWarehouseError):
+            gpu.release_patch_var(cc("phi"), 0)
+
+    def test_download_counts(self):
+        gpu = GPUDataWarehouse(capacity_bytes=10 ** 6)
+        v = self.make_var()
+        gpu.upload_patch_var(cc("divq"), 0, v)
+        gpu.download_patch_var(cc("divq"), 0)
+        assert gpu.stats.d2h_bytes == v.nbytes
+
+    def test_level_db_shares_single_copy(self):
+        """The paper's fix: N tasks sharing one coarse-level copy pay
+        one transfer and one allocation."""
+        gpu = GPUDataWarehouse(capacity_bytes=10 ** 6, use_level_db=True)
+        lbl = per_level("coarse_abskg")
+        data = np.ones((16, 16, 16))
+        for task in range(10):
+            gpu.upload_level_var(lbl, 0, data, task_id=task)
+        assert gpu.stats.h2d_transfers == 1
+        assert gpu.usage == data.nbytes
+        assert gpu.get_level_var(lbl, 0) is data
+
+    def test_legacy_mode_copies_per_task(self):
+        """Without the level DB each task pays its own copy — 10 tasks
+        cost 10x the memory and traffic (what blew the 6 GB budget)."""
+        gpu = GPUDataWarehouse(capacity_bytes=10 ** 7, use_level_db=False)
+        lbl = per_level("coarse_abskg")
+        data = np.ones((16, 16, 16))
+        for task in range(10):
+            gpu.upload_level_var(lbl, 0, data, task_id=task)
+        assert gpu.stats.h2d_transfers == 10
+        assert gpu.usage == 10 * data.nbytes
+        gpu.release_task(3)
+        assert gpu.usage == 9 * data.nbytes
+
+    def test_legacy_mode_ooms_where_level_db_fits(self):
+        """The crux of contribution (ii) at miniature scale."""
+        data = np.ones((32, 32, 32))  # 256 KiB
+        budget = int(2.5 * data.nbytes)
+        lbl = per_level("coarse")
+        ok = GPUDataWarehouse(capacity_bytes=budget, use_level_db=True)
+        for task in range(8):
+            ok.upload_level_var(lbl, 0, data, task_id=task)
+        legacy = GPUDataWarehouse(capacity_bytes=budget, use_level_db=False)
+        with pytest.raises(DataWarehouseError):
+            for task in range(8):
+                legacy.upload_level_var(lbl, 0, data, task_id=task)
+
+    def test_legacy_requires_task_id(self):
+        gpu = GPUDataWarehouse(use_level_db=False)
+        with pytest.raises(DataWarehouseError):
+            gpu.upload_level_var(per_level("x"), 0, np.zeros(4))
+
+    def test_level_var_kind_enforced(self):
+        gpu = GPUDataWarehouse()
+        with pytest.raises(DataWarehouseError):
+            gpu.upload_level_var(cc("x"), 0, np.zeros(4))
+
+    def test_clear_level_db(self):
+        gpu = GPUDataWarehouse()
+        gpu.upload_level_var(per_level("x"), 0, np.zeros(100))
+        gpu.clear_level_db()
+        assert gpu.usage == 0
+        assert gpu.peak_usage == 800
+
+    def test_resident_summary(self):
+        gpu = GPUDataWarehouse()
+        gpu.upload_patch_var(cc("phi"), 0, self.make_var())
+        gpu.upload_level_var(per_level("x"), 0, np.zeros(8))
+        s = gpu.resident_summary()
+        assert s["patch_vars"] == 1
+        assert s["level_db_entries"] == 1

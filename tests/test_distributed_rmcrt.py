@@ -1,0 +1,126 @@
+"""End-to-end integration: RMCRT as a task graph on every scheduler.
+
+The strongest invariant in the library: the 3-task distributed RMCRT
+pipeline reproduces the direct multi-level solver bit-for-bit, on every
+execution engine, for any rank count — decomposition and scheduling are
+invisible to the physics.
+"""
+
+import numpy as np
+import pytest
+
+from repro.dw import GPUDataWarehouse
+from repro.radiation import BurnsChristonBenchmark
+from repro.core import (
+    DIVQ,
+    DistributedRMCRT,
+    MultiLevelRMCRT,
+    benchmark_property_init,
+)
+from repro.util.errors import ReproError
+
+
+@pytest.fixture(scope="module")
+def setup():
+    bench = BurnsChristonBenchmark(resolution=16)
+    grid = bench.two_level_grid(refinement_ratio=4, fine_patch_size=8)
+    drm = DistributedRMCRT(
+        grid, benchmark_property_init(bench), rays_per_cell=8, halo=2, seed=3
+    )
+    reference = drm.solve("serial")
+    return bench, grid, drm, reference
+
+
+class TestEquivalence:
+    def test_serial_matches_direct_solver(self, setup):
+        bench, grid, drm, reference = setup
+        grid2 = bench.two_level_grid(refinement_ratio=4, fine_patch_size=8)
+        props = bench.properties_for_level(grid2.finest_level)
+        direct = MultiLevelRMCRT(rays_per_cell=8, seed=3, halo=2).solve(grid2, props)
+        np.testing.assert_array_equal(reference.divq, direct.divq)
+
+    @pytest.mark.parametrize("num_ranks", [1, 2, 4, 8])
+    def test_distributed_matches_serial(self, setup, num_ranks):
+        _, _, drm, reference = setup
+        result = drm.solve("distributed", num_ranks=num_ranks)
+        np.testing.assert_array_equal(result.divq, reference.divq)
+
+    @pytest.mark.parametrize("threads", [2, 8])
+    def test_threaded_matches_serial(self, setup, threads):
+        _, _, drm, reference = setup
+        result = drm.solve("threaded", num_threads=threads)
+        np.testing.assert_array_equal(result.divq, reference.divq)
+
+    def test_gpu_matches_serial(self, setup):
+        _, _, drm, reference = setup
+        result = drm.solve("gpu")
+        np.testing.assert_array_equal(result.divq, reference.divq)
+
+    def test_locked_pool_matches(self, setup):
+        _, _, drm, reference = setup
+        result = drm.solve("distributed", num_ranks=4, pool_kind="locked")
+        np.testing.assert_array_equal(result.divq, reference.divq)
+
+
+class TestPhysicsSanity:
+    def test_divq_positive(self, setup):
+        *_, reference = setup
+        assert (reference.divq > 0).all()
+
+    def test_rays_accounted(self, setup):
+        _, grid, _, reference = setup
+        assert reference.rays_traced == 16 ** 3 * 8
+
+
+class TestDeviceTasks:
+    def test_device_trace_shares_level_db(self):
+        """Each coarse level's 3 property arrays hit the GPU once even
+        though 8 patch tasks consume them."""
+        bench = BurnsChristonBenchmark(resolution=16)
+        grid = bench.two_level_grid(refinement_ratio=4, fine_patch_size=8)
+        drm = DistributedRMCRT(
+            grid, benchmark_property_init(bench),
+            rays_per_cell=4, halo=2, seed=1, device=True,
+        )
+        gpu = GPUDataWarehouse(use_level_db=True)
+        result = drm.solve("gpu", gpu=gpu)
+        assert gpu.resident_summary()["level_db_entries"] == 3
+        assert (result.divq > 0).all()
+
+
+class TestValidation:
+    def test_single_level_grid_rejected(self):
+        bench = BurnsChristonBenchmark(resolution=8)
+        grid = bench.single_level_grid(patch_size=4)
+        with pytest.raises(ReproError):
+            DistributedRMCRT(grid, benchmark_property_init(bench))
+
+    def test_undecomposed_grid_rejected(self):
+        bench = BurnsChristonBenchmark(resolution=8)
+        grid = bench.two_level_grid(refinement_ratio=2)
+        with pytest.raises(ReproError):
+            DistributedRMCRT(grid, benchmark_property_init(bench))
+
+    def test_unknown_scheduler(self, setup):
+        _, _, drm, _ = setup
+        with pytest.raises(ReproError):
+            drm.solve("quantum")
+
+    def test_graph_shape(self, setup):
+        _, grid, drm, _ = setup
+        graph = drm.build_graph()
+        names = {t.task.name for t in graph.detailed_tasks}
+        assert names == {"rmcrt.initProperties", "rmcrt.coarsen", "rmcrt.trace"}
+        # 8 init + 1 coarsen + 8 trace
+        assert len(graph.detailed_tasks) == 17
+
+    def test_distributed_message_structure(self, setup):
+        _, grid, drm, _ = setup
+        from repro.grid import LoadBalancer
+
+        assignment = LoadBalancer(4).assign(grid.finest_level.patches)
+        graph = drm.build_graph(assignment=assignment, num_ranks=4)
+        level_msgs = [m for m in graph.messages if m.label.name.endswith("_L0")]
+        # 3 coarse property arrays broadcast to every rank except the
+        # coarsen task's own
+        assert len(level_msgs) == 3 * 3

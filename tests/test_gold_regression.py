@@ -1,0 +1,55 @@
+"""Gold-standard regression tests (Uintah-style nightly comparisons).
+
+Regeneration recipe, should an *intentional* behaviour change land:
+
+    bench = BurnsChristonBenchmark(resolution=16)
+    grid = bench.single_level_grid()
+    props = bench.properties_for_level(grid.finest_level)
+    res = SingleLevelRMCRT(rays_per_cell=32, seed=123).solve(grid, props)
+    x, line = bench.centerline(res.divq)   # -> RMCRT_GOLD_16_R32_S123
+
+and equivalently with dom_reference_divq for the DOM gold.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import SingleLevelRMCRT
+from repro.radiation import BurnsChristonBenchmark, dom_reference_divq
+from repro.radiation.gold import DOM_GOLD_16_P8X16, RMCRT_GOLD_16_R32_S123
+
+
+@pytest.fixture(scope="module")
+def setup16():
+    bench = BurnsChristonBenchmark(resolution=16)
+    grid = bench.single_level_grid()
+    props = bench.properties_for_level(grid.finest_level)
+    return bench, grid, props
+
+
+class TestGold:
+    def test_rmcrt_centerline_bitwise(self, setup16):
+        """Exact reproduction: RNG keying, ray order, and the DDA
+        arithmetic are all pinned by this comparison."""
+        bench, grid, props = setup16
+        res = SingleLevelRMCRT(rays_per_cell=32, seed=123).solve(grid, props)
+        _, line = bench.centerline(res.divq)
+        np.testing.assert_array_equal(line, RMCRT_GOLD_16_R32_S123)
+
+    def test_dom_centerline_bitwise(self, setup16):
+        bench, grid, props = setup16
+        divq = dom_reference_divq(props, grid.finest_level.dx,
+                                  n_polar=8, n_azimuthal=16)
+        _, line = bench.centerline(divq)
+        np.testing.assert_allclose(line, DOM_GOLD_16_P8X16, rtol=1e-13)
+
+    def test_golds_agree_with_each_other(self):
+        """The Monte Carlo gold sits within its own noise of the
+        deterministic gold — the two methods cross-check."""
+        rel = np.abs(RMCRT_GOLD_16_R32_S123 - DOM_GOLD_16_P8X16) / DOM_GOLD_16_P8X16
+        assert rel.max() < 0.05
+
+    def test_dom_gold_symmetric(self):
+        np.testing.assert_allclose(
+            DOM_GOLD_16_P8X16, DOM_GOLD_16_P8X16[::-1], rtol=1e-12
+        )

@@ -1,0 +1,199 @@
+"""Tests for Patch, Level, Grid, and decomposition."""
+
+import numpy as np
+import pytest
+
+from repro.grid import (
+    Box,
+    Grid,
+    Level,
+    Patch,
+    build_single_level_grid,
+    build_two_level_grid,
+    decompose_level,
+    patch_count,
+    tile_box,
+)
+from repro.util.errors import GridError
+
+
+class TestPatch:
+    def test_basic(self):
+        p = Patch(0, 0, Box.cube(8))
+        assert p.num_cells == 512
+        assert p.lo == (0, 0, 0)
+
+    def test_ghost_box(self):
+        p = Patch(0, 0, Box.cube(4, lo=(4, 4, 4)))
+        g = p.ghost_box(2)
+        assert g == Box((2, 2, 2), (10, 10, 10))
+
+    def test_ghost_region_volume(self):
+        p = Patch(0, 0, Box.cube(4))
+        region = p.ghost_region(1)
+        assert sum(b.volume for b in region) == 6 ** 3 - 4 ** 3
+        for b in region:
+            assert not b.intersects(p.box)
+
+    def test_centroid(self):
+        p = Patch(0, 0, Box.cube(4, lo=(2, 2, 2)))
+        assert p.centroid_index() == (4.0, 4.0, 4.0)
+
+
+class TestLevel:
+    def make_level(self):
+        return Level(0, Box.cube(16), dx=(1 / 16,) * 3)
+
+    def test_add_and_lookup(self):
+        lvl = self.make_level()
+        p = Patch(5, 0, Box.cube(8))
+        lvl.add_patch(p)
+        assert lvl.patch(5) is p
+        assert lvl.num_patches == 1
+
+    def test_overlap_rejected(self):
+        lvl = self.make_level()
+        lvl.add_patch(Patch(0, 0, Box.cube(8)))
+        with pytest.raises(GridError):
+            lvl.add_patch(Patch(1, 0, Box.cube(8, lo=(4, 4, 4))))
+
+    def test_outside_domain_rejected(self):
+        lvl = self.make_level()
+        with pytest.raises(GridError):
+            lvl.add_patch(Patch(0, 0, Box.cube(8, lo=(12, 0, 0))))
+
+    def test_wrong_level_index_rejected(self):
+        lvl = self.make_level()
+        with pytest.raises(GridError):
+            lvl.add_patch(Patch(0, 3, Box.cube(4)))
+
+    def test_duplicate_id_rejected(self):
+        lvl = self.make_level()
+        lvl.add_patch(Patch(0, 0, Box.cube(4)))
+        with pytest.raises(GridError):
+            lvl.add_patch(Patch(0, 0, Box.cube(4, lo=(8, 8, 8))))
+
+    def test_cell_position_roundtrip(self):
+        lvl = self.make_level()
+        for cell in [(0, 0, 0), (7, 3, 15), (15, 15, 15)]:
+            pos = lvl.cell_position(cell)
+            assert lvl.cell_index(pos) == cell
+
+    def test_cell_centers(self):
+        lvl = Level(0, Box.cube(4), dx=(0.25,) * 3)
+        x, y, z = lvl.cell_centers()
+        assert np.allclose(x, [0.125, 0.375, 0.625, 0.875])
+
+    def test_physical_bounds(self):
+        lvl = Level(0, Box.cube(4), dx=(0.25,) * 3)
+        assert np.allclose(lvl.physical_lower, 0)
+        assert np.allclose(lvl.physical_upper, 1)
+
+    def test_map_to_coarser(self):
+        lvl = Level(1, Box.cube(16), dx=(1 / 16,) * 3, refinement_ratio=(4, 4, 4))
+        assert lvl.map_cell_to_coarser((7, 8, 15)) == (1, 2, 3)
+        assert lvl.map_box_to_coarser(Box((2, 2, 2), (9, 9, 9))) == Box(
+            (0, 0, 0), (3, 3, 3)
+        )
+
+    def test_containing_patch(self):
+        lvl = self.make_level()
+        decompose_level(lvl, (8, 8, 8))
+        p = lvl.containing_patch((9, 1, 1))
+        assert p is not None and p.box.contains_point((9, 1, 1))
+        assert lvl.containing_patch((99, 0, 0)) is None
+
+
+class TestDecomposition:
+    def test_tile_exact(self):
+        boxes = tile_box(Box.cube(8), (4, 4, 4))
+        assert len(boxes) == 8
+        assert sum(b.volume for b in boxes) == 512
+
+    def test_tile_indivisible_rejected(self):
+        with pytest.raises(GridError):
+            tile_box(Box.cube(10), (4, 4, 4))
+
+    def test_tile_remainder(self):
+        boxes = tile_box(Box.cube(10), (4, 4, 4), allow_remainder=True)
+        assert sum(b.volume for b in boxes) == 1000
+        assert len(boxes) == 27
+
+    def test_decompose_level_registers(self):
+        lvl = Level(0, Box.cube(16), dx=(1.0,) * 3)
+        patches = decompose_level(lvl, (8, 8, 8))
+        assert len(patches) == 8
+        assert lvl.is_fully_tiled()
+
+    def test_decompose_twice_rejected(self):
+        lvl = Level(0, Box.cube(16), dx=(1.0,) * 3)
+        decompose_level(lvl, (8, 8, 8))
+        with pytest.raises(GridError):
+            decompose_level(lvl, (4, 4, 4))
+
+    def test_patch_count(self):
+        assert patch_count(256, 16) == 16 ** 3
+        assert patch_count(256, 64) == 64
+        with pytest.raises(GridError):
+            patch_count(256, 48)
+
+
+class TestGrid:
+    def test_two_level_benchmark_grid(self):
+        grid = build_two_level_grid(64, refinement_ratio=4, fine_patch_size=16)
+        assert grid.num_levels == 2
+        coarse, fine = grid.levels
+        assert coarse.domain_box == Box.cube(16)
+        assert fine.domain_box == Box.cube(64)
+        assert fine.num_patches == 64
+        assert grid.total_cells == 64 ** 3 + 16 ** 3
+
+    def test_levels_share_physical_domain(self):
+        grid = build_two_level_grid(32, refinement_ratio=4)
+        for lvl in grid.levels:
+            assert np.allclose(lvl.physical_lower, 0)
+            assert np.allclose(lvl.physical_upper, 1)
+
+    def test_paper_problem_sizes(self):
+        """The MEDIUM (17.04M) and LARGE (136.31M) cell counts from Section V."""
+        medium = build_two_level_grid(256, refinement_ratio=4)
+        assert medium.total_cells == 256 ** 3 + 64 ** 3 == 17_039_360
+        large = build_two_level_grid(512, refinement_ratio=4)
+        assert large.total_cells == 512 ** 3 + 128 ** 3 == 136_314_880
+
+    def test_inconsistent_ratio_rejected(self):
+        grid = Grid()
+        grid.add_level(Box.cube(16), (1 / 16,) * 3)
+        with pytest.raises(GridError):
+            grid.add_level(Box.cube(50), (1 / 50,) * 3, refinement_ratio=(4, 4, 4))
+
+    def test_inconsistent_dx_rejected(self):
+        grid = Grid()
+        grid.add_level(Box.cube(16), (1 / 16,) * 3)
+        with pytest.raises(GridError):
+            # domain refines correctly but dx does not match ratio
+            grid.add_level(Box.cube(64), (1 / 128,) * 3, refinement_ratio=(4, 4, 4))
+
+    def test_single_level_grid(self):
+        grid = build_single_level_grid(32, patch_size=16)
+        assert grid.num_levels == 1
+        assert grid.finest_level.num_patches == 8
+
+    def test_empty_grid_guards(self):
+        grid = Grid()
+        with pytest.raises(GridError):
+            _ = grid.finest_level
+        with pytest.raises(GridError):
+            grid.level(0)
+
+    def test_indivisible_fine_cells_rejected(self):
+        with pytest.raises(GridError):
+            build_two_level_grid(30, refinement_ratio=4)
+
+    def test_all_patches_spans_levels(self):
+        grid = build_two_level_grid(
+            32, refinement_ratio=4, fine_patch_size=16, coarse_patch_size=8
+        )
+        ids = [p.patch_id for p in grid.all_patches()]
+        assert len(ids) == len(set(ids))
+        assert grid.total_patches == 8 + 1

@@ -1,0 +1,139 @@
+"""Tests for angular quadrature and the discrete-ordinates baseline."""
+
+import numpy as np
+import pytest
+
+from repro.grid import Box
+from repro.radiation import (
+    BurnsChristonBenchmark,
+    DiscreteOrdinates,
+    Quadrature,
+    RadiativeProperties,
+    dom_reference_divq,
+    product_quadrature,
+    sn_level_symmetric,
+)
+from repro.util.errors import ReproError
+
+
+class TestQuadrature:
+    @pytest.mark.parametrize("order", [2, 4])
+    def test_sn_moments(self, order):
+        q = sn_level_symmetric(order)
+        assert q.check_moments()
+
+    def test_sn_unit_directions(self):
+        q = sn_level_symmetric(4)
+        assert np.allclose(np.linalg.norm(q.directions, axis=1), 1.0)
+
+    def test_sn_counts(self):
+        assert sn_level_symmetric(2).num_ordinates == 8
+        assert sn_level_symmetric(4).num_ordinates == 24
+
+    def test_sn_octant_symmetry(self):
+        q = sn_level_symmetric(4)
+        dirs = {tuple(np.round(d, 10)) for d in q.directions}
+        for d in q.directions:
+            assert tuple(np.round(-d, 10)) in dirs
+
+    def test_unsupported_order(self):
+        with pytest.raises(ReproError):
+            sn_level_symmetric(8)
+
+    @pytest.mark.parametrize("np_, na", [(2, 4), (4, 8), (8, 16)])
+    def test_product_moments(self, np_, na):
+        q = product_quadrature(np_, na)
+        assert q.check_moments()
+
+    def test_product_second_moment(self):
+        """Integral of s_z^2 over the sphere is 4*pi/3."""
+        q = product_quadrature(8, 16)
+        val = (q.weights * q.directions[:, 2] ** 2).sum()
+        assert np.isclose(val, 4 * np.pi / 3)
+
+    def test_product_bad_sizes(self):
+        with pytest.raises(ReproError):
+            product_quadrature(0, 4)
+
+    def test_quadrature_shape_validation(self):
+        with pytest.raises(ReproError):
+            Quadrature(np.zeros((3, 2)), np.zeros(3))
+
+
+def uniform_props(n, kappa, st4=1.0):
+    box = Box.cube(n)
+    return RadiativeProperties.from_fields(
+        box, abskg=np.full(box.extent, kappa), sigma_t4=np.full(box.extent, st4)
+    )
+
+
+class TestDOM:
+    def test_divq_positive_for_hot_medium_cold_walls(self):
+        props = uniform_props(8, kappa=1.0)
+        divq = DiscreteOrdinates(sn_order=4).solve(props, (1 / 8,) * 3)
+        assert divq.shape == (8, 8, 8)
+        assert (divq > 0).all()
+
+    def test_equilibrium_is_zero(self):
+        """Medium and walls at the same temperature: no net transfer.
+
+        With I_wall = sigma_t4/pi everywhere, each ordinate solves to the
+        constant source and G = 4*sigma_t4, hence del.q = 0 identically.
+        """
+        box = Box.cube(6)
+        props = RadiativeProperties.from_fields(
+            box,
+            abskg=np.full(box.extent, 0.7),
+            sigma_t4=np.ones(box.extent),
+            wall_temperature=(1.0 / 5.670374419e-8) ** 0.25,  # sigma*T^4 = 1
+        )
+        divq = DiscreteOrdinates(sn_order=4).solve(props, (1 / 6,) * 3)
+        assert np.allclose(divq, 0.0, atol=1e-12)
+
+    def test_optically_thin_limit(self):
+        """kappa -> 0 with cold walls: G -> 0, del.q -> 4 kappa sigma_t4."""
+        kappa = 1e-4
+        props = uniform_props(6, kappa=kappa)
+        divq = DiscreteOrdinates(sn_order=4).solve(props, (1 / 6,) * 3)
+        assert np.allclose(divq, 4 * kappa * 1.0, rtol=1e-2)
+
+    def test_optically_thick_interior(self):
+        """Very thick medium: the interior reaches equilibrium, del.q ~ 0
+        except near the cold walls."""
+        props = uniform_props(10, kappa=200.0)
+        divq = DiscreteOrdinates(sn_order=4).solve(props, (1 / 10,) * 3)
+        assert abs(divq[5, 5, 5]) < 1e-3 * divq.max()
+        assert divq[0, 5, 5] > divq[5, 5, 5]
+
+    def test_symmetry_burns_christon(self):
+        bench = BurnsChristonBenchmark(resolution=8)
+        grid = bench.single_level_grid()
+        props = bench.properties_for_level(grid.finest_level)
+        divq = DiscreteOrdinates(sn_order=4).solve(props, grid.finest_level.dx)
+        assert np.allclose(divq, divq[::-1, :, :], rtol=1e-10)
+        assert np.allclose(divq, np.transpose(divq, (1, 2, 0)), rtol=1e-10)
+
+    def test_sn_vs_product_agree(self):
+        props = uniform_props(8, kappa=1.0)
+        dx = (1 / 8,) * 3
+        a = DiscreteOrdinates(sn_order=4).solve(props, dx)
+        b = DiscreteOrdinates(product_quadrature(4, 8)).solve(props, dx)
+        assert np.allclose(a, b, rtol=0.05)
+
+    def test_reference_helper(self):
+        props = uniform_props(6, kappa=0.5)
+        divq = dom_reference_divq(props, (1 / 6,) * 3, n_polar=4, n_azimuthal=8)
+        assert divq.shape == (6, 6, 6)
+        assert (divq > 0).all()
+
+    def test_hot_wall_heats_medium(self):
+        """Cold medium surrounded by hot walls: del.q < 0 (net absorption)."""
+        box = Box.cube(6)
+        props = RadiativeProperties.from_fields(
+            box,
+            abskg=np.full(box.extent, 1.0),
+            sigma_t4=np.zeros(box.extent),
+            wall_temperature=100.0,
+        )
+        divq = DiscreteOrdinates(sn_order=4).solve(props, (1 / 6,) * 3)
+        assert (divq < 0).all()

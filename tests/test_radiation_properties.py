@@ -1,0 +1,190 @@
+"""Tests for radiative property bundles and their coarsening."""
+
+import numpy as np
+import pytest
+
+from repro.grid import Box, CellType
+from repro.radiation import (
+    SIGMA_SB,
+    T_UNIT_EMISSION,
+    BurnsChristonBenchmark,
+    RadiativeProperties,
+    burns_christon_abskg,
+)
+from repro.util.errors import GridError
+
+
+def make_props(n=8, kappa=0.5, st4=1.0, wall_t=0.0):
+    box = Box.cube(n)
+    return RadiativeProperties.from_fields(
+        box,
+        abskg=np.full(box.extent, kappa),
+        sigma_t4=np.full(box.extent, st4),
+        wall_temperature=wall_t,
+    )
+
+
+class TestConstruction:
+    def test_ring_layout(self):
+        props = make_props(4)
+        assert props.abskg.shape == (6, 6, 6)
+        assert props.origin == (-1, -1, -1)
+        assert props.num_interior_cells == 64
+
+    def test_wall_ring_values(self):
+        props = make_props(4, wall_t=100.0)
+        assert props.cell_type[0, 0, 0] == CellType.WALL
+        assert np.isclose(props.sigma_t4[0, 0, 0], SIGMA_SB * 100.0 ** 4)
+        assert props.abskg[0, 0, 0] == 1.0  # wall emissivity
+
+    def test_temperature_to_sigma_t4(self):
+        box = Box.cube(2)
+        props = RadiativeProperties.from_fields(
+            box,
+            abskg=np.ones(box.extent),
+            temperature=np.full(box.extent, T_UNIT_EMISSION),
+        )
+        assert np.allclose(props.interior_view("sigma_t4"), 1.0)
+
+    def test_both_temperature_and_st4_rejected(self):
+        box = Box.cube(2)
+        with pytest.raises(GridError):
+            RadiativeProperties.from_fields(
+                box,
+                abskg=np.ones(box.extent),
+                temperature=np.ones(box.extent),
+                sigma_t4=np.ones(box.extent),
+            )
+
+    def test_neither_rejected(self):
+        box = Box.cube(2)
+        with pytest.raises(GridError):
+            RadiativeProperties.from_fields(box, abskg=np.ones(box.extent))
+
+    def test_shape_mismatch_rejected(self):
+        box = Box.cube(4)
+        with pytest.raises(GridError):
+            RadiativeProperties.from_fields(
+                box, abskg=np.ones((3, 3, 3)), sigma_t4=np.ones(box.extent)
+            )
+
+    def test_interior_cell_type_override(self):
+        box = Box.cube(4)
+        ct = np.zeros(box.extent, dtype=np.int8)
+        ct[1, 1, 1] = CellType.INTRUSION
+        props = RadiativeProperties.from_fields(
+            box, abskg=np.ones(box.extent), sigma_t4=np.ones(box.extent), cell_type=ct
+        )
+        assert props.interior_view("cell_type")[1, 1, 1] == CellType.INTRUSION
+
+    def test_interior_view_is_view(self):
+        props = make_props(4)
+        view = props.interior_view("abskg")
+        view[0, 0, 0] = 99.0
+        assert props.abskg[1, 1, 1] == 99.0
+
+    def test_nbytes(self):
+        props = make_props(4)
+        assert props.nbytes == props.abskg.nbytes + props.sigma_t4.nbytes + props.cell_type.nbytes
+
+
+class TestCoarsen:
+    def test_constant_fields_unchanged(self):
+        props = make_props(8, kappa=0.3, st4=2.0)
+        coarse = props.coarsen(2)
+        assert coarse.interior == Box.cube(4)
+        assert np.allclose(coarse.interior_view("abskg"), 0.3)
+        assert np.allclose(coarse.interior_view("sigma_t4"), 2.0)
+
+    def test_conservation(self):
+        rng = np.random.default_rng(5)
+        box = Box.cube(8)
+        props = RadiativeProperties.from_fields(
+            box, abskg=rng.random(box.extent), sigma_t4=rng.random(box.extent)
+        )
+        coarse = props.coarsen(4)
+        assert np.isclose(
+            coarse.interior_view("abskg").mean(), props.interior_view("abskg").mean()
+        )
+
+    def test_intrusion_survives(self):
+        box = Box.cube(8)
+        ct = np.zeros(box.extent, dtype=np.int8)
+        ct[5, 5, 5] = CellType.INTRUSION
+        props = RadiativeProperties.from_fields(
+            box, abskg=np.ones(box.extent), sigma_t4=np.ones(box.extent), cell_type=ct
+        )
+        coarse = props.coarsen(2)
+        assert coarse.interior_view("cell_type")[2, 2, 2] == CellType.INTRUSION
+
+    def test_wall_ring_projected(self):
+        box = Box.cube(8)
+        props = RadiativeProperties.from_fields(
+            box,
+            abskg=np.ones(box.extent),
+            sigma_t4=np.ones(box.extent),
+            wall_temperature=50.0,
+        )
+        coarse = props.coarsen(2)
+        wall_st4 = SIGMA_SB * 50.0 ** 4
+        # face centres of the ring (not corners) carry the projection
+        assert np.allclose(coarse.sigma_t4[0, 1:-1, 1:-1], wall_st4)
+        assert coarse.cell_type[0, 2, 2] == CellType.WALL
+
+    def test_indivisible_rejected(self):
+        with pytest.raises(GridError):
+            make_props(6).coarsen(4)
+
+    def test_bad_ratio_rejected(self):
+        with pytest.raises(GridError):
+            make_props(4).coarsen(0)
+
+
+class TestBurnsChriston:
+    def test_abskg_analytic_values(self):
+        # centre of the cube: kappa = 0.9 * 1 * 1 * 1 + 0.1 = 1.0
+        assert np.isclose(burns_christon_abskg(0.5, 0.5, 0.5), 1.0)
+        # corner: kappa -> 0.1
+        assert np.isclose(burns_christon_abskg(0.0, 0.0, 0.0), 0.1)
+        assert np.isclose(burns_christon_abskg(1.0, 1.0, 1.0), 0.1)
+
+    def test_field_symmetry(self):
+        bench = BurnsChristonBenchmark(resolution=8)
+        grid = bench.single_level_grid()
+        f = bench.abskg_field(grid.finest_level)
+        assert np.allclose(f, f[::-1, :, :])
+        assert np.allclose(f, np.transpose(f, (2, 0, 1)))
+
+    def test_properties_bundle(self):
+        bench = BurnsChristonBenchmark(resolution=8)
+        grid = bench.single_level_grid()
+        props = bench.properties_for_level(grid.finest_level)
+        assert np.allclose(props.interior_view("sigma_t4"), 1.0)
+        assert np.allclose(props.sigma_t4[0, :, :], 0.0)  # cold walls
+        assert props.abskg[0, 4, 4] == 1.0  # black walls
+
+    def test_centerline_odd(self):
+        bench = BurnsChristonBenchmark(resolution=5)
+        divq = np.arange(125, dtype=float).reshape(5, 5, 5)
+        x, line = bench.centerline(divq)
+        assert x.shape == line.shape == (5,)
+        assert np.allclose(line, divq[:, 2, 2])
+
+    def test_centerline_even(self):
+        bench = BurnsChristonBenchmark(resolution=4)
+        divq = np.random.default_rng(0).random((4, 4, 4))
+        x, line = bench.centerline(divq)
+        expected = 0.25 * (
+            divq[:, 1, 1] + divq[:, 1, 2] + divq[:, 2, 1] + divq[:, 2, 2]
+        )
+        assert np.allclose(line, expected)
+
+    def test_centerline_rejects_noncube(self):
+        with pytest.raises(GridError):
+            BurnsChristonBenchmark().centerline(np.zeros((4, 4, 5)))
+
+    def test_two_level_grid_shapes(self):
+        bench = BurnsChristonBenchmark(resolution=32)
+        grid = bench.two_level_grid(refinement_ratio=4, fine_patch_size=16)
+        assert grid.level(0).domain_box == Box.cube(8)
+        assert grid.level(1).num_patches == 8

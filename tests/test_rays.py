@@ -1,0 +1,122 @@
+"""Tests for ray generation: isotropy, origins, reproducibility."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.grid import Box
+from repro.core import (
+    LevelFields,
+    cell_ray_origins,
+    cosine_hemisphere_directions,
+    generate_patch_rays,
+    isotropic_directions,
+    region_cells,
+)
+from repro.radiation import RadiativeProperties
+
+
+def make_fields(n=8, kappa=1.0):
+    box = Box.cube(n)
+    props = RadiativeProperties.from_fields(
+        box, abskg=np.full(box.extent, kappa), sigma_t4=np.ones(box.extent)
+    )
+    return LevelFields(
+        abskg=props.abskg,
+        sigma_t4=props.sigma_t4,
+        cell_type=props.cell_type,
+        interior=box,
+        dx=(1.0 / n,) * 3,
+        anchor=(0.0, 0.0, 0.0),
+    )
+
+
+class TestIsotropicDirections:
+    def test_unit_norm(self):
+        d = isotropic_directions(np.random.default_rng(0), 1000)
+        assert np.allclose(np.linalg.norm(d, axis=1), 1.0)
+
+    def test_first_moment_vanishes(self):
+        d = isotropic_directions(np.random.default_rng(1), 200_000)
+        assert np.abs(d.mean(axis=0)).max() < 5e-3
+
+    def test_cos_theta_uniform(self):
+        """cos(theta) of isotropic directions is U(-1,1): check moments."""
+        d = isotropic_directions(np.random.default_rng(2), 200_000)
+        cz = d[:, 2]
+        assert abs(cz.mean()) < 5e-3
+        assert abs((cz ** 2).mean() - 1 / 3) < 5e-3
+
+    def test_octant_occupancy(self):
+        d = isotropic_directions(np.random.default_rng(3), 80_000)
+        octants = (d[:, 0] > 0).astype(int) * 4 + (d[:, 1] > 0) * 2 + (d[:, 2] > 0)
+        counts = np.bincount(octants, minlength=8)
+        assert counts.min() > 0.9 * 80_000 / 8
+
+    def test_deterministic(self):
+        a = isotropic_directions(np.random.default_rng(7), 10)
+        b = isotropic_directions(np.random.default_rng(7), 10)
+        assert np.array_equal(a, b)
+
+
+class TestOrigins:
+    def test_jittered_inside_cells(self):
+        fields = make_fields(4)
+        cells = np.array([[0, 0, 0], [3, 3, 3]])
+        o = cell_ray_origins(fields, cells, 50, np.random.default_rng(0))
+        assert o.shape == (100, 3)
+        dx = 0.25
+        first = o[:50]
+        assert (first >= 0).all() and (first <= dx).all()
+        last = o[50:]
+        assert (last >= 3 * dx).all() and (last <= 1.0).all()
+
+    def test_centered(self):
+        fields = make_fields(4)
+        cells = np.array([[1, 2, 3]])
+        o = cell_ray_origins(fields, cells, 3, np.random.default_rng(0), centered=True)
+        assert np.allclose(o, fields.cell_center(np.array([1, 2, 3])))
+
+    def test_grouped_by_cell(self):
+        fields = make_fields(4)
+        cells = np.array([[0, 0, 0], [1, 0, 0]])
+        o = cell_ray_origins(fields, cells, 4, np.random.default_rng(0), centered=True)
+        assert np.allclose(o[:4], o[0])
+        assert not np.allclose(o[4], o[0])
+
+
+class TestRegionCells:
+    def test_order_matches_reshape(self):
+        box = Box((1, 1, 1), (3, 4, 5))
+        cells = region_cells(box)
+        assert cells.shape == (box.volume, 3)
+        arr = np.arange(box.volume).reshape(box.extent)
+        for row, cell in enumerate(cells):
+            idx = tuple(cell[d] - box.lo[d] for d in range(3))
+            assert arr[idx] == row
+
+    def test_generate_patch_rays_shapes(self):
+        fields = make_fields(4)
+        cells, o, d = generate_patch_rays(
+            fields, Box.cube(2), 5, np.random.default_rng(0)
+        )
+        assert cells.shape == (8, 3)
+        assert o.shape == d.shape == (40, 3)
+
+
+class TestCosineHemisphere:
+    @pytest.mark.parametrize("axis,side", [(0, 0), (1, 1), (2, 0)])
+    def test_points_inward(self, axis, side):
+        d = cosine_hemisphere_directions(np.random.default_rng(0), 5000, axis, side)
+        comp = d[:, axis]
+        assert (comp > 0).all() if side == 0 else (comp < 0).all()
+
+    def test_unit_norm(self):
+        d = cosine_hemisphere_directions(np.random.default_rng(0), 1000, 0, 0)
+        assert np.allclose(np.linalg.norm(d, axis=1), 1.0)
+
+    def test_cosine_distribution(self):
+        """E[cos theta] = 2/3 for cosine-weighted sampling."""
+        d = cosine_hemisphere_directions(np.random.default_rng(1), 200_000, 2, 0)
+        assert abs(d[:, 2].mean() - 2 / 3) < 3e-3

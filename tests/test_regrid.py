@@ -1,0 +1,142 @@
+"""Tests for the tiled regridder."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.grid import (
+    Box,
+    Grid,
+    TiledRegridder,
+    decompose_level,
+    flagged_tiles,
+    flags_from_field,
+)
+from repro.arches import BoilerScenario
+from repro.util.errors import GridError
+
+
+def coarse_grid(n=16, patch=8):
+    grid = Grid()
+    level = grid.add_level(Box.cube(n), (1.0 / n,) * 3)
+    decompose_level(level, (patch,) * 3)
+    return grid
+
+
+class TestFlaggedTiles:
+    def test_single_flag_one_tile(self):
+        flags = np.zeros((8, 8, 8), dtype=bool)
+        flags[5, 5, 5] = True
+        tiles = flagged_tiles(flags, 4)
+        assert tiles == [Box((4, 4, 4), (8, 8, 8))]
+
+    def test_no_flags_no_tiles(self):
+        assert flagged_tiles(np.zeros((8, 8, 8), dtype=bool), 4) == []
+
+    def test_all_flags_full_tiling(self):
+        tiles = flagged_tiles(np.ones((8, 8, 8), dtype=bool), 4)
+        assert len(tiles) == 8
+        assert sum(t.volume for t in tiles) == 512
+
+    def test_partial_boundary_tiles(self):
+        flags = np.zeros((10, 10, 10), dtype=bool)
+        flags[9, 9, 9] = True
+        tiles = flagged_tiles(flags, 4)
+        assert tiles == [Box((8, 8, 8), (10, 10, 10))]
+
+    def test_origin_offset(self):
+        flags = np.zeros((4, 4, 4), dtype=bool)
+        flags[0, 0, 0] = True
+        tiles = flagged_tiles(flags, 4, origin=(12, 12, 12))
+        assert tiles[0].lo == (12, 12, 12)
+
+    def test_bad_tile_size(self):
+        with pytest.raises(GridError):
+            flagged_tiles(np.zeros((4, 4, 4), dtype=bool), 0)
+
+    @given(st.integers(0, 2 ** 30))
+    @settings(max_examples=40, deadline=None)
+    def test_property_coverage_and_disjoint(self, seed):
+        rng = np.random.default_rng(seed)
+        flags = rng.random((12, 12, 12)) < 0.1
+        tiles = flagged_tiles(flags, 4)
+        # coverage: every flag inside some tile
+        for cell in zip(*np.nonzero(flags)):
+            assert any(t.contains_point(cell) for t in tiles)
+        # disjoint, non-empty, flag-bearing
+        for i, a in enumerate(tiles):
+            assert flags[a.slices()].any()
+            for b in tiles[i + 1:]:
+                assert not a.intersects(b)
+
+
+class TestTiledRegridder:
+    def test_regrid_produces_aligned_fine_patches(self):
+        grid = coarse_grid()
+        flags = np.zeros((16, 16, 16), dtype=bool)
+        flags[2, 3, 4] = True
+        flags[12, 12, 12] = True
+        rg = TiledRegridder(fine_patch_size=8, refinement_ratio=4)
+        new_grid, patches = rg.regrid(grid, flags)
+        assert new_grid.num_levels == 2
+        assert len(patches) == 2
+        for p in patches:
+            assert p.box.extent == (8, 8, 8)
+            for d in range(3):
+                assert p.box.lo[d] % 8 == 0
+        assert TiledRegridder.coverage_ok(
+            flags, grid.coarsest_level, patches, 4
+        )
+
+    def test_flame_tracking_scenario(self):
+        """Flag where the boiler's kappa is high: the fine patches
+        concentrate around the flame core."""
+        sc = BoilerScenario(resolution=16)
+        coarse = coarse_grid(16, 8).coarsest_level
+        kappa = sc.kappa_field(coarse)
+        flags = flags_from_field(kappa, threshold=0.5)
+        assert flags.any() and not flags.all()
+        rg = TiledRegridder(fine_patch_size=8, refinement_ratio=2)
+        boxes = rg.fine_patch_boxes(coarse, flags)
+        # refined region is a small fraction of the refined domain
+        refined = sum(b.volume for b in boxes)
+        assert refined < 0.7 * (16 * 2) ** 3
+        assert TiledRegridder.coverage_ok(
+            flags, coarse,
+            [type("P", (), {"box": b})() for b in boxes],  # duck patches
+            2,
+        )
+
+    def test_no_flags_rejected(self):
+        grid = coarse_grid()
+        rg = TiledRegridder(8, 4)
+        with pytest.raises(GridError):
+            rg.regrid(grid, np.zeros((16, 16, 16), dtype=bool))
+
+    def test_shape_mismatch_rejected(self):
+        grid = coarse_grid()
+        rg = TiledRegridder(8, 4)
+        with pytest.raises(GridError):
+            rg.fine_patch_boxes(grid.coarsest_level, np.zeros((4, 4, 4), dtype=bool))
+
+    def test_misaligned_patch_size_rejected(self):
+        with pytest.raises(GridError):
+            TiledRegridder(fine_patch_size=6, refinement_ratio=4)
+
+    def test_flags_from_field(self):
+        f = np.array([[[0.1, 0.9]]])
+        flags = flags_from_field(f, 0.5)
+        assert flags.tolist() == [[[False, True]]]
+
+    def test_regridded_grid_usable_by_solver(self):
+        """End-to-end: a regridded (non-domain-spanning fine level)
+        grid carries patches the runtime can compile against."""
+        grid = coarse_grid()
+        flags = np.zeros((16, 16, 16), dtype=bool)
+        flags[6:10, 6:10, 6:10] = True
+        new_grid, patches = TiledRegridder(8, 4).regrid(grid, flags)
+        assert new_grid.finest_level.num_patches == len(patches)
+        assert not new_grid.finest_level.is_fully_tiled()  # partial cover
+        ids = [p.patch_id for p in patches]
+        assert len(set(ids)) == len(ids)

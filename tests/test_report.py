@@ -1,0 +1,22 @@
+"""Smoke test for the one-command reproduction report."""
+
+import io
+
+from repro.report import main
+
+
+def test_report_renders_all_sections():
+    buf = io.StringIO()
+    assert main(out=buf) == 0
+    text = buf.getvalue()
+    for marker in (
+        "Table I",
+        "Figure 2",
+        "Figure 3",
+        "E8",
+        "efficiency 4096->16384",
+        "paper: 89%",
+    ):
+        assert marker in text, f"report missing section marker {marker!r}"
+    # the model's Table I endpoint sits near the paper's
+    assert "6.2" in text and "4.5" in text

@@ -1,0 +1,304 @@
+"""Scheduler integration tests: serial == threaded == distributed, plus
+the GPU scheduler's staging/accounting behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.grid import Box, Grid, decompose_level
+from repro.dw import DataWarehouse, GPUDataWarehouse, cc, per_level
+from repro.runtime import (
+    Computes,
+    DistributedScheduler,
+    GPUScheduler,
+    Requires,
+    SerialScheduler,
+    Task,
+    TaskGraph,
+    ThreadedScheduler,
+    gather_cc,
+)
+from repro.util.errors import SchedulerError
+
+PHI = cc("phi")
+PSI = cc("psi")
+COARSE = per_level("coarse_phi")
+
+
+def make_grid(n=8, patch=4):
+    grid = Grid()
+    level = grid.add_level(Box.cube(n), (1.0 / n,) * 3)
+    decompose_level(level, (patch,) * 3)
+    return grid
+
+
+def init_cb(ctx):
+    """phi(i,j,k) = i + 10j + 100k over the patch."""
+    b = ctx.patch.box
+    i, j, k = np.meshgrid(
+        np.arange(b.lo[0], b.hi[0]),
+        np.arange(b.lo[1], b.hi[1]),
+        np.arange(b.lo[2], b.hi[2]),
+        indexing="ij",
+    )
+    ctx.compute(PHI, (i + 10.0 * j + 100.0 * k).astype(float))
+
+
+def smooth_cb(ctx):
+    """psi = 6-point neighbour average of phi (ghost=1, walls -> 0)."""
+    phi = ctx.require(PHI, default=0.0)
+    core = phi[1:-1, 1:-1, 1:-1]
+    psi = (
+        phi[:-2, 1:-1, 1:-1] + phi[2:, 1:-1, 1:-1]
+        + phi[1:-1, :-2, 1:-1] + phi[1:-1, 2:, 1:-1]
+        + phi[1:-1, 1:-1, :-2] + phi[1:-1, 1:-1, 2:]
+    ) / 6.0
+    ctx.compute(PSI, psi + 0 * core)
+
+
+def build_stencil_graph(grid, assignment=None, num_ranks=1):
+    tg = TaskGraph(grid)
+    tg.add_task(Task("init", init_cb, computes=[Computes(PHI)]), 0)
+    tg.add_task(
+        Task("smooth", smooth_cb, requires=[Requires(PHI, num_ghost=1)],
+             computes=[Computes(PSI)]),
+        0,
+    )
+    return tg.compile(assignment=assignment, num_ranks=num_ranks)
+
+
+def reference_psi(n):
+    i, j, k = np.meshgrid(*[np.arange(n)] * 3, indexing="ij")
+    phi = (i + 10.0 * j + 100.0 * k).astype(float)
+    padded = np.zeros((n + 2, n + 2, n + 2))
+    padded[1:-1, 1:-1, 1:-1] = phi
+    return (
+        padded[:-2, 1:-1, 1:-1] + padded[2:, 1:-1, 1:-1]
+        + padded[1:-1, :-2, 1:-1] + padded[1:-1, 2:, 1:-1]
+        + padded[1:-1, 1:-1, :-2] + padded[1:-1, 1:-1, 2:]
+    ) / 6.0
+
+
+def collect_psi(grid, dw):
+    level = grid.level(0)
+    out = np.zeros(level.domain_box.extent)
+    for p in level.patches:
+        out[p.box.slices()] = dw.get(PSI, p.patch_id).view(p.box)
+    return out
+
+
+class TestSerial:
+    def test_stencil_correct(self):
+        grid = make_grid()
+        dw = SerialScheduler().execute(build_stencil_graph(grid))
+        np.testing.assert_allclose(collect_psi(grid, dw), reference_psi(8))
+
+    def test_rejects_multirank_graph(self):
+        grid = make_grid()
+        assign = {p.patch_id: p.patch_id % 2 for p in grid.level(0).patches}
+        graph = build_stencil_graph(grid, assignment=assign, num_ranks=2)
+        with pytest.raises(SchedulerError):
+            SerialScheduler().execute(graph)
+
+    def test_callback_exception_propagates(self):
+        grid = make_grid()
+        tg = TaskGraph(grid)
+
+        def boom(ctx):
+            raise ValueError("kaboom")
+
+        tg.add_task(Task("boom", boom, computes=[Computes(PHI)]), 0)
+        with pytest.raises(ValueError):
+            SerialScheduler().execute(tg.compile())
+
+
+class TestThreaded:
+    @pytest.mark.parametrize("threads", [1, 4, 8])
+    def test_matches_serial(self, threads):
+        grid = make_grid()
+        dw = ThreadedScheduler(num_threads=threads).execute(build_stencil_graph(grid))
+        np.testing.assert_allclose(collect_psi(grid, dw), reference_psi(8))
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_shuffled_order_same_result(self, seed):
+        """Out-of-order execution (Uintah's dynamic scheduling) cannot
+        change the answer — dependencies fully order the data flow."""
+        grid = make_grid(n=12, patch=4)
+        dw = ThreadedScheduler(num_threads=6, shuffle=True, seed=seed).execute(
+            build_stencil_graph(grid)
+        )
+        np.testing.assert_allclose(collect_psi(grid, dw), reference_psi(12))
+
+    def test_worker_exception_propagates(self):
+        grid = make_grid()
+        tg = TaskGraph(grid)
+
+        def boom(ctx):
+            raise RuntimeError("thread kaboom")
+
+        tg.add_task(Task("boom", boom, computes=[Computes(PHI)]), 0)
+        with pytest.raises(RuntimeError):
+            ThreadedScheduler(num_threads=4).execute(tg.compile())
+
+    def test_bad_thread_count(self):
+        with pytest.raises(SchedulerError):
+            ThreadedScheduler(num_threads=0)
+
+
+class TestDistributed:
+    @pytest.mark.parametrize("num_ranks", [1, 2, 4, 8])
+    @pytest.mark.parametrize("pool_kind", ["waitfree", "locked"])
+    def test_matches_serial(self, num_ranks, pool_kind):
+        grid = make_grid()
+        assign = {p.patch_id: p.patch_id % num_ranks for p in grid.level(0).patches}
+        graph = build_stencil_graph(grid, assignment=assign, num_ranks=num_ranks)
+        sched = DistributedScheduler(num_ranks, pool_kind=pool_kind)
+        rank_dws = sched.execute(graph)
+        psi = gather_cc(graph, rank_dws, PSI, 0)
+        np.testing.assert_allclose(psi, reference_psi(8))
+
+    def test_level_broadcast_workflow(self):
+        """init -> level coarsen -> per-patch consumer across 4 ranks:
+        the PER_LEVEL broadcast path end to end."""
+        grid = make_grid(n=8, patch=4)
+
+        def coarsen_cb(ctx):
+            phi = ctx.require(PHI)  # whole level (pseudo patch)
+            ctx.compute_level(COARSE, phi.reshape(4, 2, 4, 2, 4, 2).mean(axis=(1, 3, 5)))
+
+        def consume_cb(ctx):
+            coarse = ctx.require_level(COARSE)
+            ctx.compute(PSI, np.full(ctx.patch.box.extent, float(coarse.sum())))
+
+        tg = TaskGraph(grid)
+        tg.add_task(Task("init", init_cb, computes=[Computes(PHI)]), 0)
+        tg.add_level_task(
+            Task("coarsen", coarsen_cb, requires=[Requires(PHI)],
+                 computes=[Computes(COARSE, level_index=0)]),
+            0,
+        )
+        tg.add_task(
+            Task("consume", consume_cb,
+                 requires=[Requires(COARSE, level_index=0)],
+                 computes=[Computes(PSI)]),
+            0,
+        )
+        assign = {p.patch_id: p.patch_id % 4 for p in grid.level(0).patches}
+        graph = tg.compile(assignment=assign, num_ranks=4)
+        rank_dws = DistributedScheduler(4).execute(graph)
+        psi = gather_cc(graph, rank_dws, PSI, 0)
+        # every patch sees the same coarse sum
+        i, j, k = np.meshgrid(*[np.arange(8)] * 3, indexing="ij")
+        expected = (i + 10.0 * j + 100.0 * k).reshape(4, 2, 4, 2, 4, 2).mean(
+            axis=(1, 3, 5)
+        ).sum()
+        np.testing.assert_allclose(psi, expected)
+
+    def test_fabric_quiescent_after_run(self):
+        grid = make_grid()
+        assign = {p.patch_id: p.patch_id % 2 for p in grid.level(0).patches}
+        graph = build_stencil_graph(grid, assignment=assign, num_ranks=2)
+        sched = DistributedScheduler(2)
+        sched.execute(graph)
+        assert sched.fabric.quiescent()
+
+    def test_rank_mismatch_rejected(self):
+        grid = make_grid()
+        graph = build_stencil_graph(grid)
+        with pytest.raises(SchedulerError):
+            DistributedScheduler(4).execute(graph)
+
+
+class TestGPUScheduler:
+    def build_gpu_graph(self, grid, device=True):
+        tg = TaskGraph(grid)
+        tg.add_task(Task("init", init_cb, computes=[Computes(PHI)]), 0)
+
+        def coarsen_cb(ctx):
+            ctx.compute_level(COARSE, np.ones((2, 2, 2)))
+
+        tg.add_level_task(
+            Task("coarsen", coarsen_cb, computes=[Computes(COARSE, level_index=0)]), 0
+        )
+
+        def gpu_smooth(ctx):
+            phi = ctx.device_require(PHI) if device else ctx.require(PHI, default=0.0)
+            coarse = ctx.device_require_level(COARSE) if device else ctx.require_level(COARSE)
+            core = phi[1:-1, 1:-1, 1:-1]
+            psi = (
+                phi[:-2, 1:-1, 1:-1] + phi[2:, 1:-1, 1:-1]
+                + phi[1:-1, :-2, 1:-1] + phi[1:-1, 2:, 1:-1]
+                + phi[1:-1, 1:-1, :-2] + phi[1:-1, 1:-1, 2:]
+            ) / 6.0 + 0 * core * float(coarse[0, 0, 0] - 1.0)
+            ctx.compute(PSI, psi)
+
+        tg.add_task(
+            Task(
+                "gpu_smooth",
+                gpu_smooth,
+                requires=[
+                    Requires(PHI, num_ghost=1),
+                    Requires(COARSE, level_index=0),
+                ],
+                computes=[Computes(PSI)],
+                device=device,
+            ),
+            0,
+        )
+        return tg.compile()
+
+    def test_device_result_matches_reference(self):
+        grid = make_grid()
+        sched = GPUScheduler()
+        dw = sched.execute(self.build_gpu_graph(grid))
+        np.testing.assert_allclose(collect_psi(grid, dw), reference_psi(8))
+
+    def test_level_db_uploaded_once(self):
+        grid = make_grid(n=8, patch=2)  # 64 device tasks share the level var
+        gpu = GPUDataWarehouse(use_level_db=True)
+        sched = GPUScheduler(gpu=gpu)
+        sched.execute(self.build_gpu_graph(grid))
+        assert sched.stats.level_uploads == 1
+        assert gpu.resident_summary()["level_db_entries"] == 1
+
+    def test_legacy_mode_uploads_per_task(self):
+        grid = make_grid(n=8, patch=2)
+        gpu = GPUDataWarehouse(use_level_db=False)
+        sched = GPUScheduler(gpu=gpu, max_in_flight=4)
+        sched.execute(self.build_gpu_graph(grid))
+        # 64 tasks x one level copy each
+        level_bytes = 8 * 2 ** 3
+        assert gpu.stats.h2d_bytes >= 64 * level_bytes
+
+    def test_d2h_accounting(self):
+        grid = make_grid()
+        sched = GPUScheduler()
+        dw = sched.execute(self.build_gpu_graph(grid))
+        psi_bytes = sum(dw.get(PSI, p.patch_id).nbytes for p in grid.level(0).patches)
+        assert sched.stats.d2h_bytes == psi_bytes
+
+    def test_in_flight_bounded(self):
+        grid = make_grid(n=8, patch=2)
+        sched = GPUScheduler(max_in_flight=3)
+        sched.execute(self.build_gpu_graph(grid))
+        assert sched.stats.peak_resident_tasks <= 3
+
+    def test_streams_round_robin(self):
+        grid = make_grid(n=8, patch=4)
+        sched = GPUScheduler(num_streams=2)
+        sched.execute(self.build_gpu_graph(grid))
+        assert set(sched.stats.per_stream_tasks) == {0, 1}
+
+    def test_oom_without_backpressure_raises(self):
+        grid = make_grid(n=8, patch=8)  # one big patch
+        tiny = GPUDataWarehouse(capacity_bytes=128)
+        sched = GPUScheduler(gpu=tiny)
+        from repro.util.errors import DataWarehouseError
+
+        with pytest.raises(DataWarehouseError):
+            sched.execute(self.build_gpu_graph(grid))
+
+    def test_host_tasks_run_inline(self):
+        grid = make_grid()
+        sched = GPUScheduler()
+        dw = sched.execute(self.build_gpu_graph(grid, device=False))
+        np.testing.assert_allclose(collect_psi(grid, dw), reference_psi(8))

@@ -1,0 +1,158 @@
+"""Tests for the task-graph trace simulator: analytic ground truths on
+constructed graphs, plus strong scaling of the real RMCRT pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.grid import Box, Grid, LoadBalancer, decompose_level
+from repro.dw import cc
+from repro.dessim import (
+    RMCRTProblem,
+    TaskGraphTraceSimulator,
+    rmcrt_task_cost,
+)
+from repro.machine import NetworkModel
+from repro.core import DistributedRMCRT, benchmark_property_init
+from repro.radiation import BurnsChristonBenchmark
+from repro.runtime import Computes, Requires, Task, TaskGraph
+from repro.util.errors import SchedulerError
+
+PHI = cc("phi")
+PSI = cc("psi")
+
+
+def noop(ctx):
+    pass
+
+
+def chain_graph(num_patches=4, num_ranks=1):
+    """init -> copy chains, one per patch."""
+    grid = Grid()
+    level = grid.add_level(Box.cube(4 * num_patches), (1.0,) * 3)
+    decompose_level(level, (4, 4 * num_patches, 4 * num_patches))
+    tg = TaskGraph(grid)
+    tg.add_task(Task("init", noop, computes=[Computes(PHI)]), 0)
+    tg.add_task(
+        Task("copy", noop, requires=[Requires(PHI)], computes=[Computes(PSI)]), 0
+    )
+    assignment = {p.patch_id: p.patch_id % num_ranks for p in level.patches}
+    return tg.compile(assignment=assignment, num_ranks=num_ranks)
+
+
+class TestAnalyticCases:
+    def test_serial_chain_sums(self):
+        """One rank, 4 independent init->copy chains at unit cost:
+        makespan = 8 (everything serializes on one executor)."""
+        graph = chain_graph(num_patches=4, num_ranks=1)
+        sim = TaskGraphTraceSimulator()
+        report = sim.simulate(graph, lambda dt: 1.0)
+        assert report.makespan == pytest.approx(8.0)
+        assert report.parallel_efficiency == pytest.approx(1.0)
+
+    def test_perfect_parallelism(self):
+        """4 ranks, one chain each: makespan = 2 (no cross-rank deps)."""
+        graph = chain_graph(num_patches=4, num_ranks=4)
+        sim = TaskGraphTraceSimulator(NetworkModel(latency_s=0.0))
+        report = sim.simulate(graph, lambda dt: 1.0)
+        assert report.makespan == pytest.approx(2.0)
+        assert report.parallel_efficiency == pytest.approx(1.0)
+        assert len(report.ranks) == 4
+
+    def test_message_latency_exposed(self):
+        """A cross-rank dependency pays the network: producer on rank 0,
+        consumer on rank 1, one message in between."""
+        grid = Grid()
+        level = grid.add_level(Box.cube(4), (1.0,) * 3)
+        decompose_level(level, (4, 4, 4))
+        tg = TaskGraph(grid)
+        tg.add_task(Task("init", noop, computes=[Computes(PHI)]), 0)
+        tg.add_level_task(
+            Task("consume", noop, requires=[Requires(PHI)],
+                 computes=[Computes(PSI)]),
+            0,
+        )
+        # put the level task's pseudo patch on rank 1 via assignment
+        graph = tg.compile(assignment={0: 0, -1000 - 1: 1}, num_ranks=2)
+        slow_net = NetworkModel(latency_s=5.0)
+        report = TaskGraphTraceSimulator(slow_net).simulate(graph, lambda dt: 1.0)
+        # init ends at 1, message arrives ~6+, consume ends ~7+
+        assert report.makespan > 7.0
+        consume = [t for t in report.traces if t.name == "consume"][0]
+        assert consume.ready > 6.0
+
+    def test_wait_time_accounting(self):
+        """Two unit tasks ready at 0 on one rank: the second waits 1."""
+        graph = chain_graph(num_patches=2, num_ranks=1)
+        report = TaskGraphTraceSimulator().simulate(graph, lambda dt: 1.0)
+        inits = sorted(
+            (t for t in report.traces if t.name == "init"), key=lambda t: t.start
+        )
+        assert inits[0].wait == 0.0
+        assert inits[1].wait == pytest.approx(1.0)
+
+    def test_negative_cost_rejected(self):
+        graph = chain_graph(2, 1)
+        with pytest.raises(SchedulerError):
+            TaskGraphTraceSimulator().simulate(graph, lambda dt: -1.0)
+
+    def test_critical_rank(self):
+        graph = chain_graph(num_patches=4, num_ranks=2)
+        report = TaskGraphTraceSimulator().simulate(
+            graph, lambda dt: 2.0 if dt.rank == 1 else 1.0
+        )
+        assert report.critical_rank() == 1
+
+
+class TestRMCRTTrace:
+    """The real 3-task pipeline, traced at several rank counts."""
+
+    @pytest.fixture(scope="class")
+    def setup(self):
+        bench = BurnsChristonBenchmark(resolution=32)
+        grid = bench.two_level_grid(refinement_ratio=4, fine_patch_size=8)
+        drm = DistributedRMCRT(
+            grid, benchmark_property_init(bench), rays_per_cell=100, halo=4
+        )
+        problem = RMCRTProblem(fine_cells=32, refinement_ratio=4, halo=4)
+        cost = rmcrt_task_cost(problem, patch_size=8)
+        return grid, drm, cost
+
+    def trace_at(self, setup, ranks):
+        grid, drm, cost = setup
+        lb = LoadBalancer(ranks)
+        assignment = lb.assign(grid.finest_level.patches)
+        graph = drm.build_graph(assignment=assignment, num_ranks=ranks)
+        return TaskGraphTraceSimulator().simulate(graph, cost)
+
+    def test_strong_scaling_from_real_graph(self, setup):
+        """Makespans from the REAL dependency structure strong-scale."""
+        times = [self.trace_at(setup, r).makespan for r in (1, 2, 4, 8)]
+        assert times == sorted(times, reverse=True)
+        # near-ideal from 1 -> 4 ranks (64 patches, plenty of slack)
+        assert times[0] / times[2] > 3.0
+
+    def test_coarsen_serializes_on_its_rank(self, setup):
+        """The single coarsen task is a known serialization point: every
+        trace task's ready time is after it completes."""
+        report = self.trace_at(setup, 4)
+        coarsen_end = [t for t in report.traces if t.name == "rmcrt.coarsen"][0].end
+        for t in report.traces:
+            if t.name == "rmcrt.trace":
+                assert t.ready >= coarsen_end
+
+    def test_messages_counted(self, setup):
+        report = self.trace_at(setup, 4)
+        assert report.messages_sent > 0
+        assert report.message_bytes > 0
+
+    def test_single_rank_has_no_messages(self, setup):
+        report = self.trace_at(setup, 1)
+        assert report.messages_sent == 0
+        assert report.parallel_efficiency == pytest.approx(1.0)
+
+    def test_task_counts(self, setup):
+        report = self.trace_at(setup, 4)
+        names = [t.name for t in report.traces]
+        assert names.count("rmcrt.initProperties") == 64
+        assert names.count("rmcrt.trace") == 64
+        assert names.count("rmcrt.coarsen") == 1

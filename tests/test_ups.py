@@ -1,0 +1,147 @@
+"""Tests for the UPS input-file front end and the CLI."""
+
+import numpy as np
+import pytest
+
+from repro.ups import GridSpec, ProblemSpec, parse_ups, run_ups
+from repro.util.errors import ReproError
+
+MINIMAL = """
+<Uintah_specification>
+  <Grid><resolution> 8 </resolution><levels> 1 </levels></Grid>
+  <RMCRT><nDivQRays> 4 </nDivQRays></RMCRT>
+</Uintah_specification>
+"""
+
+FULL = """
+<Uintah_specification>
+  <Grid>
+    <resolution>16</resolution>
+    <levels>2</levels>
+    <refinement_ratio>4</refinement_ratio>
+    <patch_size>8</patch_size>
+  </Grid>
+  <RMCRT>
+    <nDivQRays>8</nDivQRays>
+    <Threshold>0.001</Threshold>
+    <halo>2</halo>
+    <allowReflect>false</allowReflect>
+    <CCRays>false</CCRays>
+    <randomSeed>7</randomSeed>
+  </RMCRT>
+  <Scheduler type="distributed" ranks="2" pool="waitfree" threads="4"/>
+</Uintah_specification>
+"""
+
+
+class TestParsing:
+    def test_minimal(self):
+        spec = parse_ups(MINIMAL)
+        assert spec.grid.resolution == 8
+        assert spec.grid.levels == 1
+        assert spec.rmcrt.n_divq_rays == 4
+        assert spec.scheduler.type == "serial"  # defaults
+
+    def test_full(self):
+        spec = parse_ups(FULL)
+        assert spec.grid.patch_size == 8
+        assert spec.rmcrt.threshold == 0.001
+        assert spec.rmcrt.random_seed == 7
+        assert spec.scheduler.type == "distributed"
+        assert spec.scheduler.ranks == 2
+
+    def test_file_path(self, tmp_path):
+        p = tmp_path / "in.ups"
+        p.write_text(MINIMAL)
+        assert parse_ups(str(p)).grid.resolution == 8
+
+    def test_wrong_root(self):
+        with pytest.raises(ReproError):
+            parse_ups("<Wrong><Grid/></Wrong>")
+
+    def test_malformed_xml(self):
+        with pytest.raises(ReproError):
+            parse_ups("<Uintah_specification><Grid>")
+
+    def test_unknown_section(self):
+        with pytest.raises(ReproError):
+            parse_ups("<Uintah_specification><Physics/></Uintah_specification>")
+
+    def test_unknown_grid_tag(self):
+        with pytest.raises(ReproError):
+            parse_ups(
+                "<Uintah_specification><Grid><cells>8</cells></Grid>"
+                "</Uintah_specification>"
+            )
+
+    def test_unknown_rmcrt_tag(self):
+        with pytest.raises(ReproError):
+            parse_ups(
+                "<Uintah_specification><RMCRT><rays>8</rays></RMCRT>"
+                "</Uintah_specification>"
+            )
+
+    def test_unknown_scheduler_attr(self):
+        with pytest.raises(ReproError):
+            parse_ups(
+                '<Uintah_specification><Scheduler type="serial" gpus="4"/>'
+                "</Uintah_specification>"
+            )
+
+    def test_bad_bool(self):
+        with pytest.raises(ReproError):
+            parse_ups(
+                "<Uintah_specification><RMCRT><CCRays>maybe</CCRays></RMCRT>"
+                "</Uintah_specification>"
+            )
+
+    def test_validation_rules(self):
+        with pytest.raises(ReproError):
+            parse_ups(
+                "<Uintah_specification><Grid><levels>3</levels></Grid>"
+                "</Uintah_specification>"
+            )
+        with pytest.raises(ReproError):
+            parse_ups(
+                "<Uintah_specification><RMCRT><Threshold>2.0</Threshold>"
+                "</RMCRT></Uintah_specification>"
+            )
+        with pytest.raises(ReproError):
+            # distributed without patch size
+            parse_ups(
+                '<Uintah_specification><Scheduler type="distributed"/>'
+                "</Uintah_specification>"
+            )
+
+
+class TestRun:
+    def test_serial_single_level(self):
+        result = run_ups(parse_ups(MINIMAL))
+        assert result.divq.shape == (8, 8, 8)
+        assert (result.divq > 0).all()
+
+    def test_distributed_matches_serial_pipeline(self):
+        spec = parse_ups(FULL)
+        dist = run_ups(spec)
+        serial_spec = parse_ups(FULL)
+        serial_spec.scheduler.type = "threaded"
+        thr = run_ups(serial_spec)
+        np.testing.assert_array_equal(dist.divq, thr.divq)
+
+    def test_cli_end_to_end(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        p = tmp_path / "in.ups"
+        p.write_text(MINIMAL)
+        assert main([str(p), "--centerline"]) == 0
+        out = capsys.readouterr().out
+        assert "rays traced" in out
+        assert "divQ" in out
+
+    def test_cli_error_path(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        p = tmp_path / "bad.ups"
+        p.write_text("<nope/>")
+        assert main([str(p)]) == 1
+        assert "error:" in capsys.readouterr().err

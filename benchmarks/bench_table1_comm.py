@@ -18,6 +18,7 @@ Paper values (Table I):
 import pytest
 
 from repro.dessim import ClusterSimulator, LARGE, SimOptions
+from repro.perf import write_bench_artifact
 
 NODES = [512, 1024, 2048, 4096, 8192, 16384]
 PAPER = {
@@ -54,6 +55,23 @@ def test_table1_local_comm(benchmark):
         pb, pa, ps = PAPER[nodes]
         print(f"{nodes:>6} | {before:7.3f} {after:7.3f} {speedup:7.2f} | "
               f"{pb:12.2f} {pa:11.2f} {ps:7.2f}")
+
+    write_bench_artifact(
+        "table1_comm",
+        params={"problem": "LARGE", "rays_per_cell": 8, "nodes": NODES},
+        rows=[
+            {
+                "nodes": nodes,
+                "before_s": before,
+                "after_s": after,
+                "speedup": speedup,
+                "paper_before_s": PAPER[nodes][0],
+                "paper_after_s": PAPER[nodes][1],
+                "paper_speedup": PAPER[nodes][2],
+            }
+            for nodes, before, after, speedup in rows
+        ],
+    )
 
     # shape assertions: paper's qualitative findings
     befores = [r[1] for r in rows]

@@ -17,6 +17,7 @@ from repro.dessim import (
     rmcrt_task_cost,
 )
 from repro.grid import LoadBalancer
+from repro.perf import write_bench_artifact
 from repro.radiation import BurnsChristonBenchmark
 
 RANKS = [1, 2, 4, 8, 16, 32]
@@ -59,6 +60,24 @@ def test_traced_strong_scaling(benchmark, setup):
               f"{t1 / (ranks * report.makespan):>10.1%} "
               f"{report.messages_sent:>6} "
               f"{crit.idle(report.makespan):>17.3f}s")
+
+    write_bench_artifact(
+        "tracesim_pipeline",
+        params={"fine_cells": 64, "patch_size": 16, "rays_per_cell": 100,
+                "ranks": RANKS},
+        rows=[
+            {
+                "ranks": ranks,
+                "makespan_s": report.makespan,
+                "efficiency": t1 / (ranks * report.makespan),
+                "parallel_busy_fraction": report.parallel_efficiency,
+                "messages_sent": report.messages_sent,
+                "message_bytes": report.message_bytes,
+                "critical_rank": report.critical_rank(),
+            }
+            for ranks, report in rows
+        ],
+    )
 
     makespans = [r.makespan for _, r in rows]
     assert makespans == sorted(makespans, reverse=True)

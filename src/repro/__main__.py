@@ -1,8 +1,14 @@
-"""Command-line front end: ``python -m repro <input.ups>``.
+"""Command-line front end.
 
-Runs a Burns & Christon RMCRT problem from a Uintah-style UPS input
-file and prints solve statistics plus the centreline del.q profile —
-the closest thing to ``sus input.ups`` this reproduction offers.
+``python -m repro <input.ups>`` runs a Burns & Christon RMCRT problem
+from a Uintah-style UPS input file and prints solve statistics plus the
+centreline del.q profile — the closest thing to ``sus input.ups`` this
+reproduction offers.
+
+``python -m repro profile`` runs a small instrumented simulation and
+writes ``trace.json`` (Chrome trace-event JSON — load in
+chrome://tracing or Perfetto) and ``metrics.json`` (every runtime
+metric series).
 """
 
 from __future__ import annotations
@@ -10,12 +16,13 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.radiation.benchmark import BurnsChristonBenchmark
-from repro.ups import parse_ups, run_ups
 from repro.util.errors import ReproError
 
 
-def main(argv=None) -> int:
+def _run_ups(argv) -> int:
+    from repro.radiation.benchmark import BurnsChristonBenchmark
+    from repro.ups import parse_ups, run_ups
+
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Run an RMCRT benchmark from a UPS input file.",
@@ -54,6 +61,64 @@ def main(argv=None) -> int:
         for xi, v in zip(x, line):
             print(f"{xi:8.3f} {v:10.4f}")
     return 0
+
+
+def _run_profile(argv) -> int:
+    from repro.perf.profile import format_summary, run_profile
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro profile",
+        description="Run an instrumented RMCRT simulation and write "
+        "trace.json + metrics.json.",
+    )
+    parser.add_argument("--steps", type=int, default=2, help="timesteps to run")
+    parser.add_argument(
+        "--resolution", type=int, default=12, help="fine-level cells per edge"
+    )
+    parser.add_argument(
+        "--rays-per-cell", type=int, default=4, help="rays per cell"
+    )
+    parser.add_argument(
+        "--ranks", type=int, default=2, help="simulated MPI ranks"
+    )
+    parser.add_argument(
+        "--pool",
+        choices=("waitfree", "locked", "locked-racy"),
+        default="waitfree",
+        help="communication request pool variant",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--trace", default="trace.json", help="Chrome trace output path"
+    )
+    parser.add_argument(
+        "--metrics", default="metrics.json", help="metrics snapshot output path"
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        summary = run_profile(
+            steps=args.steps,
+            resolution=args.resolution,
+            rays_per_cell=args.rays_per_cell,
+            num_ranks=args.ranks,
+            pool_kind=args.pool,
+            seed=args.seed,
+            trace_path=args.trace,
+            metrics_path=args.metrics,
+        )
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(format_summary(summary))
+    return 0
+
+
+def main(argv=None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "profile":
+        return _run_profile(argv[1:])
+    return _run_ups(argv)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -3,6 +3,7 @@ the legacy mutex-protected vector (with its historical race available
 for demonstration) and the wait-free slot pool that replaced it."""
 
 from repro.comm.request import BufferLedger, CommNode
+from repro.comm.stats import PoolStats
 from repro.comm.pool_locked import LockedVectorCommPool
 from repro.comm.pool_waitfree import ProtectedIterator, WaitFreeCommPool
 from repro.comm.driver import WorkloadResult, make_pool, run_comm_workload
@@ -10,6 +11,7 @@ from repro.comm.driver import WorkloadResult, make_pool, run_comm_workload
 __all__ = [
     "BufferLedger",
     "CommNode",
+    "PoolStats",
     "LockedVectorCommPool",
     "WaitFreeCommPool",
     "ProtectedIterator",

@@ -21,10 +21,11 @@ import time
 from typing import List, Optional
 
 from repro.comm.request import BufferLedger, CommNode
+from repro.comm.stats import PoolStats, PoolStatsMixin
 from repro.util.errors import CommError
 
 
-class LockedVectorCommPool:
+class LockedVectorCommPool(PoolStatsMixin):
     """Vector of :class:`CommNode` + one Pthread-style lock.
 
     ``unpack_delay`` models the work a real receive path does between
@@ -49,6 +50,7 @@ class LockedVectorCommPool:
         self._lock = threading.Lock()
         self.processed = 0
         self.races_observed = 0
+        self.stats = PoolStats()
         self._stats_lock = threading.Lock()
 
     def __len__(self) -> int:
@@ -72,9 +74,11 @@ class LockedVectorCommPool:
 
     def _process_safe(self) -> int:
         done = 0
+        scanned = 0
         with self._lock:
             remaining: List[CommNode] = []
             for node in self._nodes:
+                scanned += 1
                 if node.test():
                     # allocate the receive buffer, process, release
                     self.ledger.allocate(node.nbytes)
@@ -86,6 +90,9 @@ class LockedVectorCommPool:
             self._nodes = [n for n in remaining if n is not None]
         with self._stats_lock:
             self.processed += done
+            self.stats.retired += done
+            self.stats.slot_scans += scanned
+            self.stats.passes += 1
         return done
 
     def _process_racy(self) -> int:
@@ -93,6 +100,9 @@ class LockedVectorCommPool:
         # exclusion, so concurrent callers race on the same records
         snapshot = list(self._nodes)  # unsynchronized read view
         done = 0
+        with self._stats_lock:
+            self.stats.slot_scans += len(snapshot)
+            self.stats.passes += 1
         for node in snapshot:
             if node.test():
                 # every racing thread allocates a buffer for the message
@@ -114,8 +124,10 @@ class LockedVectorCommPool:
                     # allocation is leaked (ledger.outstanding grows)
                     with self._stats_lock:
                         self.races_observed += 1
+                        self.stats.claim_failures += 1
         with self._stats_lock:
             self.processed += done
+            self.stats.retired += done
         return done
 
     def drain(self, budget: Optional[int] = None) -> int:

@@ -24,6 +24,7 @@ import threading
 from typing import Callable, Iterator, List, Optional
 
 from repro.comm.request import BufferLedger, CommNode
+from repro.comm.stats import PoolStats, PoolStatsMixin
 from repro.util.errors import CommError
 
 
@@ -84,7 +85,7 @@ class ProtectedIterator:
         return self.valid
 
 
-class WaitFreeCommPool:
+class WaitFreeCommPool(PoolStatsMixin):
     """Slot pool with per-slot atomic claim flags (Algorithm 1)."""
 
     def __init__(
@@ -100,6 +101,7 @@ class WaitFreeCommPool:
         self._growth_chunk = int(growth_chunk)
         self._growth_lock = threading.Lock()
         self.processed = 0
+        self.stats = PoolStats()
         self._stats_lock = threading.Lock()
 
     # ------------------------------------------------------------------
@@ -116,24 +118,34 @@ class WaitFreeCommPool:
     def _grow(self) -> None:
         with self._growth_lock:
             self._slots = self._slots + [_Slot() for _ in range(self._growth_chunk)]
+        with self._stats_lock:
+            self.stats.grows += 1
 
     # ------------------------------------------------------------------
     # pool operations
     # ------------------------------------------------------------------
     def insert(self, node: CommNode) -> None:
         """Claim any empty slot and store the record."""
-        while True:
-            for slot in self._slots:
-                if slot.occupied:
-                    continue
-                if slot.flag.acquire(blocking=False):
-                    if not slot.occupied:
-                        slot.value = node
-                        slot.occupied = True
+        claim_failures = 0
+        try:
+            while True:
+                for slot in self._slots:
+                    if slot.occupied:
+                        continue
+                    if slot.flag.acquire(blocking=False):
+                        if not slot.occupied:
+                            slot.value = node
+                            slot.occupied = True
+                            slot.flag.release()
+                            return
                         slot.flag.release()
-                        return
-                    slot.flag.release()
-            self._grow()
+                    else:
+                        claim_failures += 1
+                self._grow()
+        finally:
+            if claim_failures:
+                with self._stats_lock:
+                    self.stats.claim_failures += claim_failures
 
     def find_any(
         self, predicate: Callable[[CommNode], bool]
@@ -145,14 +157,24 @@ class WaitFreeCommPool:
         the request is race-free), exactly Algorithm 1's
         ``ready_request`` lambda.
         """
-        for slot in self._slots:
-            if not slot.occupied:
-                continue
-            if slot.flag.acquire(blocking=False):
-                if slot.occupied and predicate(slot.value):
-                    return ProtectedIterator(slot)
-                slot.flag.release()
-        return None
+        scans = 0
+        claim_failures = 0
+        try:
+            for slot in self._slots:
+                if not slot.occupied:
+                    continue
+                scans += 1
+                if slot.flag.acquire(blocking=False):
+                    if slot.occupied and predicate(slot.value):
+                        return ProtectedIterator(slot)
+                    slot.flag.release()
+                else:
+                    claim_failures += 1
+            return None
+        finally:
+            with self._stats_lock:
+                self.stats.slot_scans += scans
+                self.stats.claim_failures += claim_failures
 
     def unsafe_iter_values(self) -> Iterator[CommNode]:
         """Snapshot iteration for tests/diagnostics (no exclusion)."""
@@ -185,6 +207,8 @@ class WaitFreeCommPool:
             done += 1
         with self._stats_lock:
             self.processed += done
+            self.stats.retired += done
+            self.stats.passes += 1
         return done
 
     def drain(self, budget: Optional[int] = None) -> int:

@@ -318,30 +318,45 @@ class DistributedRMCRT:
         num_threads: int = 4,
         pool_kind: str = "waitfree",
         gpu=None,
+        tracer=None,
+        metrics=None,
     ) -> RMCRTResult:
-        """Run the pipeline and gather del.q on the fine level."""
+        """Run the pipeline and gather del.q on the fine level.
+
+        ``tracer``/``metrics`` flow into the chosen scheduler so a solve
+        shows up in the observability layer; after a distributed solve,
+        :attr:`last_runtime_stats` holds the across-rank reduction of
+        the scheduler's per-rank stats.
+        """
         timers = TimerRegistry()
         fine = self.grid.finest_level
         rays = sum(p.num_cells for p in fine.patches) * self.rays_per_cell
+        self.last_runtime_stats = None
         with timers("rmcrt_solve"):
             if scheduler == "serial":
                 graph = self.build_graph()
-                dw = SerialScheduler().execute(graph)
+                dw = SerialScheduler(tracer=tracer, metrics=metrics).execute(graph)
                 rank_dws = {0: dw}
             elif scheduler == "threaded":
                 graph = self.build_graph()
-                dw = ThreadedScheduler(num_threads=num_threads).execute(graph)
+                dw = ThreadedScheduler(
+                    num_threads=num_threads, tracer=tracer, metrics=metrics
+                ).execute(graph)
                 rank_dws = {0: dw}
             elif scheduler == "gpu":
                 graph = self.build_graph()
-                engine = GPUScheduler() if gpu is None else GPUScheduler(gpu=gpu)
+                engine = GPUScheduler(gpu=gpu, tracer=tracer, metrics=metrics)
                 dw = engine.execute(graph)
                 rank_dws = {0: dw}
             elif scheduler == "distributed":
                 lb = LoadBalancer(num_ranks)
                 assignment = lb.assign(fine.patches)
                 graph = self.build_graph(assignment=assignment, num_ranks=num_ranks)
-                rank_dws = DistributedScheduler(num_ranks, pool_kind=pool_kind).execute(graph)
+                engine = DistributedScheduler(
+                    num_ranks, pool_kind=pool_kind, tracer=tracer, metrics=metrics
+                )
+                rank_dws = engine.execute(graph)
+                self.last_runtime_stats = engine.runtime_stats()
             else:
                 raise ReproError(f"unknown scheduler {scheduler!r}")
             divq = gather_cc(graph, rank_dws, DIVQ, self.grid.num_levels - 1)
@@ -350,6 +365,9 @@ class DistributedRMCRT:
                 wall_flux = gather_cc(
                     graph, rank_dws, WALL_FLUX, self.grid.num_levels - 1
                 )
+        if metrics is not None:
+            for rank, dw in rank_dws.items():
+                dw.publish_metrics(metrics, rank=rank)
         return RMCRTResult(
             divq=divq, rays_traced=rays, timers=timers, wall_flux=wall_flux
         )

@@ -18,6 +18,7 @@ Two warehouse generations (old/new) flow through a timestep, swapped by
 
 from __future__ import annotations
 
+from dataclasses import asdict, dataclass
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
@@ -29,11 +30,30 @@ from repro.dw.variables import CCVariable, ReductionVariable
 from repro.util.errors import DataWarehouseError
 
 
+@dataclass
+class DWStats:
+    """Operation counts for one warehouse generation — plain integer
+    increments on the access paths, flushed to a metrics registry via
+    :meth:`DataWarehouse.publish_metrics`."""
+
+    puts: int = 0
+    gets: int = 0
+    foreign_adds: int = 0
+    region_assemblies: int = 0
+    level_puts: int = 0
+    level_gets: int = 0
+    reduction_puts: int = 0
+
+    def as_dict(self) -> dict:
+        return asdict(self)
+
+
 class DataWarehouse:
     """One generation of simulation state."""
 
     def __init__(self, generation: int = 0) -> None:
         self.generation = generation
+        self.stats = DWStats()
         self._cc: Dict[Tuple[str, int], CCVariable] = {}
         self._foreign: Dict[Tuple[str, int], List[CCVariable]] = {}
         self._level: Dict[Tuple[str, int], np.ndarray] = {}
@@ -51,12 +71,14 @@ class DataWarehouse:
                 f"{label.name} already computed on patch {patch_id} "
                 f"(double-compute)"
             )
+        self.stats.puts += 1
         self._cc[key] = var
 
     def exists(self, label: VarLabel, patch_id: int) -> bool:
         return (label.name, patch_id) in self._cc
 
     def get(self, label: VarLabel, patch_id: int) -> CCVariable:
+        self.stats.gets += 1
         try:
             return self._cc[(label.name, patch_id)]
         except KeyError:
@@ -74,6 +96,7 @@ class DataWarehouse:
     # ------------------------------------------------------------------
     def add_foreign(self, label: VarLabel, patch_id: int, var: CCVariable) -> None:
         """Stage a piece of a *remote* patch's data needed locally."""
+        self.stats.foreign_adds += 1
         self._foreign.setdefault((label.name, patch_id), []).append(var)
 
     def get_region(
@@ -89,6 +112,7 @@ class DataWarehouse:
         covered unless ``default`` is given (used for regions poking
         into the wall ring, which no patch owns).
         """
+        self.stats.region_assemblies += 1
         out = np.full(region.extent, np.nan)
         covered = 0
         for patch in level.patches_intersecting(region):
@@ -129,9 +153,11 @@ class DataWarehouse:
             raise DataWarehouseError(
                 f"level variable {label.name} already exists on level {level_index}"
             )
+        self.stats.level_puts += 1
         self._level[key] = data
 
     def get_level(self, label: VarLabel, level_index: int) -> np.ndarray:
+        self.stats.level_gets += 1
         try:
             return self._level[(label.name, level_index)]
         except KeyError:
@@ -148,6 +174,7 @@ class DataWarehouse:
     def put_reduction(self, label: VarLabel, var: ReductionVariable) -> None:
         if label.kind is not VarKind.REDUCTION:
             raise DataWarehouseError(f"put_reduction() needs a REDUCTION label")
+        self.stats.reduction_puts += 1
         existing = self._reductions.get(label.name)
         self._reductions[label.name] = var if existing is None else existing.combine(var)
 
@@ -171,6 +198,15 @@ class DataWarehouse:
         names = {n for n, _ in self._cc} | {n for n, _ in self._level}
         names |= set(self._reductions)
         return sorted(names)
+
+    def publish_metrics(self, registry, **labels) -> None:
+        """Flush this generation's operation counts and footprint into a
+        metrics registry (call once per warehouse, e.g. at gather)."""
+        for name, value in self.stats.as_dict().items():
+            if value:
+                registry.counter(f"dw.{name}", **labels).inc(value)
+        registry.gauge("dw.nbytes", **labels).set(self.nbytes)
+        registry.gauge("dw.variables", **labels).set(len(self.variable_names()))
 
 
 class DataWarehouseManager:

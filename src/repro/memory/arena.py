@@ -69,3 +69,13 @@ class ArenaAllocator:
         if self.mapped_bytes == 0:
             return 0.0
         return (self.mapped_bytes - self.live_bytes) / self.mapped_bytes
+
+    def publish_metrics(self, registry, **labels) -> None:
+        """Snapshot the arena's accounting into a metrics registry."""
+        g = lambda name: registry.gauge(name, allocator="arena", **labels)
+        g("alloc.footprint_bytes").set(self.footprint)
+        g("alloc.live_bytes").set(self.live_bytes)
+        g("alloc.peak_footprint_bytes").set(self.peak_mapped_bytes)
+        g("alloc.fragmentation").set(self.fragmentation)
+        g("alloc.malloc_calls").set(self.mmap_calls)
+        g("alloc.free_calls").set(self.munmap_calls)

@@ -135,6 +135,19 @@ class SimulatedHeap:
     def largest_free_block(self) -> int:
         return max((s for _, s in self._free), default=0)
 
+    def publish_metrics(self, registry, **labels) -> None:
+        """Snapshot the heap's accounting into a metrics registry."""
+        g = lambda name: registry.gauge(
+            name, allocator=f"heap-{self.policy}", **labels
+        )
+        g("alloc.footprint_bytes").set(self.footprint)
+        g("alloc.live_bytes").set(self.live_bytes)
+        g("alloc.peak_live_bytes").set(self.peak_live_bytes)
+        g("alloc.fragmentation").set(self.fragmentation)
+        g("alloc.malloc_calls").set(self.malloc_calls)
+        g("alloc.free_calls").set(self.free_calls)
+        g("alloc.largest_free_block").set(self.largest_free_block())
+
     def check_invariants(self) -> None:
         """Free list is sorted, disjoint, non-adjacent, inside the heap;
         free + live cover exactly the footprint."""
@@ -244,3 +257,14 @@ class SizeClassHeap:
     def fragmentation(self) -> float:
         fp = self.footprint
         return 0.0 if fp == 0 else (fp - self.live_bytes) / fp
+
+    def publish_metrics(self, registry, **labels) -> None:
+        """Snapshot the size-class heap's accounting into a registry."""
+        g = lambda name: registry.gauge(name, allocator="sizeclass", **labels)
+        g("alloc.footprint_bytes").set(self.footprint)
+        g("alloc.live_bytes").set(self.live_bytes)
+        g("alloc.peak_live_bytes").set(self.peak_live_bytes)
+        g("alloc.fragmentation").set(self.fragmentation)
+        g("alloc.malloc_calls").set(self.malloc_calls)
+        g("alloc.free_calls").set(self.free_calls)
+        g("alloc.pages_mapped").set(self.pages_mapped)

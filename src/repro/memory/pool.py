@@ -185,3 +185,11 @@ class SizeClassPool:
     @property
     def footprint(self) -> int:
         return self.arena.mapped_bytes
+
+    def publish_metrics(self, registry, **labels) -> None:
+        """Snapshot the pool's accounting into a metrics registry."""
+        g = lambda name: registry.gauge(name, allocator="pool", **labels)
+        g("alloc.footprint_bytes").set(self.footprint)
+        g("alloc.live_objects").set(self.live_objects)
+        g("alloc.chunk_maps").set(self.chunk_maps)
+        g("alloc.contended_acquires").set(self.contended_acquires)

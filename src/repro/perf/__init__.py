@@ -1,0 +1,65 @@
+"""Runtime observability: metrics, span tracing, rank-stats reduction.
+
+The paper's scaling campaign lived and died on instrumentation — Table
+1's component timings, Figure 1's communication-time diagnosis, the
+fragmentation factors of Section IV.B all come from the runtime
+reporting on itself. This package is that reporting surface for the
+reproduction:
+
+* :mod:`repro.perf.metrics` — counters / gauges / histograms with
+  labels, published into by schedulers, comm pools, allocators, and
+  the DataWarehouse;
+* :mod:`repro.perf.tracer` — nested spans with thread/rank
+  attribution, exported as Chrome trace-event JSON;
+* :mod:`repro.perf.rankstats` — Uintah-style min/mean/max/total
+  reduction of per-rank statistics;
+* :mod:`repro.perf.harness` — the shared ``BENCH_<name>.json``
+  artifact writer for the benchmark scripts;
+* :mod:`repro.perf.profile` — the ``python -m repro profile`` runner.
+"""
+
+from repro.perf.harness import (
+    BENCH_SCHEMA_VERSION,
+    bench_artifact_path,
+    write_bench_artifact,
+)
+from repro.perf.metrics import (
+    Counter,
+    DEFAULT_BUCKETS,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_metrics,
+    reset_metrics,
+    set_metrics,
+)
+from repro.perf.rankstats import (
+    StatSummary,
+    format_rank_stats,
+    publish_rank_stats,
+    rank_stats_as_dict,
+    reduce_rank_stats,
+)
+from repro.perf.tracer import SpanTracer, get_tracer, set_tracer
+
+__all__ = [
+    "BENCH_SCHEMA_VERSION",
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "SpanTracer",
+    "StatSummary",
+    "bench_artifact_path",
+    "format_rank_stats",
+    "get_metrics",
+    "get_tracer",
+    "publish_rank_stats",
+    "rank_stats_as_dict",
+    "reduce_rank_stats",
+    "reset_metrics",
+    "set_metrics",
+    "set_tracer",
+    "write_bench_artifact",
+]

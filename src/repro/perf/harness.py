@@ -1,0 +1,87 @@
+"""Benchmark artifact writer: every ``bench_*.py`` gets a JSON record.
+
+The perf trajectory of this repository is a sequence of
+``BENCH_<name>.json`` files — one per benchmark per run — so that
+"did PR N make the hot path faster?" is a diff of two JSON documents
+rather than a scroll through captured stdout. The schema is small and
+stable: identifying metadata, the benchmark's parameters, its result
+rows, and (optionally) a metrics snapshot.
+
+The output directory resolves, in order: an explicit ``directory``
+argument, the ``REPRO_BENCH_DIR`` environment variable, the current
+working directory.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+from typing import Mapping, Optional, Sequence
+
+BENCH_SCHEMA_VERSION = 1
+
+
+def _jsonable(value):
+    """Coerce numpy scalars/arrays and other common types to JSON."""
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, Mapping):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple, set)):
+        return [_jsonable(v) for v in value]
+    tolist = getattr(value, "tolist", None)  # numpy arrays & scalars
+    if callable(tolist):
+        return _jsonable(tolist())
+    item = getattr(value, "item", None)
+    if callable(item):
+        return _jsonable(item())
+    as_dict = getattr(value, "as_dict", None)
+    if callable(as_dict):
+        return _jsonable(as_dict())
+    return str(value)
+
+
+def bench_artifact_path(name: str, directory: Optional[str] = None) -> Path:
+    base = directory or os.environ.get("REPRO_BENCH_DIR") or "."
+    return Path(base) / f"BENCH_{name}.json"
+
+
+def write_bench_artifact(
+    name: str,
+    *,
+    params: Optional[Mapping] = None,
+    rows: Optional[Sequence[Mapping]] = None,
+    metrics: Optional[Mapping] = None,
+    extra: Optional[Mapping] = None,
+    directory: Optional[str] = None,
+) -> Path:
+    """Write ``BENCH_<name>.json`` and return its path.
+
+    ``rows`` is the benchmark's result series (one mapping per sweep
+    point, e.g. per node count); ``params`` the workload configuration;
+    ``metrics`` an optional :meth:`MetricsRegistry.as_dict` snapshot or
+    any other summary mapping.
+    """
+    payload = {
+        "schema": BENCH_SCHEMA_VERSION,
+        "name": name,
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "python": sys.version.split()[0],
+        "platform": platform.platform(),
+        "params": _jsonable(params or {}),
+        "rows": _jsonable(list(rows or [])),
+    }
+    if metrics is not None:
+        payload["metrics"] = _jsonable(metrics)
+    if extra:
+        payload.update({str(k): _jsonable(v) for k, v in extra.items()})
+    path = bench_artifact_path(name, directory)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path

@@ -1,0 +1,145 @@
+"""The profile run: a small instrumented RMCRT simulation.
+
+``python -m repro profile`` drives the distributed 3-task RMCRT
+pipeline for a few timesteps with an *enabled* tracer and a fresh
+metrics registry, exercises the paper's allocator stack on the
+Section IV.B workload so allocator accounting shows up too, and writes
+
+* ``trace.json``   — Chrome trace-event JSON (chrome://tracing,
+  Perfetto): one swim-lane per simulated rank plus the driver lane,
+  task boxes per timestep;
+* ``metrics.json`` — every counter/gauge/histogram the runtime
+  published: scheduler per-rank stats, comm-pool internals, MPI fabric
+  volume, DataWarehouse traffic, allocator footprints.
+
+The same runner is importable (:func:`run_profile`) so tests can smoke
+the artifacts without a subprocess.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.perf.metrics import MetricsRegistry, set_metrics
+from repro.perf.tracer import SpanTracer, set_tracer
+
+#: the driver thread's timeline row — far above any rank tid
+DRIVER_TID = 1000
+
+
+def run_profile(
+    steps: int = 2,
+    resolution: int = 12,
+    rays_per_cell: int = 4,
+    num_ranks: int = 2,
+    pool_kind: str = "waitfree",
+    seed: int = 0,
+    trace_path: Optional[str] = "trace.json",
+    metrics_path: Optional[str] = "metrics.json",
+) -> dict:
+    """Run ``steps`` instrumented timesteps; write the two artifacts.
+
+    Returns a summary dict: the artifact paths, event/metric counts,
+    and the across-rank runtime-stats reduction of the last step.
+    """
+    from repro.core import DistributedRMCRT, benchmark_property_init
+    from repro.memory.workload import AllocatorStack, generate_trace
+    from repro.radiation import BurnsChristonBenchmark
+    from repro.util.timing import TimerRegistry
+
+    tracer = SpanTracer(enabled=True)
+    metrics = MetricsRegistry()
+    # install as process defaults so components resolving get_tracer()/
+    # get_metrics() (e.g. the controller) record into the same sinks
+    prev_tracer = set_tracer(tracer)
+    prev_metrics = set_metrics(metrics)
+    tracer.register_thread(tid=DRIVER_TID, name="driver")
+    timers = TimerRegistry()
+
+    try:
+        bench = BurnsChristonBenchmark(resolution=resolution)
+        grid = bench.two_level_grid(refinement_ratio=2, fine_patch_size=resolution // 2)
+        drm = DistributedRMCRT(
+            grid,
+            benchmark_property_init(bench),
+            rays_per_cell=rays_per_cell,
+            halo=2,
+            seed=seed,
+        )
+
+        last_stats = None
+        with timers("profile_run"), tracer.span("profile", cat="driver"):
+            for step in range(1, steps + 1):
+                with timers("timestep"), tracer.span(
+                    f"timestep {step}", cat="driver", step=step
+                ):
+                    drm.solve(
+                        "distributed",
+                        num_ranks=num_ranks,
+                        pool_kind=pool_kind,
+                        tracer=tracer,
+                        metrics=metrics,
+                    )
+                last_stats = drm.last_runtime_stats
+                metrics.counter("driver.timesteps").inc()
+
+            # allocator exercise: the Section IV.B workload through the
+            # paper's custom stack, so alloc.* metrics have real values
+            with tracer.span("allocator_replay", cat="driver"):
+                events = generate_trace(timesteps=max(2, steps), seed=seed)
+                stack = AllocatorStack("custom")
+                for ev in events:
+                    if ev.op == "alloc":
+                        stack.malloc(ev.tag, ev.size, ev.obj_id)
+                    else:
+                        stack.free(ev.obj_id)
+                stack.arena.publish_metrics(metrics)
+                stack.pool.publish_metrics(metrics)
+                stack.heap.publish_metrics(metrics)
+
+        timers.publish_metrics(metrics)
+    finally:
+        set_tracer(prev_tracer)
+        set_metrics(prev_metrics)
+
+    if trace_path is not None:
+        tracer.write(trace_path)
+    if metrics_path is not None:
+        metrics.write(metrics_path)
+
+    events = tracer.events()
+    snapshot = metrics.as_dict()
+    return {
+        "trace_path": trace_path,
+        "metrics_path": metrics_path,
+        "steps": steps,
+        "num_ranks": num_ranks,
+        "events": len(events),
+        "task_spans": sum(1 for e in events if e.get("cat") == "task"),
+        "metrics": sum(len(v) for v in snapshot.values()),
+        "runtime_stats": (
+            [s.as_dict() for s in last_stats.values()] if last_stats else []
+        ),
+        "tracer": tracer,
+        "registry": metrics,
+    }
+
+
+def format_summary(summary: dict) -> str:
+    """Human-readable closing report for the CLI."""
+    from repro.perf.rankstats import StatSummary, format_rank_stats
+
+    lines = [
+        f"profile: {summary['steps']} timesteps on {summary['num_ranks']} "
+        f"simulated ranks",
+        f"  {summary['events']} trace events "
+        f"({summary['task_spans']} task spans) -> {summary['trace_path']}",
+        f"  {summary['metrics']} metric series -> {summary['metrics_path']}",
+    ]
+    stats = {
+        d["name"]: StatSummary(**{k: v for k, v in d.items() if k != "imbalance"})
+        for d in summary["runtime_stats"]
+    }
+    if stats:
+        lines.append(format_rank_stats(stats, title="Runtime stats (last timestep)"))
+    return "\n".join(lines)

@@ -18,6 +18,7 @@ from dataclasses import dataclass
 from typing import List, Optional
 
 from repro.dw.datawarehouse import DataWarehouse, DataWarehouseManager
+from repro.perf.tracer import SpanTracer, get_tracer
 from repro.runtime.scheduler import SerialScheduler
 from repro.runtime.taskgraph import CompiledGraph
 from repro.util.errors import SchedulerError
@@ -46,6 +47,7 @@ class SimulationController:
         scheduler=None,
         initial_graph: Optional[CompiledGraph] = None,
         archive=None,
+        tracer: Optional[SpanTracer] = None,
     ) -> None:
         self.graph = graph
         self.initial_graph = initial_graph
@@ -53,6 +55,7 @@ class SimulationController:
         if not hasattr(self.scheduler, "execute"):
             raise SchedulerError("scheduler must expose .execute(graph, old, new)")
         self.archive = archive
+        self.tracer = tracer
         self.dw_manager = DataWarehouseManager()
         self.timers = TimerRegistry()
         self.reports: List[TimestepReport] = []
@@ -92,8 +95,11 @@ class SimulationController:
         """Run the initialization graph (or mark ready without one)."""
         if self._initialized:
             raise SchedulerError("controller already initialized")
+        tracer = self.tracer if self.tracer is not None else get_tracer()
         if self.initial_graph is not None:
-            with self.timers("initialization"):
+            with self.timers("initialization"), tracer.span(
+                "initialize", cat="controller"
+            ):
                 self.scheduler.execute(
                     self.initial_graph, old_dw=None, new_dw=self.dw_manager.new_dw
                 )
@@ -107,7 +113,10 @@ class SimulationController:
         if dt <= 0:
             raise SchedulerError("dt must be positive")
         self.dw_manager.advance()
-        with self.timers("timestep"):
+        tracer = self.tracer if self.tracer is not None else get_tracer()
+        with self.timers("timestep"), tracer.span(
+            f"timestep {self.step + 1}", cat="controller", step=self.step + 1
+        ):
             self.scheduler.execute(
                 self.graph,
                 old_dw=self.dw_manager.old_dw,

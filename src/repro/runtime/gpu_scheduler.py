@@ -23,6 +23,8 @@ from repro.dw.datawarehouse import DataWarehouse
 from repro.dw.gpudw import GPUDataWarehouse
 from repro.dw.label import VarKind, VarLabel
 from repro.dw.variables import CCVariable
+from repro.perf.metrics import MetricsRegistry, get_metrics
+from repro.perf.tracer import SpanTracer, get_tracer
 from repro.runtime.task import TaskContext
 from repro.runtime.taskgraph import CompiledGraph, DetailedTask
 from repro.util.errors import DataWarehouseError, SchedulerError
@@ -70,6 +72,8 @@ class GPUScheduler:
         gpu: Optional[GPUDataWarehouse] = None,
         num_streams: int = 4,
         max_in_flight: int = 8,
+        tracer: Optional[SpanTracer] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         if num_streams < 1 or max_in_flight < 1:
             raise SchedulerError("num_streams and max_in_flight must be >= 1")
@@ -77,6 +81,21 @@ class GPUScheduler:
         self.num_streams = int(num_streams)
         self.max_in_flight = int(max_in_flight)
         self.stats = GPUSchedulerStats()
+        self.tracer = tracer
+        self.metrics = metrics
+
+    def publish_metrics(self, registry: Optional[MetricsRegistry] = None) -> None:
+        """Snapshot the pipeline counters into a metrics registry."""
+        registry = registry if registry is not None else (
+            self.metrics if self.metrics is not None else get_metrics()
+        )
+        registry.gauge("gpu.tasks_executed").set(self.stats.tasks_executed)
+        registry.gauge("gpu.h2d_bytes").set(self.stats.h2d_bytes)
+        registry.gauge("gpu.d2h_bytes").set(self.stats.d2h_bytes)
+        registry.gauge("gpu.level_uploads").set(self.stats.level_uploads)
+        registry.gauge("gpu.peak_resident_tasks").set(self.stats.peak_resident_tasks)
+        for stream, count in self.stats.per_stream_tasks.items():
+            registry.gauge("gpu.stream_tasks", stream=stream).set(count)
 
     # ------------------------------------------------------------------
     def execute(
@@ -88,6 +107,7 @@ class GPUScheduler:
         if graph.num_ranks != 1 or graph.messages:
             raise SchedulerError("GPUScheduler runs single-rank graphs")
         dw = new_dw if new_dw is not None else DataWarehouse()
+        tracer = self.tracer if self.tracer is not None else get_tracer()
 
         order = graph.topological_order()
         pending = deque(order)
@@ -103,7 +123,11 @@ class GPUScheduler:
             ):
                 dt = pending[0]
                 try:
-                    self._stage_h2d(dt, graph, old_dw, dw)
+                    with tracer.span(
+                        f"h2d:{dt.task.name}", cat="gpu.h2d",
+                        patch=dt.patch.patch_id,
+                    ):
+                        self._stage_h2d(dt, graph, old_dw, dw)
                 except DataWarehouseError:
                     if not in_flight:
                         raise  # nothing to evict: genuinely over capacity
@@ -117,7 +141,11 @@ class GPUScheduler:
 
             if in_flight:
                 dt, stream = in_flight.popleft()
-                self._execute_device(dt, stream, graph, old_dw, dw)
+                with tracer.span(
+                    dt.task.name, cat="gpu.task",
+                    patch=dt.patch.patch_id, stream=stream,
+                ):
+                    self._execute_device(dt, stream, graph, old_dw, dw)
                 continue
 
             if pending:
@@ -129,8 +157,12 @@ class GPUScheduler:
                 ctx = TaskContext(
                     dt.task, dt.patch, graph.grid.level(dt.level_index), old_dw, dw
                 )
-                dt.task.callback(ctx)
+                with tracer.span(
+                    dt.task.name, cat="task", patch=dt.patch.patch_id
+                ):
+                    dt.task.callback(ctx)
                 self.stats.tasks_executed += 1
+        self.publish_metrics()
         return dw
 
     # ------------------------------------------------------------------

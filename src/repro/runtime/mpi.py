@@ -110,6 +110,34 @@ class FabricStats:
     per_rank_sent: Dict[int, int] = field(default_factory=dict)
     per_rank_bytes: Dict[int, int] = field(default_factory=dict)
 
+    def per_rank(self) -> Dict[int, Dict[str, int]]:
+        """``{rank: {stat: value}}`` over every rank that sent."""
+        ranks = set(self.per_rank_sent) | set(self.per_rank_bytes)
+        return {
+            r: {
+                "messages_sent": self.per_rank_sent.get(r, 0),
+                "bytes_sent": self.per_rank_bytes.get(r, 0),
+            }
+            for r in sorted(ranks)
+        }
+
+    def reduction(self):
+        """Uintah-style min/mean/max/total reduction across ranks."""
+        from repro.perf.rankstats import reduce_rank_stats
+
+        return reduce_rank_stats(self.per_rank())
+
+    def publish_metrics(self, registry, **labels) -> None:
+        registry.gauge("mpi.messages", **labels).set(self.messages)
+        registry.gauge("mpi.bytes", **labels).set(self.bytes)
+        for rank, stats in self.per_rank().items():
+            registry.gauge("mpi.rank.messages_sent", rank=rank, **labels).set(
+                stats["messages_sent"]
+            )
+            registry.gauge("mpi.rank.bytes_sent", rank=rank, **labels).set(
+                stats["bytes_sent"]
+            )
+
 
 class SimMPI:
     """The shared fabric: unmatched-message and posted-receive queues

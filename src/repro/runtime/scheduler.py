@@ -30,6 +30,14 @@ import numpy as np
 from repro.dw.datawarehouse import DataWarehouse
 from repro.dw.label import VarKind
 from repro.dw.variables import CCVariable
+from repro.perf.metrics import MetricsRegistry, get_metrics
+from repro.perf.rankstats import (
+    StatSummary,
+    format_rank_stats,
+    publish_rank_stats,
+    reduce_rank_stats,
+)
+from repro.perf.tracer import SpanTracer, get_tracer
 from repro.runtime.mpi import SimMPI
 from repro.runtime.task import TaskContext
 from repro.runtime.taskgraph import CompiledGraph, DetailedTask
@@ -40,8 +48,14 @@ from repro.util.timing import TimerRegistry
 class SerialScheduler:
     """Reference executor: one rank, dependency order."""
 
-    def __init__(self) -> None:
+    def __init__(
+        self,
+        tracer: Optional[SpanTracer] = None,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
         self.timers = TimerRegistry()
+        self.tracer = tracer
+        self.metrics = metrics
 
     def execute(
         self,
@@ -54,26 +68,47 @@ class SerialScheduler:
                 "SerialScheduler runs single-rank graphs (compile with "
                 "num_ranks=1 and no assignment)"
             )
+        tracer = self.tracer if self.tracer is not None else get_tracer()
+        metrics = self.metrics if self.metrics is not None else get_metrics()
         dw = new_dw if new_dw is not None else DataWarehouse()
+        executed = 0
         with self.timers("taskexec"):
             for dt in graph.topological_order():
                 ctx = TaskContext(
                     dt.task, dt.patch, graph.grid.level(dt.level_index), old_dw, dw
                 )
-                dt.task.callback(ctx)
+                with tracer.span(
+                    dt.task.name, cat="task",
+                    patch=dt.patch.patch_id, level=dt.level_index,
+                ):
+                    dt.task.callback(ctx)
+                executed += 1
+        metrics.counter("scheduler.tasks_executed", scheduler="serial").inc(executed)
+        metrics.gauge("scheduler.taskexec_seconds", scheduler="serial").set(
+            self.timers("taskexec").elapsed
+        )
         return dw
 
 
 class ThreadedScheduler:
     """Shared-memory multi-threaded executor (one node, many cores)."""
 
-    def __init__(self, num_threads: int = 4, shuffle: bool = False, seed: int = 0) -> None:
+    def __init__(
+        self,
+        num_threads: int = 4,
+        shuffle: bool = False,
+        seed: int = 0,
+        tracer: Optional[SpanTracer] = None,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
         if num_threads < 1:
             raise SchedulerError("num_threads must be >= 1")
         self.num_threads = int(num_threads)
         self.shuffle = bool(shuffle)
         self.seed = int(seed)
         self.timers = TimerRegistry()
+        self.tracer = tracer
+        self.metrics = metrics
 
     def execute(
         self,
@@ -83,6 +118,8 @@ class ThreadedScheduler:
     ) -> DataWarehouse:
         if graph.num_ranks != 1 or graph.messages:
             raise SchedulerError("ThreadedScheduler runs single-rank graphs")
+        tracer = self.tracer if self.tracer is not None else get_tracer()
+        metrics = self.metrics if self.metrics is not None else get_metrics()
         dw = new_dw if new_dw is not None else DataWarehouse()
         by_id = {t.dtask_id: t for t in graph.detailed_tasks}
         indeg = {t.dtask_id: len(t.internal_deps) for t in graph.detailed_tasks}
@@ -124,7 +161,11 @@ class ThreadedScheduler:
                     ctx = TaskContext(
                         dt.task, dt.patch, graph.grid.level(dt.level_index), old_dw, dw
                     )
-                    dt.task.callback(ctx)
+                    with tracer.span(
+                        dt.task.name, cat="task",
+                        patch=dt.patch.patch_id, level=dt.level_index,
+                    ):
+                        dt.task.callback(ctx)
                 except BaseException as exc:  # propagate to caller
                     with lock:
                         errors.append(exc)
@@ -144,6 +185,12 @@ class ThreadedScheduler:
             raise SchedulerError(
                 f"{remaining_holder[0]} tasks never became ready (deadlock)"
             )
+        metrics.counter("scheduler.tasks_executed", scheduler="threaded").inc(
+            len(by_id)
+        )
+        metrics.gauge("scheduler.taskexec_seconds", scheduler="threaded").set(
+            self.timers("taskexec").elapsed
+        )
         return dw
 
 
@@ -163,6 +210,11 @@ class RankStats:
     bytes_sent: int = 0
     idle_spins: int = 0
 
+    def as_dict(self) -> dict:
+        from dataclasses import asdict
+
+        return asdict(self)
+
 
 class DistributedScheduler:
     """One thread per rank over simulated MPI (the full Uintah shape).
@@ -178,6 +230,8 @@ class DistributedScheduler:
         pool_kind: str = "waitfree",
         delivery_jitter: float = 0.0,
         jitter_seed: int = 0,
+        tracer: Optional[SpanTracer] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         """``delivery_jitter`` > 0 injects randomized message arrival
         order/latency into the fabric (failure-injection testing)."""
@@ -188,6 +242,8 @@ class DistributedScheduler:
         self.delivery_jitter = float(delivery_jitter)
         self.jitter_seed = int(jitter_seed)
         self.timers = TimerRegistry()
+        self.tracer = tracer
+        self.metrics = metrics
         self.fabric: Optional[SimMPI] = None
         #: per-rank ExecTimes, populated by execute()
         self.rank_stats: Dict[int, RankStats] = {}
@@ -237,7 +293,23 @@ class DistributedScheduler:
         fabric.shutdown()
         if errors:
             raise errors[0]
+        metrics = self.metrics if self.metrics is not None else get_metrics()
+        publish_rank_stats(
+            metrics, self.rank_stats, prefix="scheduler.rank",
+            scheduler="distributed",
+        )
+        fabric.stats.publish_metrics(metrics)
         return rank_dws
+
+    def runtime_stats(self) -> Dict[str, StatSummary]:
+        """Uintah-style reduction (min/mean/max/total across ranks) of
+        the last execution's per-rank stats."""
+        return reduce_rank_stats(self.rank_stats)
+
+    def runtime_stats_report(self) -> str:
+        return format_rank_stats(
+            self.runtime_stats(), title="Distributed runtime stats"
+        )
 
     def _run_rank(
         self,
@@ -253,6 +325,9 @@ class DistributedScheduler:
         from repro.comm.driver import make_pool
         from repro.comm.request import CommNode
 
+        tracer = self.tracer if self.tracer is not None else get_tracer()
+        metrics = self.metrics if self.metrics is not None else get_metrics()
+        tracer.register_thread(tid=rank, name=f"rank {rank}")
         comm = fabric.comm(rank)
         local = graph.tasks_on_rank(rank)
         indeg = {t.dtask_id: len(t.internal_deps) for t in local}
@@ -314,7 +389,11 @@ class DistributedScheduler:
                 dt.task, dt.patch, graph.grid.level(dt.level_index), old_dw, new_dw, rank=rank
             )
             t0 = time.perf_counter()
-            dt.task.callback(ctx)
+            with tracer.span(
+                dt.task.name, cat="task",
+                patch=dt.patch.patch_id, level=dt.level_index, rank=rank,
+            ):
+                dt.task.callback(ctx)
             stats.task_exec_time += time.perf_counter() - t0
             stats.tasks_executed += 1
             completed += 1
@@ -335,6 +414,7 @@ class DistributedScheduler:
                     indeg[dep] -= 1
                     if indeg[dep] == 0 and not pending[dep]:
                         ready.append(dep)
+        pool.publish_metrics(metrics, pool=self.pool_kind, rank=rank)
 
 
 def gather_cc(

@@ -14,6 +14,7 @@ from repro.util.errors import (
     DataWarehouseError,
     AllocationError,
     CommError,
+    PerfError,
 )
 
 __all__ = [
@@ -28,4 +29,5 @@ __all__ = [
     "DataWarehouseError",
     "AllocationError",
     "CommError",
+    "PerfError",
 ]

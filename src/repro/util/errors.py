@@ -31,3 +31,8 @@ class AllocationError(ReproError):
 class CommError(ReproError):
     """Simulated-MPI misuse: unmatched request handles, double
     completion, messages to unknown ranks."""
+
+
+class PerfError(ReproError):
+    """Observability misuse: mismatched span begin/end pairs, metric
+    kind conflicts, invalid counter updates."""

@@ -63,9 +63,28 @@ class Timer:
         return self._start is not None
 
     @property
+    def current(self) -> float:
+        """Accumulated time *including* any in-flight interval — what a
+        report taken mid-measurement should show, where :attr:`elapsed`
+        alone would silently drop the running portion."""
+        if self._start is not None:
+            return self.elapsed + (time.perf_counter() - self._start)
+        return self.elapsed
+
+    @property
     def mean(self) -> float:
         """Mean duration per start/stop cycle (0 if never stopped)."""
         return self.elapsed / self.count if self.count else 0.0
+
+    def as_dict(self) -> dict:
+        """JSON-ready snapshot (running timers report partial time)."""
+        return {
+            "name": self.name,
+            "elapsed": self.current,
+            "count": self.count,
+            "mean": self.mean,
+            "running": self.running,
+        }
 
     def __enter__(self) -> "Timer":
         return self.start()
@@ -104,13 +123,28 @@ class TimerRegistry:
         for timer in self._timers.values():
             timer.reset()
 
+    def as_dict(self) -> Dict[str, dict]:
+        """All timers as JSON-ready snapshots, keyed by name."""
+        return {name: t.as_dict() for name, t in self._timers.items()}
+
+    def publish_metrics(self, registry, **labels) -> None:
+        """Publish every timer into a metrics registry: elapsed seconds
+        as a gauge (partial time included), cycles as a gauge."""
+        for timer in self:
+            registry.gauge(
+                f"timer.{timer.name}.seconds", **labels
+            ).set(timer.current)
+            registry.gauge(f"timer.{timer.name}.count", **labels).set(timer.count)
+
     def report(self) -> str:
-        """A fixed-width table of all timers, longest first."""
-        rows = sorted(self._timers.values(), key=lambda t: -t.elapsed)
+        """A fixed-width table of all timers, longest first. Running
+        timers contribute their partially-elapsed interval."""
+        rows = sorted(self._timers.values(), key=lambda t: -t.current)
         lines = [f"{'timer':<28}{'total':>14}{'count':>10}{'mean':>14}"]
         for t in rows:
+            total = format_seconds(t.current) + ("*" if t.running else "")
             lines.append(
-                f"{t.name:<28}{format_seconds(t.elapsed):>14}"
+                f"{t.name:<28}{total:>14}"
                 f"{t.count:>10}{format_seconds(t.mean):>14}"
             )
         return "\n".join(lines)

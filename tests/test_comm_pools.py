@@ -174,6 +174,70 @@ class TestLockedPool:
         assert pool.ledger.outstanding == 0
 
 
+class TestPoolStats:
+    def test_waitfree_counts_scans_and_retired(self):
+        pool = WaitFreeCommPool(capacity=16)
+        for _ in range(5):
+            pool.insert(completed_node())
+        assert pool.process_ready() == 5
+        assert pool.stats.retired == 5
+        assert pool.stats.passes == 1
+        assert pool.stats.slot_scans >= 5  # at least one scan per record
+
+    def test_waitfree_counts_claim_failures(self):
+        pool = WaitFreeCommPool(capacity=4)
+        pool.insert(completed_node())
+        it = pool.find_any(lambda n: True)  # holds the slot's try-lock
+        assert it is not None
+        assert pool.find_any(lambda n: True) is None
+        assert pool.stats.claim_failures >= 1
+        it.release()
+
+    def test_waitfree_counts_grows(self):
+        pool = WaitFreeCommPool(capacity=2, growth_chunk=2)
+        for _ in range(5):
+            pool.insert(completed_node())
+        assert pool.stats.grows >= 1
+
+    def test_pools_report_comparable_retired_counts(self):
+        """Same workload through the locked and wait-free pools: both
+        designs must retire exactly every completed request — the
+        paper's change is about contention, not about what gets done."""
+        n = 12
+        waitfree = WaitFreeCommPool(capacity=32)
+        locked = LockedVectorCommPool(mode="safe")
+        for _ in range(n):
+            waitfree.insert(completed_node())
+            locked.insert(completed_node())
+        while waitfree.process_ready():
+            pass
+        while locked.process_ready():
+            pass
+        assert waitfree.stats.retired == n
+        assert locked.stats.retired == n
+        assert waitfree.stats.retired == locked.stats.retired
+        assert waitfree.stats.slot_scans >= n
+        assert locked.stats.slot_scans >= n
+
+    def test_publish_metrics_delta_flush(self):
+        from repro.perf.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        pool = WaitFreeCommPool(capacity=16)
+        for _ in range(3):
+            pool.insert(completed_node())
+        pool.process_ready()
+        pool.publish_metrics(registry, pool="waitfree")
+        assert registry.value("comm.pool.retired", pool="waitfree") == 3
+        # publishing again without new work must not double-count
+        pool.publish_metrics(registry, pool="waitfree")
+        assert registry.value("comm.pool.retired", pool="waitfree") == 3
+        pool.insert(completed_node())
+        pool.process_ready()
+        pool.publish_metrics(registry, pool="waitfree")
+        assert registry.value("comm.pool.retired", pool="waitfree") == 4
+
+
 class TestWorkloads:
     @pytest.mark.parametrize("kind", ["waitfree", "locked"])
     @pytest.mark.parametrize("threads", [1, 4])

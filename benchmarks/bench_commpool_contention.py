@@ -5,18 +5,36 @@ real messages through the wait-free and locked pools over the simulated
 MPI fabric. Reports per-message processing cost per pool and thread
 count, plus the legacy pool's buffer-leak rate — the numbers that
 justify the pool-model constants used in E1.
+
+Results land in ``BENCH_commpool_contention.json`` (one row per
+pool/thread sweep point), so cross-PR comparisons are a JSON diff.
 """
 
 import pytest
 
 from repro.comm import make_pool, run_comm_workload
+from repro.perf import write_bench_artifact
 
 MESSAGES = 600
 
 
+@pytest.fixture(scope="module")
+def artifact_rows():
+    """Accumulates one row per sweep point; the artifact is written
+    once, after every test in the module has contributed."""
+    rows = []
+    yield rows
+    write_bench_artifact(
+        "commpool_contention",
+        params={"messages": MESSAGES, "pools": ["waitfree", "locked"],
+                "threads": [1, 4, 8]},
+        rows=rows,
+    )
+
+
 @pytest.mark.parametrize("threads", [1, 4, 8])
 @pytest.mark.parametrize("kind", ["waitfree", "locked"])
-def test_pool_throughput(benchmark, kind, threads):
+def test_pool_throughput(benchmark, artifact_rows, kind, threads):
     def run():
         return run_comm_workload(
             make_pool(kind), num_threads=threads, num_messages=MESSAGES
@@ -27,10 +45,18 @@ def test_pool_throughput(benchmark, kind, threads):
     print(f"\n{kind} pool, {threads} threads: "
           f"{result.throughput:,.0f} msgs/s ({per_msg * 1e6:.1f} us/msg), "
           f"leaked={result.leaked_buffers}")
+    artifact_rows.append({
+        "pool": kind,
+        "threads": threads,
+        "messages_per_s": result.throughput,
+        "us_per_message": per_msg * 1e6,
+        "leaked_buffers": result.leaked_buffers,
+        "mean_s": benchmark.stats.stats.mean,
+    })
     assert result.clean
 
 
-def test_legacy_racy_leak_rate(benchmark):
+def test_legacy_racy_leak_rate(benchmark, artifact_rows):
     """How badly the Section IV.A race leaks under 8 threads."""
 
     def run():
@@ -44,4 +70,13 @@ def test_legacy_racy_leak_rate(benchmark):
     print(f"\nlegacy-racy, 8 threads: processed {result.processed}, "
           f"leaked {result.leaked_buffers} buffers "
           f"({result.leaked_bytes / 1024:.0f} KiB) per {result.expected} messages")
+    artifact_rows.append({
+        "pool": "legacy-racy",
+        "threads": 8,
+        "messages_per_s": result.throughput,
+        "us_per_message": result.wall_time / result.processed * 1e6,
+        "leaked_buffers": result.leaked_buffers,
+        "leaked_kib": result.leaked_bytes / 1024,
+        "mean_s": benchmark.stats.stats.mean,
+    })
     assert result.processed == result.expected

@@ -11,6 +11,9 @@ The paper's Section V premise — larger patches provide more work per
 kernel launch and better throughput — shows up here as cells*rays/s
 rising with patch size for the batch kernel while the scalar path
 stays flat.
+
+Results land in ``BENCH_kernel_patchsize.json`` (one row per
+kernel/patch sweep point), so cross-PR comparisons are a JSON diff.
 """
 
 import numpy as np
@@ -20,9 +23,24 @@ from repro.core import LevelFields, trace_patch_single_level
 from repro.core.cpu_kernel import trace_rays_scalar
 from repro.core.rays import generate_patch_rays
 from repro.grid import Box
+from repro.perf import write_bench_artifact
 from repro.radiation import BurnsChristonBenchmark
 
 RAYS = 8
+
+
+@pytest.fixture(scope="module")
+def artifact_rows():
+    """Accumulates one row per sweep point; the artifact is written
+    once, after every test in the module has contributed."""
+    rows = []
+    yield rows
+    write_bench_artifact(
+        "kernel_patchsize",
+        params={"rays_per_cell": RAYS, "resolution": 24,
+                "batch_patches": [4, 8, 16, 24], "scalar_patches": [4, 8]},
+        rows=rows,
+    )
 
 
 def make_fields(resolution):
@@ -34,7 +52,7 @@ def make_fields(resolution):
 
 
 @pytest.mark.parametrize("patch", [4, 8, 16, 24])
-def test_vectorized_kernel_throughput(benchmark, patch):
+def test_vectorized_kernel_throughput(benchmark, artifact_rows, patch):
     fields = make_fields(24)
     box = Box.cube(patch)
     rng = np.random.default_rng(0)
@@ -46,10 +64,16 @@ def test_vectorized_kernel_throughput(benchmark, patch):
     cell_rays = box.volume * RAYS
     rate = cell_rays / benchmark.stats.stats.mean
     print(f"\nbatch kernel, patch {patch}^3: {rate:,.0f} cell-rays/s")
+    artifact_rows.append({
+        "kernel": "batch",
+        "patch": patch,
+        "cell_rays_per_s": rate,
+        "mean_s": benchmark.stats.stats.mean,
+    })
 
 
 @pytest.mark.parametrize("patch", [4, 8])
-def test_scalar_kernel_throughput(benchmark, patch):
+def test_scalar_kernel_throughput(benchmark, artifact_rows, patch):
     fields = make_fields(24)
     box = Box.cube(patch)
     rng = np.random.default_rng(0)
@@ -61,9 +85,15 @@ def test_scalar_kernel_throughput(benchmark, patch):
     benchmark.pedantic(run, rounds=3, iterations=1)
     rate = origins.shape[0] / benchmark.stats.stats.mean
     print(f"\nscalar kernel, patch {patch}^3: {rate:,.0f} rays/s")
+    artifact_rows.append({
+        "kernel": "scalar",
+        "patch": patch,
+        "rays_per_s": rate,
+        "mean_s": benchmark.stats.stats.mean,
+    })
 
 
-def test_batch_beats_scalar(benchmark):
+def test_batch_beats_scalar(benchmark, artifact_rows):
     """The device-style kernel's throughput advantage (the reason the
     GPU port exists) — measured, must be at least ~5x here."""
     import time
@@ -84,4 +114,9 @@ def test_batch_beats_scalar(benchmark):
 
     speedup = benchmark.pedantic(compare, rounds=1, iterations=1)
     print(f"\nbatch vs scalar speedup on {box.volume * RAYS} rays: {speedup:.1f}x")
+    artifact_rows.append({
+        "kernel": "batch_vs_scalar",
+        "patch": 8,
+        "speedup": speedup,
+    })
     assert speedup > 5.0

@@ -1,0 +1,116 @@
+"""E6 — serving throughput: the content-addressed cache earns its keep.
+
+A duplicate-heavy request stream (many clients asking for the same
+handful of scenes — the steady state of a radiation service fronting
+an ensemble of near-identical simulations) is driven through the
+service twice:
+
+* the full path — content-addressed cache + in-flight coalescing, so
+  each distinct spec is ray-traced exactly once, and
+* the stripped path — ``cache_capacity=0, coalesce=False``, every
+  request pays for a full solve.
+
+The acceptance bar from the service design: the cached path must carry
+at least 2x the request throughput of the no-cache path on this
+stream. Results (and the cache-hit accounting that explains them) land
+in ``BENCH_service_throughput.json``.
+"""
+
+import pytest
+
+from repro.perf import write_bench_artifact
+from repro.perf.metrics import MetricsRegistry, set_metrics
+from repro.service import ServiceClient, ServiceConfig
+from repro.ups import GridSpec, ProblemSpec, RMCRTSpec
+
+DISTINCT_SPECS = 3
+REQUESTS = 24  # 8 requests per distinct spec
+
+
+def request_stream():
+    """24 requests over 3 distinct specs, interleaved — the shape of a
+    parameter-study burst, not a sorted batch."""
+    specs = [
+        ProblemSpec(
+            grid=GridSpec(resolution=12, levels=2, refinement_ratio=2,
+                          patch_size=6),
+            rmcrt=RMCRTSpec(n_divq_rays=3, random_seed=seed),
+        )
+        for seed in range(DISTINCT_SPECS)
+    ]
+    return [specs[i % DISTINCT_SPECS] for i in range(REQUESTS)]
+
+
+def drive(config):
+    """Run the stream through a fresh service; returns (elapsed, stats)."""
+    import time
+
+    registry = MetricsRegistry()
+    previous = set_metrics(registry)
+    try:
+        stream = request_stream()
+        with ServiceClient(config) as client:
+            t0 = time.perf_counter()
+            client.solve_many(stream, timeout=300)
+            elapsed = time.perf_counter() - t0
+            stats = client.service.stats()
+    finally:
+        set_metrics(previous)
+    return elapsed, stats
+
+
+def test_duplicate_heavy_stream_throughput(benchmark):
+    cached_config = ServiceConfig(workers=2)
+    nocache_config = ServiceConfig(workers=2, cache_capacity=0, coalesce=False)
+
+    cached_s, cached_stats = benchmark.pedantic(
+        drive, args=(cached_config,), rounds=1, iterations=1
+    )
+    nocache_s, nocache_stats = drive(nocache_config)
+
+    cached_rps = REQUESTS / cached_s
+    nocache_rps = REQUESTS / nocache_s
+    speedup = cached_rps / nocache_rps
+    print(f"\ncached+coalesced: {cached_rps:,.1f} req/s "
+          f"({cached_stats['solves']} solves, "
+          f"{cached_stats['cache_hits_memory']} hits, "
+          f"{cached_stats['coalesced']} coalesced)")
+    print(f"no-cache:         {nocache_rps:,.1f} req/s "
+          f"({nocache_stats['solves']} solves)")
+    print(f"speedup:          {speedup:.1f}x")
+
+    write_bench_artifact(
+        "service_throughput",
+        params={
+            "requests": REQUESTS,
+            "distinct_specs": DISTINCT_SPECS,
+            "workers": 2,
+            "resolution": 12,
+            "rays": 3,
+        },
+        rows=[
+            {
+                "path": "cached",
+                "seconds": cached_s,
+                "requests_per_s": cached_rps,
+                "solves": cached_stats["solves"],
+                "cache_hits": cached_stats["cache_hits_memory"],
+                "coalesced": cached_stats["coalesced"],
+            },
+            {
+                "path": "no_cache",
+                "seconds": nocache_s,
+                "requests_per_s": nocache_rps,
+                "solves": nocache_stats["solves"],
+                "cache_hits": nocache_stats["cache_hits_memory"],
+                "coalesced": nocache_stats["coalesced"],
+            },
+        ],
+        extra={"speedup": speedup},
+    )
+
+    # each distinct spec ray-traced exactly once on the cached path
+    assert cached_stats["solves"] == DISTINCT_SPECS
+    assert nocache_stats["solves"] == REQUESTS
+    # the acceptance bar: >=2x request throughput on duplicate-heavy work
+    assert speedup >= 2.0, f"cache path only {speedup:.2f}x the no-cache path"

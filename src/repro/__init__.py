@@ -99,6 +99,16 @@ from repro.dessim import (
 # ARCHES-lite
 from repro.arches import BoilerScenario, CoupledSimulation, EnergyEquation
 
+# solve-as-a-service layer
+from repro.service import (
+    RadiationService,
+    ServiceClient,
+    ServiceConfig,
+    SolveRequest,
+    SolveResult,
+)
+from repro.ups import parse_ups, run_ups, scene_fingerprint, spec_fingerprint
+
 __all__ = [
     "__version__",
     # grid
@@ -167,4 +177,14 @@ __all__ = [
     "BoilerScenario",
     "CoupledSimulation",
     "EnergyEquation",
+    # service layer
+    "RadiationService",
+    "ServiceClient",
+    "ServiceConfig",
+    "SolveRequest",
+    "SolveResult",
+    "parse_ups",
+    "run_ups",
+    "scene_fingerprint",
+    "spec_fingerprint",
 ]

@@ -9,6 +9,11 @@ reproduction offers.
 writes ``trace.json`` (Chrome trace-event JSON — load in
 chrome://tracing or Perfetto) and ``metrics.json`` (every runtime
 metric series).
+
+``python -m repro serve --spool DIR`` runs the radiation-solve service
+against a spool directory; ``python -m repro submit file.ups ...``
+pushes requests through it (in-process, or cross-process via
+``--spool``). See :mod:`repro.service.cli`.
 """
 
 from __future__ import annotations
@@ -118,6 +123,14 @@ def main(argv=None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     if argv and argv[0] == "profile":
         return _run_profile(argv[1:])
+    if argv and argv[0] == "serve":
+        from repro.service.cli import cmd_serve
+
+        return cmd_serve(argv[1:])
+    if argv and argv[0] == "submit":
+        from repro.service.cli import cmd_submit
+
+        return cmd_submit(argv[1:])
     return _run_ups(argv)
 
 

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import json
 import re
+import zipfile
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple
 
@@ -93,28 +94,52 @@ class DataArchive:
         return sorted(out)
 
     def load(self, step: int) -> Tuple[DataWarehouse, Dict]:
-        """Reconstruct the warehouse and return (dw, metadata)."""
+        """Reconstruct the warehouse and return (dw, metadata).
+
+        A corrupt or partially-written step directory (interrupted
+        writer, truncated copy) raises :class:`DataWarehouseError` —
+        never a bare ``KeyError``/``JSONDecodeError`` — so restart
+        logic can fall back to an earlier step.
+        """
         tdir = self.root / f"t{step:05d}"
         meta_path = tdir / "meta.json"
         if not meta_path.exists():
             raise DataWarehouseError(f"no archived timestep {step} under {self.root}")
-        meta = json.loads(meta_path.read_text())
-        with np.load(tdir / "data.npz") as arrays:
-            dw = DataWarehouse(generation=meta["generation"])
-            for entry in meta["cc"]:
-                box = Box(tuple(entry["lo"]), tuple(entry["hi"]))
-                dw.put(cc(entry["name"]), entry["patch"],
-                       CCVariable(box, arrays[entry["key"]].copy()))
-            for entry in meta["level"]:
-                dw.put_level(
-                    per_level(entry["name"]), entry["level"],
-                    arrays[entry["key"]].copy(),
-                )
-            for entry in meta["reductions"]:
-                dw.put_reduction(
-                    VarLabel(entry["name"], VarKind.REDUCTION),
-                    ReductionVariable(entry["value"], entry["op"]),
-                )
+        try:
+            meta = json.loads(meta_path.read_text())
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            raise DataWarehouseError(
+                f"corrupt archive metadata {meta_path}: {exc}"
+            ) from exc
+        npz_path = tdir / "data.npz"
+        if not npz_path.exists():
+            raise DataWarehouseError(
+                f"archived timestep {step} is missing {npz_path.name} "
+                f"(partially written {tdir}?)"
+            )
+        try:
+            with np.load(npz_path) as arrays:
+                dw = DataWarehouse(generation=meta["generation"])
+                for entry in meta["cc"]:
+                    box = Box(tuple(entry["lo"]), tuple(entry["hi"]))
+                    dw.put(cc(entry["name"]), entry["patch"],
+                           CCVariable(box, arrays[entry["key"]].copy()))
+                for entry in meta["level"]:
+                    dw.put_level(
+                        per_level(entry["name"]), entry["level"],
+                        arrays[entry["key"]].copy(),
+                    )
+                for entry in meta["reductions"]:
+                    dw.put_reduction(
+                        VarLabel(entry["name"], VarKind.REDUCTION),
+                        ReductionVariable(entry["value"], entry["op"]),
+                    )
+        except KeyError as exc:
+            raise DataWarehouseError(
+                f"archive {tdir} metadata and arrays disagree: missing {exc}"
+            ) from exc
+        except (zipfile.BadZipFile, ValueError, OSError, TypeError) as exc:
+            raise DataWarehouseError(f"corrupt archive data {npz_path}: {exc}") from exc
         return dw, meta
 
     def latest(self) -> Optional[int]:

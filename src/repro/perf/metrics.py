@@ -237,9 +237,20 @@ class MetricsRegistry:
         return sum(getattr(m, "value", 0.0) for m in self.series(name))
 
     def reset(self) -> None:
+        """Drop every series and kind registration.
+
+        Long-lived service processes (and repeated in-process tests)
+        call this between workloads so one run's series never bleed
+        into the next snapshot; publishers recreate their series on
+        first use afterwards.
+        """
         with self._lock:
             self._series.clear()
             self._kinds.clear()
+
+    #: alias — ``clear`` matches the container idiom used elsewhere
+    #: (SpanTracer.clear, dict.clear)
+    clear = reset
 
     # ------------------------------------------------------------------
     def as_dict(self) -> dict:

@@ -1,0 +1,107 @@
+"""Micro-batcher: coalesce a request stream into per-scene batches.
+
+The paper's LevelDB insight — build the shared coarse-level state once
+and let every patch task consume it — lifted to the serving plane: the
+batcher holds the submission stream for a short coalescing window,
+groups what arrived by *scene* fingerprint (grid + properties), and
+emits one :class:`Batch` per scene, so the worker that receives it
+prepares the scene once and runs every member solve against it.
+
+Batches are sharded onto workers by scene key, giving each shard scene
+affinity (the same grid/property build always lands on the same
+worker). Batch sizes feed the ``service.batch.size`` histogram.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.perf.metrics import MetricsRegistry, get_metrics
+from repro.service.queue import SubmissionQueue
+from repro.service.schema import PendingSolve
+
+#: batch-size histogram buckets: small integers, not the default
+#: exponential time buckets
+BATCH_BUCKETS = (1, 2, 4, 8, 16, 32, 64)
+
+
+@dataclass
+class Batch:
+    """One scene's worth of coalesced requests."""
+
+    scene_key: str
+    entries: List[PendingSolve] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+
+class MicroBatcher:
+    """A thread draining the submission queue into per-scene batches.
+
+    ``dispatch(batch)`` is the service's shard router; it must not
+    block for long (shard queues are unbounded — backpressure is the
+    front door's job).
+    """
+
+    def __init__(
+        self,
+        queue: SubmissionQueue,
+        dispatch: Callable[[Batch], None],
+        window_s: float = 0.005,
+        max_batch: int = 16,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self.queue = queue
+        self.dispatch = dispatch
+        self.window_s = float(window_s)
+        self.max_batch = int(max_batch)
+        self._metrics = metrics if metrics is not None else get_metrics()
+        self._thread = threading.Thread(
+            target=self._run, name="service-batcher", daemon=True
+        )
+
+    def start(self) -> None:
+        self._thread.start()
+
+    def join(self, timeout: Optional[float] = None) -> None:
+        self._thread.join(timeout)
+
+    @property
+    def alive(self) -> bool:
+        return self._thread.is_alive()
+
+    # ------------------------------------------------------------------
+    def _run(self) -> None:
+        while True:
+            first = self.queue.get(timeout=0.25)
+            if first is None:
+                if self.queue.closed:
+                    return
+                continue
+            entries = [first]
+            horizon = time.monotonic() + self.window_s
+            while len(entries) < self.max_batch:
+                remaining = horizon - time.monotonic()
+                if remaining <= 0:
+                    break
+                nxt = self.queue.get(timeout=remaining)
+                if nxt is None:
+                    break
+                entries.append(nxt)
+            self._emit(entries)
+
+    def _emit(self, entries: List[PendingSolve]) -> None:
+        by_scene = {}
+        for pending in entries:
+            by_scene.setdefault(pending.request.scene_key, []).append(pending)
+        size_hist = self._metrics.histogram(
+            "service.batch.size", buckets=BATCH_BUCKETS
+        )
+        for scene_key, members in by_scene.items():
+            size_hist.observe(len(members))
+            self._metrics.counter("service.batch.dispatched").inc()
+            self.dispatch(Batch(scene_key, members))

@@ -1,0 +1,134 @@
+"""Content-addressed result cache: in-memory LRU + optional disk store.
+
+The whole premise of the service layer is that a radiation solve is a
+pure function of its fingerprint, so results are cacheable forever.
+This cache is two-tier: a bounded in-memory LRU in front of an optional
+on-disk store (``<fp>.npz`` + ``<fp>.json`` per solve, the same
+npz-plus-JSON-sidecar convention as :class:`repro.dw.archive.DataArchive`),
+so a restarted service warm-starts from earlier runs' results.
+
+Hit/miss/eviction traffic is published to the metrics registry:
+``service.cache.hits{tier=memory|disk}``, ``service.cache.misses``,
+``service.cache.evictions``, and the ``service.cache.entries`` gauge.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from collections import OrderedDict
+from pathlib import Path
+from typing import Optional
+
+import numpy as np
+
+from repro.perf.metrics import MetricsRegistry, get_metrics
+from repro.service.schema import CachedSolve
+
+_FP_HEX = frozenset("0123456789abcdef")
+
+
+class ResultCache:
+    """Two-tier fingerprint -> :class:`CachedSolve` store.
+
+    ``capacity`` bounds the in-memory LRU (0 disables caching
+    entirely); ``directory`` enables the disk tier. Disk entries are
+    written via a temp file + rename so a crashed writer never leaves a
+    half-written result that a later ``get`` would trust.
+    """
+
+    def __init__(
+        self,
+        capacity: int = 128,
+        directory=None,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self.capacity = int(capacity)
+        self.directory = Path(directory) if directory is not None else None
+        if self.directory is not None:
+            self.directory.mkdir(parents=True, exist_ok=True)
+        self._lru: "OrderedDict[str, CachedSolve]" = OrderedDict()
+        self._lock = threading.Lock()
+        self._metrics = metrics if metrics is not None else get_metrics()
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._lru)
+
+    def get(self, fingerprint: str) -> Optional[CachedSolve]:
+        if self.capacity <= 0:
+            return None
+        with self._lock:
+            entry = self._lru.get(fingerprint)
+            if entry is not None:
+                self._lru.move_to_end(fingerprint)
+        if entry is not None:
+            self._metrics.counter("service.cache.hits", tier="memory").inc()
+            return entry
+        entry = self._disk_get(fingerprint)
+        if entry is not None:
+            self._metrics.counter("service.cache.hits", tier="disk").inc()
+            self._memory_put(entry)
+            return entry
+        self._metrics.counter("service.cache.misses").inc()
+        return None
+
+    def put(self, entry: CachedSolve) -> None:
+        if self.capacity <= 0:
+            return
+        self._memory_put(entry)
+        self._disk_put(entry)
+
+    def _memory_put(self, entry: CachedSolve) -> None:
+        with self._lock:
+            self._lru[entry.fingerprint] = entry
+            self._lru.move_to_end(entry.fingerprint)
+            while len(self._lru) > self.capacity:
+                self._lru.popitem(last=False)
+                self._metrics.counter("service.cache.evictions").inc()
+            self._metrics.gauge("service.cache.entries").set(len(self._lru))
+
+    # ------------------------------------------------------------------
+    # disk tier
+    # ------------------------------------------------------------------
+    def _paths(self, fingerprint: str):
+        base = self.directory / fingerprint
+        return base.with_suffix(".npz"), base.with_suffix(".json")
+
+    def _disk_put(self, entry: CachedSolve) -> None:
+        if self.directory is None:
+            return
+        npz, meta = self._paths(entry.fingerprint)
+        # temp name must keep the .npz suffix — np.savez appends it otherwise
+        tmp = self.directory / f".{entry.fingerprint}.tmp.npz"
+        np.savez_compressed(tmp, divq=entry.divq)
+        tmp.replace(npz)
+        meta.write_text(
+            json.dumps(
+                {
+                    "fingerprint": entry.fingerprint,
+                    "rays_traced": entry.rays_traced,
+                    "solve_time_s": entry.solve_time_s,
+                }
+            )
+        )
+
+    def _disk_get(self, fingerprint: str) -> Optional[CachedSolve]:
+        if self.directory is None or set(fingerprint) - _FP_HEX:
+            return None
+        npz, meta_path = self._paths(fingerprint)
+        if not (npz.exists() and meta_path.exists()):
+            return None
+        try:
+            meta = json.loads(meta_path.read_text())
+            with np.load(npz) as arrays:
+                divq = arrays["divq"].copy()
+        except (json.JSONDecodeError, KeyError, OSError, ValueError):
+            return None  # corrupt disk entry == miss; memory tier re-fills it
+        return CachedSolve(
+            fingerprint=fingerprint,
+            divq=divq,
+            rays_traced=int(meta["rays_traced"]),
+            solve_time_s=float(meta["solve_time_s"]),
+        )

@@ -1,0 +1,321 @@
+"""``python -m repro serve`` / ``submit``: the service's CLI pair.
+
+Two transports share one implementation:
+
+* **in-process** — ``submit problem.ups problem.ups`` spins up a
+  :class:`~repro.service.service.RadiationService` in this process,
+  pushes the requests through the real submit path (cache, coalescing,
+  batching, workers), prints per-request serving metadata, and can dump
+  ``metrics.json`` / ``trace.json`` artifacts plus per-request ``divq``
+  arrays;
+* **spool** — ``serve --spool DIR`` runs a long-lived service that
+  watches ``DIR/inbox`` for UPS files and writes results to
+  ``DIR/outbox`` (``<name>.npz`` + ``<name>.json`` sidecar, temp-file +
+  rename so readers never see partial writes); ``submit --spool DIR
+  problem.ups`` drops requests into the inbox and waits for the
+  results, giving a cross-process serve/submit pair with no network
+  dependency.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+import uuid
+from pathlib import Path
+
+import numpy as np
+
+from repro.perf.metrics import MetricsRegistry, set_metrics
+from repro.perf.tracer import SpanTracer, set_tracer
+from repro.service.service import RadiationService, ServiceClient, ServiceConfig
+from repro.ups import parse_ups
+from repro.util.errors import ReproError, ServiceError
+
+
+def _service_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--workers", type=int, default=2, help="worker shards")
+    parser.add_argument(
+        "--backend", choices=("thread", "process"), default="thread",
+        help="solve execution backend",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None, help="on-disk result-cache directory"
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the result cache and in-flight coalescing",
+    )
+    parser.add_argument(
+        "--batch-window", type=float, default=0.005,
+        help="micro-batch coalescing window (seconds)",
+    )
+    parser.add_argument(
+        "--max-queue", type=int, default=64, help="submission queue bound"
+    )
+    parser.add_argument("--metrics", default=None, help="write metrics.json here")
+    parser.add_argument("--trace", default=None, help="write Chrome trace here")
+
+
+def _build_config(args) -> ServiceConfig:
+    return ServiceConfig(
+        max_queue=args.max_queue,
+        workers=args.workers,
+        backend=args.backend,
+        batch_window_s=args.batch_window,
+        cache_capacity=0 if args.no_cache else 128,
+        cache_dir=None if args.no_cache else args.cache_dir,
+        coalesce=not args.no_cache,
+    )
+
+
+def _install_observability(args):
+    """Fresh registry (+ enabled tracer when asked) as process defaults."""
+    metrics = MetricsRegistry()
+    set_metrics(metrics)
+    tracer = SpanTracer(enabled=args.trace is not None)
+    set_tracer(tracer)
+    return metrics, tracer
+
+
+def _write_observability(args, metrics, tracer) -> None:
+    if args.metrics:
+        metrics.write(args.metrics)
+        print(f"metrics: {args.metrics}")
+    if args.trace:
+        tracer.write(args.trace)
+        print(f"trace:   {args.trace}")
+
+
+def _result_line(name: str, result) -> str:
+    served = "cache-hit" if result.cache_hit else (
+        "coalesced" if result.coalesced else f"worker {result.worker}"
+    )
+    return (
+        f"{name:<28} {result.fingerprint[:12]}  {served:<10} "
+        f"batch={result.batch_size} attempts={result.attempts} "
+        f"latency={result.latency_s * 1e3:8.1f} ms  "
+        f"divq mean {result.divq.mean():.4f}"
+    )
+
+
+# ----------------------------------------------------------------------
+# submit
+# ----------------------------------------------------------------------
+def cmd_submit(argv) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro submit",
+        description="Submit UPS solves to the radiation service.",
+    )
+    parser.add_argument("ups", nargs="+", help="UPS input file(s); repeats allowed")
+    parser.add_argument(
+        "--repeat", type=int, default=1, help="submit the file list N times"
+    )
+    parser.add_argument(
+        "--burst", action="store_true",
+        help="submit everything before waiting (exercises coalescing) "
+        "instead of one request at a time (exercises the cache)",
+    )
+    parser.add_argument(
+        "--spool", default=None,
+        help="submit through a spool directory served by 'repro serve'",
+    )
+    parser.add_argument(
+        "--out", default=None, help="directory for per-request divq .npz files"
+    )
+    parser.add_argument(
+        "--timeout", type=float, default=300.0, help="per-request wait (seconds)"
+    )
+    _service_args(parser)
+    args = parser.parse_args(argv)
+    names = [Path(p) for p in args.ups] * max(1, args.repeat)
+
+    if args.spool is not None:
+        return _submit_spool(args, names)
+
+    metrics, tracer = _install_observability(args)
+    out_dir = Path(args.out) if args.out else None
+    if out_dir:
+        out_dir.mkdir(parents=True, exist_ok=True)
+    try:
+        specs = [parse_ups(str(p)) for p in names]
+    except (ReproError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    t0 = time.perf_counter()
+    with ServiceClient(_build_config(args), metrics=metrics, tracer=tracer) as client:
+        try:
+            if args.burst:
+                results = client.solve_many(specs, timeout=args.timeout)
+            else:
+                results = [
+                    client.solve(spec, timeout=args.timeout) for spec in specs
+                ]
+        except ServiceError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        wall = time.perf_counter() - t0
+        for i, (path, result) in enumerate(zip(names, results)):
+            print(_result_line(path.name, result))
+            if out_dir:
+                np.savez_compressed(
+                    out_dir / f"{i:03d}_{path.stem}.npz", divq=result.divq
+                )
+        stats = client.service.stats()
+    hits = stats["cache_hits_memory"] + stats["cache_hits_disk"]
+    print(
+        f"\n{len(results)} request(s) in {wall:.2f} s "
+        f"({len(results) / wall:.1f} req/s): {stats['solves']:.0f} solve(s), "
+        f"{hits:.0f} cache hit(s), {stats['coalesced']:.0f} coalesced"
+    )
+    _write_observability(args, metrics, tracer)
+    return 0
+
+
+def _submit_spool(args, names) -> int:
+    spool = Path(args.spool)
+    inbox, outbox = spool / "inbox", spool / "outbox"
+    inbox.mkdir(parents=True, exist_ok=True)
+    outbox.mkdir(parents=True, exist_ok=True)
+    tickets = []
+    for i, path in enumerate(names):
+        try:
+            text = path.read_text()
+        except OSError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        ticket = f"{i:03d}-{path.stem}-{uuid.uuid4().hex[:8]}"
+        tmp = inbox / f".{ticket}.tmp"
+        tmp.write_text(text)
+        tmp.replace(inbox / f"{ticket}.ups")
+        tickets.append((path.name, ticket))
+    deadline = time.monotonic() + args.timeout
+    failures = 0
+    for name, ticket in tickets:
+        meta_path = outbox / f"{ticket}.json"
+        while not meta_path.exists():
+            if time.monotonic() > deadline:
+                print(f"error: no result for {name} ({ticket})", file=sys.stderr)
+                return 1
+            time.sleep(0.05)
+        meta = json.loads(meta_path.read_text())
+        if meta.get("error"):
+            print(f"{name:<28} FAILED: {meta['error']}")
+            failures += 1
+            continue
+        print(
+            f"{name:<28} {meta['fingerprint'][:12]}  "
+            f"{'cache-hit' if meta['cache_hit'] else 'solved':<10} "
+            f"latency={meta['latency_s'] * 1e3:8.1f} ms  "
+            f"result={outbox / (ticket + '.npz')}"
+        )
+    return 1 if failures else 0
+
+
+# ----------------------------------------------------------------------
+# serve
+# ----------------------------------------------------------------------
+def cmd_serve(argv) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro serve",
+        description="Serve radiation solves from a spool directory.",
+    )
+    parser.add_argument("--spool", required=True, help="spool directory")
+    parser.add_argument(
+        "--idle-timeout", type=float, default=10.0,
+        help="exit after this many seconds with no new requests",
+    )
+    parser.add_argument(
+        "--max-requests", type=int, default=None,
+        help="exit after serving this many requests",
+    )
+    _service_args(parser)
+    args = parser.parse_args(argv)
+
+    spool = Path(args.spool)
+    inbox, outbox = spool / "inbox", spool / "outbox"
+    inbox.mkdir(parents=True, exist_ok=True)
+    outbox.mkdir(parents=True, exist_ok=True)
+    metrics, tracer = _install_observability(args)
+
+    served = 0
+    outstanding = []  # (ticket, handle)
+    last_request = time.monotonic()
+    print(f"serving from {spool} (idle timeout {args.idle_timeout}s)")
+    with RadiationService(_build_config(args), metrics=metrics, tracer=tracer) as svc:
+        client = ServiceClient(svc)
+        while True:
+            claimed = 0
+            budget_left = args.max_requests is None or served < args.max_requests
+            if budget_left:
+                for path in sorted(inbox.glob("*.ups")):
+                    text = path.read_text()
+                    path.unlink()  # claim
+                    ticket = path.stem
+                    try:
+                        handle = client.submit(text)
+                    except (ReproError, OSError) as exc:
+                        _write_result(outbox, ticket, error=str(exc))
+                        print(f"{ticket}: rejected ({exc})")
+                        continue
+                    outstanding.append((ticket, handle))
+                    claimed += 1
+                    served += 1
+                    if args.max_requests is not None and served >= args.max_requests:
+                        break
+            if claimed:
+                last_request = time.monotonic()
+            still_waiting = []
+            for ticket, handle in outstanding:
+                if not handle.done():
+                    still_waiting.append((ticket, handle))
+                    continue
+                try:
+                    result = handle.result(timeout=0)
+                except ServiceError as exc:
+                    _write_result(outbox, ticket, error=str(exc))
+                    print(f"{ticket}: FAILED ({exc})")
+                    continue
+                _write_result(outbox, ticket, result=result)
+                print(_result_line(ticket, result))
+            outstanding = still_waiting
+            done_budget = args.max_requests is not None and served >= args.max_requests
+            if not outstanding and (
+                done_budget
+                or time.monotonic() - last_request > args.idle_timeout
+            ):
+                break
+            time.sleep(0.05)
+        stats = svc.stats()
+    hits = stats["cache_hits_memory"] + stats["cache_hits_disk"]
+    print(
+        f"served {served} request(s): {stats['solves']:.0f} solve(s), "
+        f"{hits:.0f} cache hit(s), {stats['coalesced']:.0f} coalesced"
+    )
+    _write_observability(args, metrics, tracer)
+    return 0
+
+
+def _write_result(outbox: Path, ticket: str, result=None, error=None) -> None:
+    """npz first, JSON sidecar last — the sidecar's existence is the
+    submitter's completion signal."""
+    if result is not None:
+        # temp name must keep the .npz suffix — np.savez appends it otherwise
+        tmp = outbox / f".{ticket}.tmp.npz"
+        np.savez_compressed(tmp, divq=result.divq)
+        tmp.replace(outbox / f"{ticket}.npz")
+        meta = {
+            "fingerprint": result.fingerprint,
+            "cache_hit": result.cache_hit,
+            "coalesced": result.coalesced,
+            "rays_traced": result.rays_traced,
+            "latency_s": result.latency_s,
+            "error": None,
+        }
+    else:
+        meta = {"error": error}
+    tmp = outbox / f".{ticket}.json.tmp"
+    tmp.write_text(json.dumps(meta))
+    tmp.replace(outbox / f"{ticket}.json")

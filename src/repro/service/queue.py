@@ -1,0 +1,109 @@
+"""Bounded submission queue with backpressure.
+
+The service front door: submissions land here, the micro-batcher
+drains. The queue is bounded — when the workers fall behind, ``put``
+blocks for at most the caller's patience and then raises
+:class:`~repro.util.errors.ServiceError`, pushing the overload back to
+the producer instead of letting an unbounded backlog eat the process
+(the wait-free pool's fixed slot array, lifted to the request plane).
+
+Depth is published continuously to the ``service.queue.depth`` gauge;
+accepted and rejected submissions to ``service.queue.enqueued`` /
+``service.queue.rejected``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Deque, List, Optional
+
+from repro.perf.metrics import MetricsRegistry, get_metrics
+from repro.util.errors import ServiceError
+
+
+class SubmissionQueue:
+    """A closable bounded FIFO of pending work items."""
+
+    def __init__(
+        self, maxsize: int = 64, metrics: Optional[MetricsRegistry] = None
+    ) -> None:
+        if maxsize < 1:
+            raise ServiceError(f"queue maxsize must be >= 1, got {maxsize}")
+        self.maxsize = int(maxsize)
+        self._items: Deque = deque()
+        self._lock = threading.Lock()
+        self._not_empty = threading.Condition(self._lock)
+        self._not_full = threading.Condition(self._lock)
+        self._closed = False
+        self._metrics = metrics if metrics is not None else get_metrics()
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._items)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def put(self, item, timeout: Optional[float] = None) -> None:
+        """Enqueue, blocking up to ``timeout`` for space.
+
+        Raises :class:`ServiceError` when the queue stays full past the
+        timeout (backpressure) or the queue is closed.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._not_full:
+            while len(self._items) >= self.maxsize and not self._closed:
+                remaining = None
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        self._metrics.counter("service.queue.rejected").inc()
+                        raise ServiceError(
+                            f"submission queue full ({self.maxsize} pending); "
+                            "backpressure — retry later or raise the queue bound"
+                        )
+                self._not_full.wait(remaining)
+            if self._closed:
+                raise ServiceError("submission queue is closed")
+            self._items.append(item)
+            self._metrics.gauge("service.queue.depth").set(len(self._items))
+            self._metrics.counter("service.queue.enqueued").inc()
+            self._not_empty.notify()
+
+    def get(self, timeout: Optional[float] = None):
+        """Dequeue one item, or None on timeout / closed-and-drained."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._not_empty:
+            while not self._items:
+                if self._closed:
+                    return None
+                remaining = None
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        return None
+                self._not_empty.wait(remaining)
+            item = self._items.popleft()
+            self._metrics.gauge("service.queue.depth").set(len(self._items))
+            self._not_full.notify()
+            return item
+
+    def drain(self) -> List:
+        """Everything currently queued, without blocking."""
+        with self._lock:
+            items = list(self._items)
+            self._items.clear()
+            self._metrics.gauge("service.queue.depth").set(0)
+            self._not_full.notify_all()
+            return items
+
+    def close(self) -> None:
+        """Stop accepting puts; getters drain what is left, then None."""
+        with self._lock:
+            self._closed = True
+            self._not_empty.notify_all()
+            self._not_full.notify_all()

@@ -1,0 +1,367 @@
+"""The radiation-solve service and its synchronous client.
+
+:class:`RadiationService` treats radiation solves as a workload, the
+way the paper treats patch tasks: requests are content-addressed by
+spec fingerprint, collapse against the result cache and against
+identical in-flight solves, coalesce into per-scene micro-batches, and
+fan out across sharded workers — with bounded-queue backpressure at
+the front door and retry-with-backoff behind it.
+
+The request path, in order::
+
+    submit(spec)
+      -> cache probe        (hit: complete immediately, no queue trip)
+      -> in-flight probe    (identical solve already queued: attach)
+      -> bounded queue      (full past the timeout: ServiceError)
+      -> micro-batcher      (coalescing window, group by scene)
+      -> worker shard       (scene affinity, retries, thread/process)
+      -> complete + cache   (every attached handle fans in)
+
+Everything observable about the path lands in the PR 1 metrics
+registry and tracer; see ``stats()`` for the live snapshot.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Union
+
+from repro.perf.metrics import MetricsRegistry, get_metrics
+from repro.perf.tracer import SpanTracer, get_tracer
+from repro.service.batcher import MicroBatcher
+from repro.service.cache import ResultCache
+from repro.service.queue import SubmissionQueue
+from repro.service.schema import (
+    CachedSolve,
+    PendingSolve,
+    SolveHandle,
+    SolveRequest,
+    SolveResult,
+)
+from repro.service.workers import WorkerPool
+from repro.ups import ProblemSpec, parse_ups
+from repro.util.errors import ServiceError
+
+
+@dataclass
+class ServiceConfig:
+    """Tuning knobs of one service instance."""
+
+    max_queue: int = 64            #: bounded-queue depth (backpressure point)
+    workers: int = 2               #: worker shards
+    backend: str = "thread"        #: "thread" or "process" solve execution
+    batch_window_s: float = 0.005  #: micro-batch coalescing window
+    max_batch: int = 16            #: requests per batch, max
+    cache_capacity: int = 128      #: in-memory LRU entries (0 = no cache)
+    cache_dir: Optional[str] = None  #: optional on-disk cache tier
+    coalesce: bool = True          #: attach duplicates to in-flight solves
+    max_retries: int = 2           #: solve retries beyond the first attempt
+    retry_backoff_s: float = 0.01  #: base of the exponential retry backoff
+    shard_queue_depth: int = 4     #: batches buffered per worker shard
+    submit_timeout_s: float = 30.0  #: how long submit blocks on a full queue
+    #: test/fault-injection hook: called as ``fault_hook(fingerprint,
+    #: attempt)`` before every solve attempt; raising fails the attempt
+    fault_hook: Optional[Callable[[str, int], None]] = None
+
+
+class RadiationService:
+    """A batching, caching solve service over the existing solvers."""
+
+    def __init__(
+        self,
+        config: Optional[ServiceConfig] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        tracer: Optional[SpanTracer] = None,
+    ) -> None:
+        self.config = config or ServiceConfig()
+        self.metrics = metrics if metrics is not None else get_metrics()
+        self.tracer = tracer if tracer is not None else get_tracer()
+        c = self.config
+        self.cache = ResultCache(
+            capacity=c.cache_capacity, directory=c.cache_dir, metrics=self.metrics
+        )
+        self.queue = SubmissionQueue(maxsize=c.max_queue, metrics=self.metrics)
+        self.workers = WorkerPool(
+            c.workers,
+            sink=self,
+            backend=c.backend,
+            max_retries=c.max_retries,
+            retry_backoff_s=c.retry_backoff_s,
+            fault_hook=c.fault_hook,
+            shard_queue_depth=c.shard_queue_depth,
+            metrics=self.metrics,
+            tracer=self.tracer,
+        )
+        self.batcher = MicroBatcher(
+            self.queue,
+            self.workers.dispatch,
+            window_s=c.batch_window_s,
+            max_batch=c.max_batch,
+            metrics=self.metrics,
+        )
+        self._inflight: Dict[str, List[PendingSolve]] = {}
+        self._lock = threading.Lock()
+        self._started = False
+        self._stopped = False
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "RadiationService":
+        with self._lock:
+            if self._stopped:
+                raise ServiceError("service already stopped")
+            if not self._started:
+                self._started = True
+                self.workers.start()
+                self.batcher.start()
+        return self
+
+    def stop(self) -> None:
+        """Drain and shut down: queued work completes, then workers exit."""
+        with self._lock:
+            if self._stopped:
+                return
+            self._stopped = True
+            started = self._started
+        self.queue.close()
+        if started:
+            self.batcher.join(timeout=30.0)
+            self.workers.stop(wait=True)
+        # anything still registered never reached a worker
+        with self._lock:
+            leftovers = [p for group in self._inflight.values() for p in group]
+            self._inflight.clear()
+        for pending in leftovers:
+            pending.handle.set_error(ServiceError("service stopped"))
+
+    def __enter__(self) -> "RadiationService":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    # submission
+    # ------------------------------------------------------------------
+    def submit(
+        self, spec: ProblemSpec, deadline_s: Optional[float] = None
+    ) -> SolveHandle:
+        """Submit one solve; returns immediately with a handle."""
+        if self._stopped:
+            raise ServiceError("service already stopped")
+        self.start()
+        request = SolveRequest(spec=spec, deadline_s=deadline_s)
+        handle = SolveHandle(request)
+        now = time.monotonic()
+        pending = PendingSolve(
+            handle=handle,
+            submitted_at=now,
+            abs_deadline=None if deadline_s is None else now + deadline_s,
+        )
+        self.metrics.counter("service.requests").inc()
+
+        cached = self.cache.get(request.fingerprint)
+        if cached is not None:
+            self._finish(pending, cached, cache_hit=True)
+            return handle
+
+        if self.config.coalesce:
+            with self._lock:
+                group = self._inflight.get(request.fingerprint)
+                if group is not None:
+                    group.append(pending)
+                    self.metrics.counter("service.coalesced").inc()
+                    return handle
+                self._inflight[request.fingerprint] = [pending]
+        try:
+            self.queue.put(pending, timeout=self.config.submit_timeout_s)
+        except ServiceError:
+            if self.config.coalesce:
+                with self._lock:
+                    self._inflight.pop(request.fingerprint, None)
+            raise
+        return handle
+
+    # ------------------------------------------------------------------
+    # worker sink protocol
+    # ------------------------------------------------------------------
+    def _pop_group(self, pending: PendingSolve) -> List[PendingSolve]:
+        with self._lock:
+            group = self._inflight.pop(pending.request.fingerprint, None)
+        if group is None:
+            group = [pending]
+        elif pending not in group:  # pragma: no cover — defensive
+            group.append(pending)
+        return group
+
+    def completed(
+        self,
+        pending: PendingSolve,
+        payload: CachedSolve,
+        attempts: int,
+        batch_size: int,
+        worker: int,
+    ) -> None:
+        self.cache.put(payload)
+        now = time.monotonic()
+        for i, member in enumerate(self._pop_group(pending)):
+            if member.expired(now):
+                self._expire_one(member)
+                continue
+            self._deliver(
+                member,
+                payload,
+                cache_hit=False,
+                coalesced=member.handle is not pending.handle,
+                batch_size=batch_size,
+                attempts=attempts,
+                worker=worker,
+            )
+
+    def failed(self, pending: PendingSolve, error: ServiceError) -> None:
+        for member in self._pop_group(pending):
+            member.handle.set_error(error)
+        self.metrics.counter("service.failed").inc()
+
+    def expire(self, pending: PendingSolve) -> None:
+        """A pending whose deadline passed before a worker reached it;
+        its coalesced riders expire with it (same fingerprint, same
+        solve that is not going to happen)."""
+        for member in self._pop_group(pending):
+            self._expire_one(member)
+
+    def _expire_one(self, member: PendingSolve) -> None:
+        self.metrics.counter("service.deadline.expired").inc()
+        member.handle.set_error(
+            ServiceError(
+                f"request {member.request.request_id} deadline "
+                f"({member.request.deadline_s}s) exceeded"
+            )
+        )
+
+    def _finish(
+        self, pending: PendingSolve, payload: CachedSolve, cache_hit: bool
+    ) -> None:
+        self._deliver(
+            pending, payload, cache_hit=cache_hit, coalesced=False,
+            batch_size=1, attempts=0, worker=-1,
+        )
+
+    def _deliver(
+        self,
+        member: PendingSolve,
+        payload: CachedSolve,
+        cache_hit: bool,
+        coalesced: bool,
+        batch_size: int,
+        attempts: int,
+        worker: int,
+    ) -> None:
+        latency = time.monotonic() - member.submitted_at
+        self.metrics.histogram("service.request.latency_s").observe(latency)
+        self.metrics.counter("service.completed").inc()
+        member.handle.set_result(
+            SolveResult(
+                request_id=member.request.request_id,
+                fingerprint=payload.fingerprint,
+                divq=payload.divq,
+                rays_traced=payload.rays_traced,
+                solve_time_s=payload.solve_time_s,
+                cache_hit=cache_hit,
+                coalesced=coalesced,
+                batch_size=batch_size,
+                attempts=attempts,
+                worker=worker,
+                latency_s=latency,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """Live serving counters (a convenience view of the registry)."""
+        m = self.metrics
+        with self._lock:
+            inflight = sum(len(g) for g in self._inflight.values())
+        return {
+            "requests": m.value("service.requests"),
+            "completed": m.value("service.completed"),
+            "failed": m.value("service.failed"),
+            "coalesced": m.value("service.coalesced"),
+            "cache_hits_memory": m.value("service.cache.hits", tier="memory"),
+            "cache_hits_disk": m.value("service.cache.hits", tier="disk"),
+            "cache_misses": m.value("service.cache.misses"),
+            "solves": m.total("service.worker.solves"),
+            "retries": m.value("service.worker.retries"),
+            "rejected": m.value("service.queue.rejected"),
+            "expired": m.value("service.deadline.expired"),
+            "queue_depth": len(self.queue),
+            "inflight": inflight,
+            "cache_entries": len(self.cache),
+        }
+
+
+class ServiceClient:
+    """Synchronous library front end for a :class:`RadiationService`.
+
+    Owns its service unless handed one; usable as a context manager::
+
+        with ServiceClient(ServiceConfig(workers=4)) as client:
+            result = client.solve("problem.ups")
+    """
+
+    def __init__(
+        self,
+        service_or_config: Union[RadiationService, ServiceConfig, None] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        tracer: Optional[SpanTracer] = None,
+    ) -> None:
+        if isinstance(service_or_config, RadiationService):
+            self.service = service_or_config
+            self._owns_service = False
+        else:
+            self.service = RadiationService(
+                service_or_config, metrics=metrics, tracer=tracer
+            )
+            self._owns_service = True
+
+    @staticmethod
+    def _to_spec(source: Union[ProblemSpec, str]) -> ProblemSpec:
+        return source if isinstance(source, ProblemSpec) else parse_ups(source)
+
+    def submit(
+        self, source: Union[ProblemSpec, str], deadline_s: Optional[float] = None
+    ) -> SolveHandle:
+        return self.service.submit(self._to_spec(source), deadline_s=deadline_s)
+
+    def solve(
+        self,
+        source: Union[ProblemSpec, str],
+        deadline_s: Optional[float] = None,
+        timeout: Optional[float] = None,
+    ) -> SolveResult:
+        """Submit one solve and block for its result."""
+        return self.submit(source, deadline_s=deadline_s).result(timeout)
+
+    def solve_many(
+        self,
+        sources,
+        deadline_s: Optional[float] = None,
+        timeout: Optional[float] = None,
+    ) -> List[SolveResult]:
+        """Submit a burst (all before waiting), then collect in order."""
+        handles = [self.submit(s, deadline_s=deadline_s) for s in sources]
+        return [h.result(timeout) for h in handles]
+
+    def close(self) -> None:
+        if self._owns_service:
+            self.service.stop()
+
+    def __enter__(self) -> "ServiceClient":
+        self.service.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -30,14 +30,21 @@ silently running defaults (a lesson every Uintah user learns once).
 
 from __future__ import annotations
 
+import hashlib
+import json
 import xml.etree.ElementTree as ET
 from dataclasses import dataclass, field
+from functools import lru_cache
 from typing import Optional
+
+import numpy as np
 
 from repro.core.distributed import DistributedRMCRT, benchmark_property_init
 from repro.core.single_level import RMCRTResult
 from repro.core.solver import RMCRTSolver
+from repro.grid.grid import Grid
 from repro.radiation.benchmark import BurnsChristonBenchmark
+from repro.radiation.properties import RadiativeProperties
 from repro.util.errors import ReproError
 
 _BOOL = {"true": True, "false": False, "1": True, "0": False}
@@ -176,20 +183,49 @@ def _validate(spec: ProblemSpec) -> None:
             )
 
 
-def run_ups(spec: ProblemSpec) -> RMCRTResult:
-    """Build and run the specified Burns & Christon problem."""
+@dataclass
+class PreparedScene:
+    """The solve-independent part of a UPS problem: the benchmark
+    factory, the built grid, and the finest-level property bundle.
+
+    Preparing a scene is the expensive shared setup of a solve (grid
+    decomposition + analytic property evaluation); the service layer's
+    micro-batcher prepares one scene and runs every request that shares
+    its grid/property fingerprint against it.
+    """
+
+    bench: BurnsChristonBenchmark
+    grid: Grid
+    props: RadiativeProperties
+
+
+def prepare_scene(spec: ProblemSpec) -> PreparedScene:
+    """Build the grid and properties a spec's solve will run against."""
     bench = BurnsChristonBenchmark(resolution=spec.grid.resolution)
-    r = spec.rmcrt
-    # two execution paths: the 3-task pipeline for threaded/distributed/
-    # gpu runs, the direct solvers for serial ones
-    if spec.scheduler.type != "serial":
+    if spec.grid.levels == 1:
+        grid = bench.single_level_grid(patch_size=spec.grid.patch_size)
+    else:
         grid = bench.two_level_grid(
             refinement_ratio=spec.grid.refinement_ratio,
             fine_patch_size=spec.grid.patch_size,
         )
+    return PreparedScene(bench, grid, bench.properties_for_level(grid.finest_level))
+
+
+def run_prepared(spec: ProblemSpec, scene: PreparedScene) -> RMCRTResult:
+    """Run a spec against an already-prepared scene.
+
+    Results are bit-identical to :func:`run_ups` on the same spec — the
+    same grid construction and solver calls, only with the scene build
+    hoisted out so it can be shared across a batch.
+    """
+    r = spec.rmcrt
+    # two execution paths: the 3-task pipeline for threaded/distributed/
+    # gpu runs, the direct solvers for serial ones
+    if spec.scheduler.type != "serial":
         drm = DistributedRMCRT(
-            grid,
-            benchmark_property_init(bench),
+            scene.grid,
+            benchmark_property_init(scene.bench),
             rays_per_cell=r.n_divq_rays,
             halo=r.halo,
             threshold=r.threshold,
@@ -209,9 +245,83 @@ def run_ups(spec: ProblemSpec) -> RMCRTResult:
         reflections=r.allow_reflect,
         centered_origins=r.cc_rays,
     )
-    return solver.solve_benchmark(
-        benchmark=bench,
-        levels=spec.grid.levels,
-        refinement_ratio=spec.grid.refinement_ratio,
-        fine_patch_size=spec.grid.patch_size,
+    return solver.solve(scene.grid, scene.props)
+
+
+def run_ups(spec: ProblemSpec) -> RMCRTResult:
+    """Build and run the specified Burns & Christon problem."""
+    return run_prepared(spec, prepare_scene(spec))
+
+
+# ----------------------------------------------------------------------
+# scene / spec fingerprints
+# ----------------------------------------------------------------------
+# The service layer treats solves as content-addressed: two requests
+# with the same fingerprint are the same solve. The *scene* fingerprint
+# covers what the rays march through (grid geometry + the actual
+# property arrays); the *spec* fingerprint adds the RMCRT sampling
+# parameters and seed. Scheduler choice is deliberately excluded — the
+# pipeline reproduces the direct solvers bit-for-bit on every scheduler
+# (pinned by tests/test_distributed_rmcrt.py), so a cached result
+# serves requests regardless of how they would have been executed.
+
+
+@lru_cache(maxsize=64)
+def _scene_digest(
+    resolution: int, levels: int, refinement_ratio: int, patch_size: Optional[int]
+) -> str:
+    spec = ProblemSpec(
+        grid=GridSpec(
+            resolution=resolution,
+            levels=levels,
+            refinement_ratio=refinement_ratio,
+            patch_size=patch_size,
+        )
     )
+    scene = prepare_scene(spec)
+    h = hashlib.sha256()
+    h.update(
+        json.dumps(
+            {
+                "resolution": resolution,
+                "levels": levels,
+                "refinement_ratio": refinement_ratio,
+                "patch_size": patch_size,
+            },
+            sort_keys=True,
+        ).encode()
+    )
+    for name in ("abskg", "sigma_t4", "cell_type"):
+        arr = np.ascontiguousarray(getattr(scene.props, name))
+        h.update(name.encode())
+        h.update(str(arr.shape).encode())
+        h.update(str(arr.dtype).encode())
+        h.update(arr.tobytes())
+    return h.hexdigest()
+
+
+def scene_fingerprint(spec: ProblemSpec) -> str:
+    """Digest of the grid geometry and property fields (batching key)."""
+    g = spec.grid
+    return _scene_digest(g.resolution, g.levels, g.refinement_ratio, g.patch_size)
+
+
+def spec_fingerprint(spec: ProblemSpec) -> str:
+    """Full content address of a solve: scene + RMCRT params + seed."""
+    r = spec.rmcrt
+    h = hashlib.sha256()
+    h.update(scene_fingerprint(spec).encode())
+    h.update(
+        json.dumps(
+            {
+                "nDivQRays": r.n_divq_rays,
+                "Threshold": repr(r.threshold),
+                "halo": r.halo,
+                "allowReflect": r.allow_reflect,
+                "CCRays": r.cc_rays,
+                "randomSeed": r.random_seed,
+            },
+            sort_keys=True,
+        ).encode()
+    )
+    return h.hexdigest()

@@ -36,3 +36,9 @@ class CommError(ReproError):
 class PerfError(ReproError):
     """Observability misuse: mismatched span begin/end pairs, metric
     kind conflicts, invalid counter updates."""
+
+
+class ServiceError(ReproError):
+    """Radiation-service failures: queue overload (backpressure),
+    expired request deadlines, worker solves that exhausted their
+    retries, or submission to a stopped service."""

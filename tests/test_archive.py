@@ -78,6 +78,60 @@ class TestArchive:
         assert dw.get(PHI, 0).data[0, 0, 0] == 0.0
 
 
+class TestCorruptArchive:
+    """A corrupt or partially-written tNNNNN/ directory must surface as
+    DataWarehouseError (so restart logic can fall back to an earlier
+    step), never as a raw KeyError/JSONDecodeError from the internals."""
+
+    def saved(self, tmp_path):
+        archive = DataArchive(tmp_path / "uda")
+        archive.save(make_dw(), step=3)
+        return archive, tmp_path / "uda" / "t00003"
+
+    def test_malformed_meta_json(self, tmp_path):
+        archive, tdir = self.saved(tmp_path)
+        (tdir / "meta.json").write_text("{truncated by a dying writer")
+        with pytest.raises(DataWarehouseError, match="corrupt archive metadata"):
+            archive.load(3)
+
+    def test_missing_npz(self, tmp_path):
+        archive, tdir = self.saved(tmp_path)
+        (tdir / "data.npz").unlink()
+        with pytest.raises(DataWarehouseError, match="missing data.npz"):
+            archive.load(3)
+
+    def test_garbage_npz(self, tmp_path):
+        archive, tdir = self.saved(tmp_path)
+        (tdir / "data.npz").write_bytes(b"this is not a zip archive")
+        with pytest.raises(DataWarehouseError, match="corrupt archive data"):
+            archive.load(3)
+
+    def test_meta_references_missing_array(self, tmp_path):
+        import json
+
+        archive, tdir = self.saved(tmp_path)
+        meta = json.loads((tdir / "meta.json").read_text())
+        meta["cc"].append(
+            {"name": "ghostvar", "patch": 9, "lo": [0, 0, 0], "hi": [2, 2, 2],
+             "key": "cc::ghostvar::9"}
+        )
+        (tdir / "meta.json").write_text(json.dumps(meta))
+        with pytest.raises(DataWarehouseError, match="disagree"):
+            archive.load(3)
+
+    def test_intact_steps_still_load(self, tmp_path):
+        """Corruption in one step must not poison the archive: restart
+        falls back to the latest intact step."""
+        archive = DataArchive(tmp_path / "uda")
+        archive.save(make_dw(), step=1)
+        archive.save(make_dw(), step=2)
+        (tmp_path / "uda" / "t00002" / "data.npz").unlink()
+        with pytest.raises(DataWarehouseError):
+            archive.load(2)
+        dw, meta = archive.load(1)
+        assert meta["step"] == 1
+
+
 N = 8
 DX = 1.0 / N
 DT = 1e-3

@@ -1,0 +1,145 @@
+"""Tests for the UPS spec/scene fingerprints.
+
+The service layer's correctness rests on the fingerprint being a true
+content address: stable across processes for the same spec, distinct
+for any result-affecting field change, and *insensitive* to scheduler
+choice (which is execution strategy, not content — the pipeline is
+bit-identical to the direct solvers on every scheduler).
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.ups import (
+    GridSpec,
+    ProblemSpec,
+    RMCRTSpec,
+    SchedulerSpec,
+    parse_ups,
+    scene_fingerprint,
+    spec_fingerprint,
+)
+
+UPS_TEXT = """
+<Uintah_specification>
+  <Grid>
+    <resolution> 12 </resolution>
+    <levels> 2 </levels>
+    <refinement_ratio> 2 </refinement_ratio>
+    <patch_size> 6 </patch_size>
+  </Grid>
+  <RMCRT>
+    <nDivQRays> 5 </nDivQRays>
+    <Threshold> 0.001 </Threshold>
+    <halo> 2 </halo>
+    <randomSeed> 3 </randomSeed>
+  </RMCRT>
+  <Scheduler type="serial"/>
+</Uintah_specification>
+"""
+
+
+def base_spec() -> ProblemSpec:
+    return parse_ups(UPS_TEXT)
+
+
+class TestStability:
+    def test_same_spec_same_fingerprint(self):
+        assert spec_fingerprint(parse_ups(UPS_TEXT)) == spec_fingerprint(
+            parse_ups(UPS_TEXT)
+        )
+
+    def test_fingerprint_is_hex_sha256(self):
+        fp = spec_fingerprint(base_spec())
+        assert len(fp) == 64
+        int(fp, 16)
+
+    def test_fingerprint_stable_across_processes(self, tmp_path):
+        """The content address must not depend on process state (hash
+        randomization, import order): a fresh interpreter computes the
+        same digest."""
+        ups = tmp_path / "fp.ups"
+        ups.write_text(UPS_TEXT)
+        src = str(Path(__file__).resolve().parent.parent / "src")
+        env = dict(os.environ, PYTHONPATH=src)
+        script = (
+            "import sys; from repro.ups import parse_ups, spec_fingerprint; "
+            f"print(spec_fingerprint(parse_ups({str(ups)!r})))"
+        )
+        child = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True, text=True, env=env, check=True,
+        )
+        assert child.stdout.strip() == spec_fingerprint(base_spec())
+
+
+def _mutations():
+    """(name, mutator) pairs, each changing one result-affecting field."""
+
+    def m(**kw):
+        def apply(spec):
+            for attr, value in kw.items():
+                obj = spec.rmcrt if hasattr(spec.rmcrt, attr) else spec.grid
+                setattr(obj, attr, value)
+            return spec
+
+        return apply
+
+    return [
+        ("rays", m(n_divq_rays=7)),
+        ("threshold", m(threshold=1e-3 * 2)),
+        ("halo", m(halo=3)),
+        ("seed", m(random_seed=4)),
+        ("resolution", m(resolution=24)),
+        ("levels", m(levels=1)),
+        ("refinement_ratio", m(refinement_ratio=3)),
+        ("patch_size", m(patch_size=12)),
+        ("allow_reflect", m(allow_reflect=True)),
+        ("cc_rays", m(cc_rays=True)),
+    ]
+
+
+class TestSensitivity:
+    @pytest.mark.parametrize("name,mutate", _mutations())
+    def test_any_field_change_changes_fingerprint(self, name, mutate):
+        assert spec_fingerprint(mutate(base_spec())) != spec_fingerprint(
+            base_spec()
+        ), f"fingerprint ignored {name}"
+
+    def test_scheduler_choice_does_not_change_fingerprint(self):
+        """Execution strategy is not content: serial, threaded, and
+        distributed runs of one spec are bit-identical (pinned by
+        test_distributed_rmcrt), so they share a cache entry."""
+        serial = base_spec()
+        distributed = base_spec()
+        distributed.scheduler = SchedulerSpec(
+            type="distributed", ranks=4, pool="locked", threads=8
+        )
+        assert spec_fingerprint(serial) == spec_fingerprint(distributed)
+
+
+class TestSceneKey:
+    def test_param_changes_share_the_scene(self):
+        """Rays/seed changes keep the scene key (same grid + properties
+        -> same micro-batch), while the full fingerprint splits."""
+        a, b = base_spec(), base_spec()
+        b.rmcrt.n_divq_rays = 50
+        b.rmcrt.random_seed = 99
+        assert scene_fingerprint(a) == scene_fingerprint(b)
+        assert spec_fingerprint(a) != spec_fingerprint(b)
+
+    def test_resolution_changes_the_scene(self):
+        a, b = base_spec(), base_spec()
+        b.grid.resolution = 24
+        assert scene_fingerprint(a) != scene_fingerprint(b)
+
+    def test_request_carries_both_keys(self):
+        from repro.service import SolveRequest
+
+        request = SolveRequest(spec=base_spec())
+        assert request.fingerprint == spec_fingerprint(base_spec())
+        assert request.scene_key == scene_fingerprint(base_spec())

@@ -1,0 +1,336 @@
+"""Tests for the radiation-solve service layer.
+
+The contract under test: solves are content-addressed — a burst of N
+identical requests performs exactly one ray trace (coalescing + cache
+collapse the rest) and returns bit-identical divq to a direct
+``run_ups`` — while overload, deadlines, and worker failures surface
+as :class:`ServiceError`, never as hangs or wrong answers.
+"""
+
+import json
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.perf.metrics import MetricsRegistry, set_metrics
+from repro.service import (
+    RadiationService,
+    ResultCache,
+    ServiceClient,
+    ServiceConfig,
+    SubmissionQueue,
+)
+from repro.service.schema import CachedSolve
+from repro.ups import ProblemSpec, RMCRTSpec, GridSpec, parse_ups, run_ups
+from repro.util.errors import ServiceError
+
+
+@pytest.fixture(autouse=True)
+def registry():
+    """Fresh process-default registry per test (service publishes into
+    the default when not handed one explicitly)."""
+    fresh = MetricsRegistry()
+    previous = set_metrics(fresh)
+    yield fresh
+    set_metrics(previous)
+
+
+def small_spec(seed=1, rays=3) -> ProblemSpec:
+    return ProblemSpec(
+        grid=GridSpec(resolution=12, levels=2, refinement_ratio=2, patch_size=6),
+        rmcrt=RMCRTSpec(n_divq_rays=rays, random_seed=seed),
+    )
+
+
+def tiny_spec(seed=0) -> ProblemSpec:
+    """Single-level serial problem — milliseconds per solve."""
+    return ProblemSpec(
+        grid=GridSpec(resolution=8, levels=1), rmcrt=RMCRTSpec(n_divq_rays=1, random_seed=seed)
+    )
+
+
+class TestCacheAndCoalesce:
+    def test_burst_of_identical_requests_is_one_solve(self):
+        spec = small_spec()
+        reference = run_ups(spec)
+        with RadiationService(ServiceConfig(workers=2)) as svc:
+            client = ServiceClient(svc)
+            results = client.solve_many([spec] * 6, timeout=60)
+            stats = svc.stats()
+        assert stats["solves"] == 1
+        assert stats["coalesced"] + stats["cache_hits_memory"] == 5
+        for result in results:
+            np.testing.assert_array_equal(result.divq, reference.divq)
+        assert sum(not r.cache_hit and not r.coalesced for r in results) == 1
+
+    def test_sequential_duplicates_hit_cache(self):
+        spec = small_spec()
+        with ServiceClient(ServiceConfig(workers=1)) as client:
+            first = client.solve(spec, timeout=60)
+            second = client.solve(spec, timeout=60)
+            third = client.solve(spec, timeout=60)
+        assert not first.cache_hit
+        assert second.cache_hit and third.cache_hit
+        assert second.attempts == 0 and second.worker == -1
+        np.testing.assert_array_equal(first.divq, second.divq)
+        # the original solve's cost rides along with the cached payload
+        assert second.solve_time_s == first.solve_time_s
+
+    def test_distinct_seeds_are_distinct_solves(self):
+        with ServiceClient(ServiceConfig(workers=2)) as client:
+            a, b = client.solve_many(
+                [small_spec(seed=1), small_spec(seed=2)], timeout=60
+            )
+        assert a.fingerprint != b.fingerprint
+        assert not np.array_equal(a.divq, b.divq)
+
+    def test_disk_cache_warm_starts_new_service(self, tmp_path, registry):
+        spec = small_spec()
+        cache_dir = tmp_path / "results"
+        with ServiceClient(
+            ServiceConfig(workers=1, cache_dir=str(cache_dir))
+        ) as client:
+            first = client.solve(spec, timeout=60)
+        registry.clear()  # new service process, fresh series
+        with ServiceClient(
+            ServiceConfig(workers=1, cache_dir=str(cache_dir))
+        ) as client:
+            second = client.solve(spec, timeout=60)
+            stats = client.service.stats()
+        assert stats["solves"] == 0
+        assert stats["cache_hits_disk"] == 1
+        np.testing.assert_array_equal(first.divq, second.divq)
+
+    def test_no_cache_config_re_solves_every_request(self):
+        spec = tiny_spec()
+        config = ServiceConfig(workers=1, cache_capacity=0, coalesce=False)
+        with ServiceClient(config) as client:
+            for _ in range(3):
+                result = client.solve(spec, timeout=60)
+                assert not result.cache_hit and not result.coalesced
+            stats = client.service.stats()
+        assert stats["solves"] == 3
+
+    def test_corrupt_disk_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(capacity=4, directory=tmp_path)
+        cache.put(CachedSolve("ab" * 32, np.ones((2, 2, 2)), 8, 0.1))
+        (tmp_path / ("ab" * 32 + ".json")).write_text("{not json")
+        fresh = ResultCache(capacity=4, directory=tmp_path)
+        assert fresh.get("ab" * 32) is None
+
+
+class TestBackpressureAndDeadlines:
+    def test_full_pipeline_rejects_with_backpressure(self):
+        release = threading.Event()
+
+        def blocking_hook(fingerprint, attempt):
+            release.wait(timeout=30.0)
+
+        config = ServiceConfig(
+            workers=1,
+            max_queue=1,
+            max_batch=1,
+            shard_queue_depth=1,
+            submit_timeout_s=0.05,
+            fault_hook=blocking_hook,
+        )
+        svc = RadiationService(config)
+        try:
+            handles = []
+            with pytest.raises(ServiceError, match="backpressure|full"):
+                for seed in range(10):
+                    handles.append(svc.submit(tiny_spec(seed=seed)))
+            assert svc.stats()["rejected"] >= 1
+            release.set()
+            for handle in handles:
+                handle.result(timeout=60)
+        finally:
+            release.set()
+            svc.stop()
+
+    def test_expired_deadline_fails_the_request(self):
+        spec = tiny_spec()
+        with RadiationService(ServiceConfig(workers=1)) as svc:
+            handle = svc.submit(spec, deadline_s=0.0)
+            with pytest.raises(ServiceError, match="deadline"):
+                handle.result(timeout=60)
+            assert svc.stats()["expired"] >= 1
+
+    def test_queue_close_unblocks_getters(self):
+        q = SubmissionQueue(maxsize=2)
+        q.close()
+        assert q.get(timeout=1.0) is None
+        with pytest.raises(ServiceError):
+            q.put(object())
+
+
+class TestRetries:
+    def test_transient_failure_retried_to_success(self):
+        failed_once = set()
+
+        def flaky_hook(fingerprint, attempt):
+            if fingerprint not in failed_once:
+                failed_once.add(fingerprint)
+                raise RuntimeError("injected transient fault")
+
+        config = ServiceConfig(workers=1, max_retries=2, fault_hook=flaky_hook)
+        spec = small_spec()
+        reference = run_ups(spec)
+        with RadiationService(config) as svc:
+            result = svc.submit(spec).result(timeout=60)
+            stats = svc.stats()
+        assert result.attempts == 2
+        assert stats["retries"] == 1
+        np.testing.assert_array_equal(result.divq, reference.divq)
+
+    def test_permanent_failure_exhausts_retries(self):
+        def broken_hook(fingerprint, attempt):
+            raise RuntimeError("injected permanent fault")
+
+        config = ServiceConfig(
+            workers=1, max_retries=1, retry_backoff_s=0.001, fault_hook=broken_hook
+        )
+        with RadiationService(config) as svc:
+            handle = svc.submit(tiny_spec())
+            with pytest.raises(ServiceError, match="failed after 2 attempt"):
+                handle.result(timeout=60)
+            assert svc.stats()["failed"] == 1
+
+    def test_failure_fails_coalesced_riders_too(self):
+        def broken_hook(fingerprint, attempt):
+            raise RuntimeError("injected fault")
+
+        config = ServiceConfig(
+            workers=1, max_retries=0, retry_backoff_s=0.001,
+            batch_window_s=0.05, fault_hook=broken_hook,
+        )
+        spec = tiny_spec()
+        with RadiationService(config) as svc:
+            handles = [svc.submit(spec) for _ in range(3)]
+            for handle in handles:
+                with pytest.raises(ServiceError):
+                    handle.result(timeout=60)
+
+
+class TestProcessBackend:
+    def test_process_solve_matches_run_ups(self):
+        spec = small_spec()
+        reference = run_ups(spec)
+        with ServiceClient(ServiceConfig(workers=1, backend="process")) as client:
+            result = client.solve(spec, timeout=120)
+        np.testing.assert_array_equal(result.divq, reference.divq)
+        assert result.rays_traced == reference.rays_traced
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ServiceError):
+            RadiationService(ServiceConfig(backend="fpga"))
+
+
+class TestLifecycle:
+    def test_submit_after_stop_raises(self):
+        svc = RadiationService(ServiceConfig(workers=1))
+        svc.start()
+        svc.stop()
+        with pytest.raises(ServiceError):
+            svc.submit(tiny_spec())
+
+    def test_stop_drains_submitted_work(self):
+        spec = tiny_spec()
+        svc = RadiationService(ServiceConfig(workers=1))
+        handles = [svc.submit(spec) for _ in range(4)]
+        svc.stop()
+        for handle in handles:
+            assert handle.done()
+            handle.result(timeout=0)
+
+    def test_registry_clear_between_service_solves(self, registry):
+        """The satellite contract: long-lived processes clear() the
+        registry between workloads and series start from zero."""
+        spec = tiny_spec()
+        with ServiceClient(ServiceConfig(workers=1)) as client:
+            client.solve(spec, timeout=60)
+            assert client.service.stats()["solves"] == 1
+            registry.clear()
+            assert client.service.stats()["solves"] == 0
+            client.solve(tiny_spec(seed=9), timeout=60)
+            assert client.service.stats()["solves"] == 1
+        assert registry.value("service.requests") == 1
+
+
+UPS_TEXT = """
+<Uintah_specification>
+  <Grid>
+    <resolution> 12 </resolution>
+    <levels> 2 </levels>
+    <refinement_ratio> 2 </refinement_ratio>
+    <patch_size> 6 </patch_size>
+  </Grid>
+  <RMCRT>
+    <nDivQRays> 3 </nDivQRays>
+    <randomSeed> 1 </randomSeed>
+  </RMCRT>
+  <Scheduler type="serial"/>
+</Uintah_specification>
+"""
+
+
+class TestCLI:
+    def test_submit_cli_duplicates_hit_cache(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        ups = tmp_path / "small.ups"
+        ups.write_text(UPS_TEXT)
+        metrics_path = tmp_path / "metrics.json"
+        out_dir = tmp_path / "out"
+        rc = main(
+            [
+                "submit", str(ups), str(ups),
+                "--metrics", str(metrics_path), "--out", str(out_dir),
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "cache-hit" in out
+        metrics = json.loads(metrics_path.read_text())
+        hits = sum(
+            c["value"] for c in metrics["counters"]
+            if c["name"] == "service.cache.hits"
+        )
+        assert hits >= 1
+        reference = run_ups(parse_ups(UPS_TEXT))
+        for npz in sorted(out_dir.glob("*.npz")):
+            with np.load(npz) as arrays:
+                np.testing.assert_array_equal(arrays["divq"], reference.divq)
+
+    def test_spool_serve_submit_roundtrip(self, tmp_path):
+        from repro.service.cli import cmd_serve, cmd_submit
+
+        ups = tmp_path / "small.ups"
+        ups.write_text(UPS_TEXT)
+        spool = tmp_path / "spool"
+        serve_rc = {}
+
+        def serve():
+            serve_rc["rc"] = cmd_serve(
+                [
+                    "--spool", str(spool),
+                    "--max-requests", "2", "--idle-timeout", "60",
+                ]
+            )
+
+        server = threading.Thread(target=serve, daemon=True)
+        server.start()
+        rc = cmd_submit(
+            ["--spool", str(spool), str(ups), str(ups), "--timeout", "60"]
+        )
+        assert rc == 0
+        server.join(timeout=60)
+        assert not server.is_alive() and serve_rc["rc"] == 0
+        results = sorted((spool / "outbox").glob("*.npz"))
+        assert len(results) == 2
+        reference = run_ups(parse_ups(UPS_TEXT))
+        for npz in results:
+            with np.load(npz) as arrays:
+                np.testing.assert_array_equal(arrays["divq"], reference.divq)

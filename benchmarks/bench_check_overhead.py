@@ -1,0 +1,78 @@
+"""E13b — what the correctness tooling costs.
+
+Dynamic checkers earn their keep only if the instrumented run stays
+usable: this measures the comm workload with and without the race
+detector's shim (every lock tracked, every record a monitored
+location), plus the project linter's throughput over the real source
+tree. Results land in ``BENCH_check_overhead.json``.
+"""
+
+import pytest
+
+from repro.check import RaceDetector, instrument_comm_pool
+from repro.check.cli import REPO_ROOT
+from repro.check.lint import lint_paths
+from repro.comm import make_pool, run_comm_workload
+from repro.perf import write_bench_artifact
+
+MESSAGES = 400
+THREADS = 4
+
+
+@pytest.fixture(scope="module")
+def artifact_rows():
+    rows = []
+    yield rows
+    write_bench_artifact(
+        "check_overhead",
+        params={"messages": MESSAGES, "threads": THREADS, "pool": "waitfree"},
+        rows=rows,
+    )
+
+
+@pytest.mark.parametrize("instrumented", [False, True],
+                         ids=["plain", "race-detector"])
+def test_commpool_instrumentation_overhead(benchmark, artifact_rows, instrumented):
+    def run():
+        pool = make_pool("waitfree")
+        detector = None
+        if instrumented:
+            detector = RaceDetector()
+            instrument_comm_pool(pool, detector)
+        result = run_comm_workload(
+            pool, num_threads=THREADS, num_messages=MESSAGES
+        )
+        return result, detector
+
+    result, detector = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert result.clean
+    if instrumented:
+        assert detector is not None and detector.race_count == 0
+    per_msg = result.wall_time / result.processed
+    print(f"\nwaitfree {'instrumented' if instrumented else 'plain'}: "
+          f"{result.throughput:,.0f} msgs/s ({per_msg * 1e6:.1f} us/msg)")
+    artifact_rows.append({
+        "mode": "race-detector" if instrumented else "plain",
+        "messages_per_s": result.throughput,
+        "us_per_message": per_msg * 1e6,
+        "mean_s": benchmark.stats.stats.mean,
+    })
+
+
+def test_lint_throughput(benchmark, artifact_rows):
+    target = [str(REPO_ROOT / "src" / "repro")]
+
+    def run():
+        return lint_paths(target, root=REPO_ROOT)
+
+    findings, suppressed, scanned = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert findings == []
+    rate = scanned / benchmark.stats.stats.mean
+    print(f"\nlint: {scanned} files, {rate:,.0f} files/s, "
+          f"{suppressed} suppressed")
+    artifact_rows.append({
+        "mode": "lint",
+        "files_scanned": scanned,
+        "files_per_s": rate,
+        "mean_s": benchmark.stats.stats.mean,
+    })

@@ -14,6 +14,9 @@ metric series).
 against a spool directory; ``python -m repro submit file.ups ...``
 pushes requests through it (in-process, or cross-process via
 ``--spool``). See :mod:`repro.service.cli`.
+
+``python -m repro check [lint|graph|races|leaks|all]`` runs the
+correctness tooling — the CI gate. See :mod:`repro.check.cli`.
 """
 
 from __future__ import annotations
@@ -131,6 +134,10 @@ def main(argv=None) -> int:
         from repro.service.cli import cmd_submit
 
         return cmd_submit(argv[1:])
+    if argv and argv[0] == "check":
+        from repro.check.cli import run_check
+
+        return run_check(argv[1:])
     return _run_ups(argv)
 
 

@@ -1,0 +1,45 @@
+"""Correctness tooling: lint, graph validation, race + leak detection.
+
+Four analyzers, one finding format, one CLI (``python -m repro check``):
+
+* :mod:`repro.check.lint` — repo-specific AST rules,
+* :mod:`repro.check.graph` — static task-graph validation,
+* :mod:`repro.check.races` — Eraser-style lockset + vector-clock race
+  detection over the comm pools, scheduler, and service workers,
+* :mod:`repro.check.leaks` — allocator double-free/use-after-retire/
+  leak checking.
+"""
+
+from repro.check.findings import CheckFinding, CheckReport
+from repro.check.graph import validate_compiled, validate_taskgraph
+from repro.check.leaks import CheckedAllocator, run_leak_fixture
+from repro.check.lint import lint_paths, lint_source
+from repro.check.races import (
+    RaceDetector,
+    TrackedLock,
+    TrackedQueue,
+    drive_pool_contended,
+    instrument_comm_pool,
+    instrument_datawarehouse,
+    instrument_worker_pool,
+    patch_locks,
+)
+
+__all__ = [
+    "CheckFinding",
+    "CheckReport",
+    "CheckedAllocator",
+    "RaceDetector",
+    "TrackedLock",
+    "TrackedQueue",
+    "drive_pool_contended",
+    "instrument_comm_pool",
+    "instrument_datawarehouse",
+    "instrument_worker_pool",
+    "lint_paths",
+    "lint_source",
+    "patch_locks",
+    "run_leak_fixture",
+    "validate_compiled",
+    "validate_taskgraph",
+]

@@ -1,0 +1,320 @@
+"""The project linter: repo-specific AST rules.
+
+Generic linters cannot know that this codebase routes all randomness
+through :mod:`repro.util.rng` (decomposition-independent streams), that
+its comm/service threads must never block without a timeout (the
+paper's Section IV deadlock discipline), or that multi-instance
+components must label their metric series. These rules encode that
+house style:
+
+==================  ========  ====================================================
+rule                severity  what it flags
+==================  ========  ====================================================
+unseeded-rng        error     global-state ``random.*`` / legacy ``np.random.*``
+                              calls, and ``default_rng()`` / ``Random()`` with no
+                              seed, outside ``util/rng.py``
+bare-except         error     ``except:`` with no exception type
+overbroad-except    warning   ``except BaseException``, or ``except Exception``
+                              whose body only ``pass``es
+blocking-call       warning   ``.get()`` / ``.acquire()`` / ``.wait()`` with no
+                              timeout in comm, service, and memory code
+mutable-default     error     ``def f(x=[])`` and friends
+unlabeled-metric    warning   ``counter()/gauge()/histogram()`` with no label
+                              kwargs in multi-instance components (comm, memory,
+                              dw)
+==================  ========  ====================================================
+
+Deliberate violations carry an inline ``# repro: allow(<rule>)``.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.check.findings import (
+    CheckFinding,
+    is_suppressed,
+    parse_suppressions,
+)
+
+#: module-level functions on ``random`` that mutate the hidden global state
+GLOBAL_RANDOM_FNS = {
+    "random", "seed", "randint", "randrange", "uniform", "shuffle",
+    "choice", "choices", "sample", "gauss", "normalvariate",
+    "expovariate", "betavariate", "getrandbits", "triangular",
+}
+
+#: legacy ``np.random`` global-state API (the pre-Generator interface)
+NP_GLOBAL_RANDOM_FNS = {
+    "seed", "rand", "randn", "random", "random_sample", "ranf",
+    "randint", "uniform", "normal", "choice", "shuffle", "permutation",
+    "standard_normal", "exponential", "poisson", "gamma", "beta",
+}
+
+#: path fragments where blocking without a timeout is a finding
+BLOCKING_SCOPE = ("comm", "service", "memory")
+
+#: path fragments where metric series must carry labels
+METRIC_LABEL_SCOPE = ("comm", "memory", "dw")
+
+METRIC_FACTORIES = {"counter", "gauge", "histogram"}
+
+#: files exempt from unseeded-rng (the sanctioned RNG home)
+RNG_HOME = ("util/rng.py",)
+
+
+def _attr_chain(node: ast.AST) -> Optional[Tuple[str, ...]]:
+    """('np', 'random', 'seed') for ``np.random.seed``; None if dynamic."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return tuple(reversed(parts))
+    return None
+
+
+def _is_mutable_literal(node: ast.AST) -> bool:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set)):
+        return True
+    if isinstance(node, ast.Call):
+        chain = _attr_chain(node.func)
+        if chain and chain[-1] in ("list", "dict", "set"):
+            return True
+    return False
+
+
+class _RuleVisitor(ast.NodeVisitor):
+    def __init__(self, path: str, scope_parts: Set[str]) -> None:
+        self.path = path
+        self.scope = scope_parts
+        self.findings: List[CheckFinding] = []
+
+    def _add(self, rule: str, severity: str, message: str, node: ast.AST) -> None:
+        self.findings.append(
+            CheckFinding(
+                rule=rule,
+                severity=severity,
+                message=message,
+                file=self.path,
+                line=getattr(node, "lineno", 0),
+                check="lint",
+            )
+        )
+
+    # -- unseeded-rng ---------------------------------------------------
+    def _check_rng(self, node: ast.Call) -> None:
+        chain = _attr_chain(node.func)
+        if chain is None:
+            return
+        if chain[0] == "random" and len(chain) == 2:
+            fn = chain[1]
+            if fn in GLOBAL_RANDOM_FNS:
+                self._add(
+                    "unseeded-rng", "error",
+                    f"global-state random.{fn}() breaks decomposition-"
+                    f"independent replay; use repro.util.rng streams",
+                    node,
+                )
+            elif fn == "Random" and not node.args and not node.keywords:
+                self._add(
+                    "unseeded-rng", "error",
+                    "random.Random() with no seed; pass an explicit seed",
+                    node,
+                )
+        elif chain[0] in ("np", "numpy") and len(chain) == 3 and chain[1] == "random":
+            fn = chain[2]
+            if fn in NP_GLOBAL_RANDOM_FNS:
+                self._add(
+                    "unseeded-rng", "error",
+                    f"legacy np.random.{fn}() uses hidden global state; "
+                    f"use repro.util.rng.spawn_stream",
+                    node,
+                )
+            elif fn == "default_rng" and not node.args and not node.keywords:
+                self._add(
+                    "unseeded-rng", "error",
+                    "np.random.default_rng() with no seed draws OS entropy; "
+                    "pass an explicit seed",
+                    node,
+                )
+
+    # -- blocking-call --------------------------------------------------
+    def _check_blocking(self, node: ast.Call) -> None:
+        if not self.scope.intersection(BLOCKING_SCOPE):
+            return
+        if not isinstance(node.func, ast.Attribute):
+            return
+        attr = node.func.attr
+        kwargs = {kw.arg for kw in node.keywords if kw.arg is not None}
+        if attr in ("get", "wait") and not node.args and not kwargs:
+            self._add(
+                "blocking-call", "warning",
+                f".{attr}() with no timeout can block a worker thread "
+                f"forever; pass timeout= and handle the miss",
+                node,
+            )
+        elif attr == "acquire":
+            if "timeout" in kwargs:
+                return
+            blocking_false = any(
+                kw.arg == "blocking"
+                and isinstance(kw.value, ast.Constant)
+                and kw.value.value is False
+                for kw in node.keywords
+            ) or (
+                node.args
+                and isinstance(node.args[0], ast.Constant)
+                and node.args[0].value is False
+            )
+            if not blocking_false:
+                self._add(
+                    "blocking-call", "warning",
+                    ".acquire() with no timeout can deadlock under "
+                    "contention; use try-acquire or a timeout",
+                    node,
+                )
+
+    # -- unlabeled-metric -----------------------------------------------
+    def _check_metric(self, node: ast.Call) -> None:
+        if not self.scope.intersection(METRIC_LABEL_SCOPE):
+            return
+        if not isinstance(node.func, ast.Attribute):
+            return
+        if node.func.attr not in METRIC_FACTORIES:
+            return
+        labels = [kw for kw in node.keywords if kw.arg != "buckets"]
+        if not labels:
+            self._add(
+                "unlabeled-metric", "warning",
+                f"{node.func.attr}() series without labels collides across "
+                f"instances; label it (pool=, rank=, allocator=, ...)",
+                node,
+            )
+
+    # -- visitors -------------------------------------------------------
+    def visit_Call(self, node: ast.Call) -> None:
+        self._check_rng(node)
+        self._check_blocking(node)
+        self._check_metric(node)
+        self.generic_visit(node)
+
+    def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
+        if node.type is None:
+            self._add(
+                "bare-except", "error",
+                "bare except catches SystemExit/KeyboardInterrupt; name "
+                "the exceptions",
+                node,
+            )
+        elif isinstance(node.type, ast.Name):
+            body_is_pass = all(isinstance(s, ast.Pass) for s in node.body)
+            if node.type.id == "BaseException":
+                self._add(
+                    "overbroad-except", "warning",
+                    "except BaseException swallows interpreter exits; "
+                    "catch Exception or narrower",
+                    node,
+                )
+            elif node.type.id == "Exception" and body_is_pass:
+                self._add(
+                    "overbroad-except", "warning",
+                    "except Exception: pass silently swallows every "
+                    "failure; narrow it or handle it",
+                    node,
+                )
+        self.generic_visit(node)
+
+    def _check_defaults(self, node) -> None:
+        for default in list(node.args.defaults) + [
+            d for d in node.args.kw_defaults if d is not None
+        ]:
+            if _is_mutable_literal(default):
+                self._add(
+                    "mutable-default", "error",
+                    f"mutable default argument on {node.name}() is shared "
+                    f"across calls; default to None",
+                    default,
+                )
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._check_defaults(node)
+        self.generic_visit(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._check_defaults(node)
+        self.generic_visit(node)
+
+
+def lint_source(
+    source: str, path: str = "<string>"
+) -> Tuple[List[CheckFinding], int]:
+    """Lint one source text. Returns (findings, suppressed_count)."""
+    norm = path.replace("\\", "/")
+    if any(norm.endswith(home) for home in RNG_HOME):
+        return [], 0
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [
+            CheckFinding(
+                rule="syntax-error", severity="error",
+                message=f"cannot parse: {exc.msg}",
+                file=path, line=exc.lineno or 0, check="lint",
+            )
+        ], 0
+    scope_parts = set(Path(norm).parts)
+    visitor = _RuleVisitor(norm, scope_parts)
+    visitor.visit(tree)
+    suppressions = parse_suppressions(source)
+    kept: List[CheckFinding] = []
+    suppressed = 0
+    for f in visitor.findings:
+        if is_suppressed(f, suppressions):
+            suppressed += 1
+        else:
+            kept.append(f)
+    return kept, suppressed
+
+
+def iter_python_files(paths: Iterable[str]) -> List[Path]:
+    out: List[Path] = []
+    for p in paths:
+        path = Path(p)
+        if path.is_dir():
+            out.extend(
+                f for f in sorted(path.rglob("*.py"))
+                if "__pycache__" not in f.parts
+            )
+        elif path.suffix == ".py":
+            out.append(path)
+    return out
+
+
+def lint_paths(
+    paths: Iterable[str], root: Optional[Path] = None
+) -> Tuple[List[CheckFinding], int, int]:
+    """Lint every ``.py`` under ``paths``.
+
+    Returns (findings, suppressed_count, files_scanned); file names in
+    findings are relative to ``root`` when given.
+    """
+    findings: List[CheckFinding] = []
+    suppressed = 0
+    files = iter_python_files(paths)
+    for f in files:
+        rel = f
+        if root is not None:
+            try:
+                rel = f.relative_to(root)
+            except ValueError:
+                rel = f
+        file_findings, file_suppressed = lint_source(
+            f.read_text(encoding="utf-8"), str(rel)
+        )
+        findings.extend(file_findings)
+        suppressed += file_suppressed
+    return findings, suppressed, len(files)

@@ -255,6 +255,13 @@ class DistributedRMCRT:
     def build_graph(
         self, assignment: Optional[Dict[int, int]] = None, num_ranks: int = 1
     ):
+        return self.build_taskgraph().compile(
+            assignment=assignment, num_ranks=num_ranks
+        )
+
+    def build_taskgraph(self) -> TaskGraph:
+        """The uncompiled task list — what ``repro check graph`` and the
+        static validator inspect before compilation."""
         fine_idx = self.grid.num_levels - 1
         tg = TaskGraph(self.grid)
         tg.add_task(
@@ -309,7 +316,7 @@ class DistributedRMCRT:
                 ),
                 fine_idx,
             )
-        return tg.compile(assignment=assignment, num_ranks=num_ranks)
+        return tg
 
     def solve(
         self,

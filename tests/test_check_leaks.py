@@ -1,0 +1,95 @@
+"""The allocator checker: scripted defect fixtures must light up the
+matching rule, the clean fixtures and the RMCRT small-object workload
+must be silent, and recycled addresses must not false-positive."""
+
+import pytest
+
+from repro.check import CheckedAllocator, run_leak_fixture
+from repro.check.leaks import LEAK_FIXTURES, check_workload
+from repro.memory.arena import ArenaAllocator
+from repro.memory.pool import SizeClassPool
+
+
+def rules(alloc):
+    return sorted(f.rule for f in alloc.findings)
+
+
+class TestFixtures:
+    def test_clean_fixture_is_silent(self):
+        alloc = run_leak_fixture("clean")
+        assert alloc.findings == []
+        assert alloc.allocs == alloc.frees == 64
+
+    def test_double_free_caught(self):
+        alloc = run_leak_fixture("double-free")
+        assert rules(alloc) == ["alloc-double-free"]
+        f = alloc.findings[0]
+        assert "double free" in f.message
+        assert f.file.endswith("leaks.py") and f.line > 0
+
+    def test_use_after_retire_caught(self):
+        alloc = run_leak_fixture("use-after-retire")
+        assert rules(alloc) == ["alloc-use-after-retire"]
+
+    def test_leak_caught_at_teardown(self):
+        alloc = run_leak_fixture("leak")
+        assert rules(alloc) == ["alloc-leak"] * 4
+        assert alloc.live_count == 4
+
+    def test_unknown_fixture_rejected(self):
+        with pytest.raises(ValueError, match="unknown leak fixture"):
+            run_leak_fixture("nope")
+
+    def test_fixture_names_stable(self):
+        assert LEAK_FIXTURES == ("clean", "double-free",
+                                 "use-after-retire", "leak")
+
+
+class TestCheckedAllocator:
+    def test_recycled_address_is_not_a_double_free(self):
+        """Size-class free lists hand retired addresses straight back;
+        the shadow state must resurrect them, not flag the next free."""
+        alloc = CheckedAllocator(SizeClassPool())
+        a = alloc.malloc(64)
+        alloc.free(a)
+        b = alloc.malloc(64)
+        assert b == a  # LIFO free list recycles the address
+        alloc.touch(b)
+        alloc.free(b)
+        assert alloc.check_teardown() == []
+
+    def test_invalid_free_caught(self):
+        alloc = CheckedAllocator(SizeClassPool())
+        alloc.free(0xDEAD)
+        assert rules(alloc) == ["alloc-invalid-free"]
+
+    def test_violations_do_not_corrupt_inner_state(self):
+        """A checked double free never reaches the pool, so the pool's
+        own AllocationError guard is never tripped."""
+        alloc = CheckedAllocator(SizeClassPool())
+        a = alloc.malloc(32)
+        alloc.free(a)
+        alloc.free(a)
+        alloc.free(a)
+        assert rules(alloc) == ["alloc-double-free"] * 2
+        assert alloc.inner.live_objects == 0
+
+    def test_wraps_the_arena_too(self):
+        alloc = CheckedAllocator(ArenaAllocator(), name="arena")
+        a = alloc.malloc(1 << 20)
+        alloc.free(a)
+        assert alloc.check_teardown() == []
+
+    def test_max_findings_cap(self):
+        alloc = CheckedAllocator(SizeClassPool(), max_findings=3)
+        for _ in range(10):
+            alloc.free(0xBAD)
+        assert len(alloc.findings) == 3
+
+
+class TestWorkload:
+    def test_rmcrt_small_object_workload_is_clean(self):
+        alloc = check_workload()
+        assert alloc.findings == []
+        assert alloc.allocs == alloc.frees > 0
+        assert alloc.live_count == 0

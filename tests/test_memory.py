@@ -233,7 +233,7 @@ class TestSizeClassPool:
                         p.free(live.pop(int(rng.integers(0, len(live)))))
                 for a in live:
                     p.free(a)
-            except BaseException as e:  # pragma: no cover - failure path
+            except BaseException as e:  # pragma: no cover  # repro: allow(overbroad-except)
                 errors.append(e)
 
         threads = [threading.Thread(target=churn, args=(s,)) for s in range(8)]

@@ -1,0 +1,128 @@
+"""E14 — checkpointing: overhead vs cadence, recovery time vs age.
+
+Two questions decide a checkpoint policy:
+
+* **write overhead** — what fraction of campaign wall-clock goes to
+  snapshots at each cadence (every step, every 2, every 4, never)?
+  Content-addressed chunking keeps the marginal cost low: the static
+  absorption field dedupes across every checkpoint, so only the
+  evolving emissive field and manifest are rewritten.
+* **recovery cost** — when a rank dies, the run replays every step
+  since the last checkpoint. Restore time is flat (one state read);
+  the replay bill grows with checkpoint age.
+
+Both series land in ``BENCH_checkpoint_overhead.json``.
+"""
+
+import shutil
+import tempfile
+import time
+from pathlib import Path
+
+from repro.perf import write_bench_artifact
+from repro.perf.metrics import MetricsRegistry
+from repro.resilience import Checkpointer, RadiationCampaign
+
+CAMPAIGN = dict(resolution=24, fine_patch_size=6, rays_per_cell=2, seed=0)
+STEPS = 6
+CADENCES = (1, 2, 4, None)  # None = no checkpointing (baseline)
+
+
+def run_with_cadence(every, root):
+    """One campaign; returns (wall_s, checkpoint_s, chunk metrics)."""
+    metrics = MetricsRegistry()
+    campaign = RadiationCampaign(**CAMPAIGN)
+    ckpt = (
+        Checkpointer(root, every_steps=every, metrics=metrics)
+        if every is not None
+        else None
+    )
+    t0 = time.perf_counter()
+    while campaign.step < STEPS:
+        campaign.step_once()
+        if ckpt is not None and ckpt.should_checkpoint(campaign.step):
+            ckpt.save(campaign.capture())
+    wall = time.perf_counter() - t0
+    ckpt_s = metrics.histogram("resilience.checkpoint.seconds").total if ckpt else 0.0
+    return wall, ckpt_s, {
+        "checkpoints": len(ckpt.steps()) if ckpt else 0,
+        "chunks_written": metrics.value("resilience.checkpoint.chunks_written"),
+        "chunks_reused": metrics.value("resilience.checkpoint.chunks_reused"),
+        "bytes_written": metrics.value("resilience.checkpoint.bytes_written"),
+    }
+
+
+def recovery_cost(checkpoint_age, root):
+    """Die after STEPS steps with the last checkpoint ``age`` steps
+    old; returns (restore_s, replay_s, steps_replayed)."""
+    ckpt_step = STEPS - checkpoint_age
+    first = RadiationCampaign(**CAMPAIGN)
+    first.run(ckpt_step)
+    ckpt = Checkpointer(root)
+    ckpt.save(first.capture())
+    first.run(STEPS)  # ...and dies here
+
+    second = RadiationCampaign(**CAMPAIGN)
+    t0 = time.perf_counter()
+    state, _ = ckpt.load_latest_valid()
+    second.restore(state)
+    restore_s = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    second.run(STEPS)
+    replay_s = time.perf_counter() - t0
+    return restore_s, replay_s, checkpoint_age
+
+
+def test_checkpoint_overhead_and_recovery(benchmark):
+    tmp = Path(tempfile.mkdtemp(prefix="bench_ckpt_"))
+    try:
+        overhead_rows = []
+        baseline_wall = None
+        for every in CADENCES:
+            root = tmp / f"cadence_{every}"
+            if every == CADENCES[0]:
+                wall, ckpt_s, chunks = benchmark.pedantic(
+                    run_with_cadence, args=(every, root), rounds=1, iterations=1
+                )
+            else:
+                wall, ckpt_s, chunks = run_with_cadence(every, root)
+            if every is None:
+                baseline_wall = wall
+            overhead_rows.append(
+                {"every_steps": every, "wall_s": wall,
+                 "checkpoint_s": ckpt_s, **chunks}
+            )
+        for row in overhead_rows:
+            row["overhead_fraction"] = (
+                0.0 if baseline_wall is None or row["wall_s"] <= 0
+                else max(0.0, (row["wall_s"] - baseline_wall) / baseline_wall)
+            )
+            print(
+                f"every={str(row['every_steps']):>4}: wall {row['wall_s']:.2f}s "
+                f"ckpt {row['checkpoint_s'] * 1e3:7.1f}ms "
+                f"({row['checkpoints']} snapshots, "
+                f"{row['chunks_reused']:.0f} chunks deduped)"
+            )
+
+        recovery_rows = []
+        for age in (1, 2, 4):
+            restore_s, replay_s, _ = recovery_cost(age, tmp / f"age_{age}")
+            recovery_rows.append(
+                {"checkpoint_age_steps": age, "restore_s": restore_s,
+                 "replay_s": replay_s, "recovery_s": restore_s + replay_s}
+            )
+            print(
+                f"age={age}: restore {restore_s * 1e3:6.1f}ms + "
+                f"replay {replay_s:.2f}s"
+            )
+        # the policy story: replay dominates and grows with age
+        assert recovery_rows[-1]["replay_s"] > recovery_rows[0]["replay_s"]
+
+        write_bench_artifact(
+            "checkpoint_overhead",
+            params={**CAMPAIGN, "steps": STEPS},
+            rows=overhead_rows,
+            extra={"recovery": recovery_rows},
+        )
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)

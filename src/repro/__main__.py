@@ -17,6 +17,10 @@ pushes requests through it (in-process, or cross-process via
 
 ``python -m repro check [lint|graph|races|leaks|all]`` runs the
 correctness tooling — the CI gate. See :mod:`repro.check.cli`.
+
+``python -m repro resilience [checkpoint|restore|drill]`` exercises
+checkpoint/restart and the kill-and-recover drill. See
+:mod:`repro.resilience.cli`.
 """
 
 from __future__ import annotations
@@ -138,6 +142,10 @@ def main(argv=None) -> int:
         from repro.check.cli import run_check
 
         return run_check(argv[1:])
+    if argv and argv[0] == "resilience":
+        from repro.resilience.cli import run_resilience
+
+        return run_resilience(argv[1:])
     return _run_ups(argv)
 
 

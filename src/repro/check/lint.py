@@ -17,7 +17,8 @@ bare-except         error     ``except:`` with no exception type
 overbroad-except    warning   ``except BaseException``, or ``except Exception``
                               whose body only ``pass``es
 blocking-call       warning   ``.get()`` / ``.acquire()`` / ``.wait()`` with no
-                              timeout in comm, service, and memory code
+                              timeout in comm, service, memory, and resilience
+                              code
 mutable-default     error     ``def f(x=[])`` and friends
 unlabeled-metric    warning   ``counter()/gauge()/histogram()`` with no label
                               kwargs in multi-instance components (comm, memory,
@@ -54,7 +55,9 @@ NP_GLOBAL_RANDOM_FNS = {
 }
 
 #: path fragments where blocking without a timeout is a finding
-BLOCKING_SCOPE = ("comm", "service", "memory")
+#: (resilience drains comm fabrics and restores mid-failure — it gets
+#: the same no-untimed-blocking discipline as the layers it touches)
+BLOCKING_SCOPE = ("comm", "service", "memory", "resilience")
 
 #: path fragments where metric series must carry labels
 METRIC_LABEL_SCOPE = ("comm", "memory", "dw")

@@ -6,7 +6,12 @@ from repro.comm.request import BufferLedger, CommNode
 from repro.comm.stats import PoolStats
 from repro.comm.pool_locked import LockedVectorCommPool
 from repro.comm.pool_waitfree import ProtectedIterator, WaitFreeCommPool
-from repro.comm.driver import WorkloadResult, make_pool, run_comm_workload
+from repro.comm.driver import (
+    WorkloadResult,
+    drain_before_snapshot,
+    make_pool,
+    run_comm_workload,
+)
 
 __all__ = [
     "BufferLedger",
@@ -16,6 +21,7 @@ __all__ = [
     "WaitFreeCommPool",
     "ProtectedIterator",
     "WorkloadResult",
+    "drain_before_snapshot",
     "make_pool",
     "run_comm_workload",
 ]

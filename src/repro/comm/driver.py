@@ -64,6 +64,34 @@ def make_pool(kind: str, ledger: BufferLedger = None, unpack_delay: float = 1e-5
     raise CommError(f"unknown pool kind {kind!r}")
 
 
+def drain_before_snapshot(
+    fabric: SimMPI,
+    timeout_s: float = 5.0,
+    poll_s: float = 0.001,
+) -> float:
+    """Wait until ``fabric`` is quiescent; returns the wait in seconds.
+
+    Checkpoints must capture a *consistent* cut: no message may be
+    in flight — staged in the fabric, unmatched at a rank, or sitting
+    in a posted receive — when state is snapshotted, or the restored
+    run would silently drop it. Callers take the snapshot (or declare
+    the barrier reached) only after this returns; a fabric that never
+    drains within ``timeout_s`` raises :class:`CommError` rather than
+    blocking a checkpoint cadence forever.
+    """
+    if timeout_s <= 0:
+        raise CommError(f"timeout_s must be positive, got {timeout_s}")
+    start = time.perf_counter()
+    while not fabric.quiescent():
+        if time.perf_counter() - start > timeout_s:
+            raise CommError(
+                f"comm fabric still has in-flight traffic after {timeout_s}s; "
+                f"cannot take a consistent snapshot"
+            )
+        time.sleep(poll_s)
+    return time.perf_counter() - start
+
+
 def run_comm_workload(
     pool: Pool,
     num_threads: int = 4,

@@ -15,11 +15,14 @@ from repro.dessim.costmodel import (
     single_level_comm_per_rank,
 )
 from repro.dessim.cluster import (
+    CampaignEvent,
+    CampaignReport,
     ClusterSimulator,
     ScalingSeries,
     SimOptions,
     StrongScalingStudy,
     TimestepBreakdown,
+    simulate_campaign,
 )
 from repro.dessim.tracesim import (
     TaskGraphTraceSimulator,
@@ -41,11 +44,14 @@ __all__ = [
     "RayWorkModel",
     "multi_level_comm_per_rank",
     "single_level_comm_per_rank",
+    "CampaignEvent",
+    "CampaignReport",
     "ClusterSimulator",
     "ScalingSeries",
     "SimOptions",
     "StrongScalingStudy",
     "TimestepBreakdown",
+    "simulate_campaign",
     "TaskGraphTraceSimulator",
     "TaskTrace",
     "TraceReport",

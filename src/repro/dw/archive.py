@@ -25,6 +25,7 @@ from repro.dw.datawarehouse import DataWarehouse
 from repro.dw.label import VarKind, VarLabel, cc, per_level
 from repro.dw.variables import CCVariable, ReductionVariable
 from repro.grid.box import Box
+from repro.util.atomic import atomic_savez, atomic_write_text
 from repro.util.errors import DataWarehouseError
 
 _STEP_DIR = re.compile(r"^t(\d{5,})$")
@@ -62,24 +63,28 @@ class DataArchive:
             "level": [],
             "reductions": [],
         }
-        for (name, patch_id), var in dw._cc.items():
+        for name, patch_id, var in dw.cc_items():
             key = f"cc::{name}::{patch_id}"
             arrays[key] = var.data
             meta["cc"].append(
                 {"name": name, "patch": patch_id, "lo": list(var.box.lo),
                  "hi": list(var.box.hi), "key": key}
             )
-        for (name, level_index), data in dw._level.items():
+        for name, level_index, data in dw.level_items():
             key = f"level::{name}::{level_index}"
             arrays[key] = np.asarray(data)
             meta["level"].append({"name": name, "level": level_index, "key": key})
-        for name, red in dw._reductions.items():
+        for name, red in dw.reduction_items():
             meta["reductions"].append(
                 {"name": name, "value": float(red.value), "op": red.op}
             )
 
-        np.savez_compressed(tdir / "data.npz", **arrays)
-        (tdir / "meta.json").write_text(json.dumps(meta, indent=1))
+        # arrays first, metadata last: meta.json is the commit marker
+        # (timesteps()/load() ignore a step dir without it), and each
+        # file is published atomically, so an interrupted writer leaves
+        # an invisible step, never a torn one
+        atomic_savez(tdir / "data.npz", **arrays)
+        atomic_write_text(tdir / "meta.json", json.dumps(meta, indent=1))
         return tdir
 
     # ------------------------------------------------------------------

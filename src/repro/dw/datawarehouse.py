@@ -185,6 +185,30 @@ class DataWarehouse:
             raise DataWarehouseError(f"reduction {label.name} not found") from None
 
     # ------------------------------------------------------------------
+    # bulk iteration (archive / checkpoint support)
+    # ------------------------------------------------------------------
+    def cc_items(self) -> List[Tuple[str, int, CCVariable]]:
+        """Every cell-centred variable as ``(name, patch_id, var)``,
+        in deterministic (name, patch) order — the serialization
+        surface used by :class:`~repro.dw.archive.DataArchive` and the
+        resilience checkpointer."""
+        return [
+            (name, pid, self._cc[(name, pid)])
+            for name, pid in sorted(self._cc)
+        ]
+
+    def level_items(self) -> List[Tuple[str, int, np.ndarray]]:
+        """Every per-level variable as ``(name, level_index, data)``."""
+        return [
+            (name, idx, self._level[(name, idx)])
+            for name, idx in sorted(self._level)
+        ]
+
+    def reduction_items(self) -> List[Tuple[str, ReductionVariable]]:
+        """Every reduction as ``(name, var)``."""
+        return [(name, self._reductions[name]) for name in sorted(self._reductions)]
+
+    # ------------------------------------------------------------------
     # accounting
     # ------------------------------------------------------------------
     @property

@@ -19,7 +19,12 @@ from repro.grid.refinement import (
     project_properties,
 )
 from repro.grid.sfc import morton_encode, morton_decode, hilbert_encode, hilbert_decode, curve_order
-from repro.grid.loadbalance import LoadBalancer, round_robin_assign
+from repro.grid.loadbalance import (
+    LoadBalancer,
+    compact_ranks,
+    reassign_on_failure,
+    round_robin_assign,
+)
 from repro.grid.regrid import TiledRegridder, flagged_tiles, flags_from_field
 
 __all__ = [
@@ -50,5 +55,7 @@ __all__ = [
     "hilbert_decode",
     "curve_order",
     "LoadBalancer",
+    "compact_ranks",
+    "reassign_on_failure",
     "round_robin_assign",
 ]

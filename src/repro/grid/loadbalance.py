@@ -9,7 +9,7 @@ uniform-work tasks like RMCRT where work ~ cells * rays.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -95,3 +95,61 @@ class LoadBalancer:
 def round_robin_assign(patches: Sequence[Patch], num_ranks: int) -> Dict[int, int]:
     """Baseline assignment ignoring locality — used in ablation tests."""
     return {p.patch_id: i % num_ranks for i, p in enumerate(patches)}
+
+
+# ----------------------------------------------------------------------
+# failure recovery
+# ----------------------------------------------------------------------
+def reassign_on_failure(
+    patches: Sequence[Patch],
+    assignment: Dict[int, int],
+    dead_ranks: Sequence[int],
+    curve: str = "morton",
+    cost_fn: Optional[Callable[[Patch], float]] = None,
+) -> Dict[int, int]:
+    """Re-home a dead rank's patches onto the survivors.
+
+    Survivors keep their patches (their warehouses, caches, and halo
+    neighbourhoods stay warm); only the *orphaned* patches move. Each
+    orphan, visited in SFC order to preserve what locality it had, goes
+    to the currently least-loaded surviving rank. Returns a new
+    assignment still keyed by the original rank ids — callers that need
+    dense rank numbering (to compile a graph for fewer ranks) follow up
+    with :func:`compact_ranks`.
+    """
+    dead = set(int(r) for r in dead_ranks)
+    survivors = sorted(set(assignment.values()) - dead)
+    if not survivors:
+        raise GridError(
+            f"all ranks {sorted(set(assignment.values()))} died; nothing to recover onto"
+        )
+    cost = cost_fn or (lambda p: float(p.num_cells))
+    by_id = {p.patch_id: p for p in patches}
+    load = {r: 0.0 for r in survivors}
+    new_assignment: Dict[int, int] = {}
+    orphans: List[Patch] = []
+    for pid, rank in assignment.items():
+        if rank in dead:
+            orphans.append(by_id[pid])
+        else:
+            new_assignment[pid] = rank
+            load[rank] += cost(by_id[pid])
+    lb = LoadBalancer(max(survivors) + 1, curve=curve, cost_fn=cost_fn)
+    for patch in lb.order_patches(orphans):
+        target = min(survivors, key=lambda r: (load[r], r))
+        new_assignment[patch.patch_id] = target
+        load[target] += cost(patch)
+    return new_assignment
+
+
+def compact_ranks(assignment: Dict[int, int]) -> Tuple[Dict[int, int], int]:
+    """Renumber surviving ranks densely as ``0..n-1``.
+
+    Schedulers spawn one worker per rank id, so after a death the
+    sparse survivor ids {0, 2, 3} must become {0, 1, 2}. Returns the
+    renumbered assignment and the new rank count; relative rank order
+    is preserved.
+    """
+    survivors = sorted(set(assignment.values()))
+    remap = {old: new for new, old in enumerate(survivors)}
+    return {pid: remap[r] for pid, r in assignment.items()}, len(survivors)

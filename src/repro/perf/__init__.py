@@ -32,6 +32,7 @@ from repro.perf.metrics import (
     get_metrics,
     reset_metrics,
     set_metrics,
+    timed,
 )
 from repro.perf.rankstats import (
     StatSummary,
@@ -61,5 +62,6 @@ __all__ = [
     "reset_metrics",
     "set_metrics",
     "set_tracer",
+    "timed",
     "write_bench_artifact",
 ]

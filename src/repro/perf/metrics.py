@@ -18,9 +18,11 @@ loop.
 
 from __future__ import annotations
 
+import contextlib
 import json
 import math
 import threading
+import time
 from typing import Dict, Iterable, List, Mapping, Optional, Tuple
 
 from repro.util.errors import PerfError
@@ -290,3 +292,23 @@ def set_metrics(registry: MetricsRegistry) -> MetricsRegistry:
 def reset_metrics() -> None:
     """Clear every series in the default registry (test isolation)."""
     _global_metrics.reset()
+
+
+@contextlib.contextmanager
+def timed(registry: Optional[MetricsRegistry], name: str, **labels):
+    """Time a block into ``<name>.seconds``.
+
+    Observes the wall-clock duration in a histogram and mirrors the
+    last duration in a gauge (``<name>.last_seconds``) so dashboards
+    can show both the distribution and the most recent cost. A ``None``
+    registry falls back to the process default, so call sites never
+    need their own guard.
+    """
+    reg = registry if registry is not None else get_metrics()
+    start = time.perf_counter()
+    try:
+        yield
+    finally:
+        elapsed = time.perf_counter() - start
+        reg.histogram(f"{name}.seconds", **labels).observe(elapsed)
+        reg.gauge(f"{name}.last_seconds", **labels).set(elapsed)

@@ -1,0 +1,295 @@
+"""Content-addressed, incremental checkpointing.
+
+Layout on disk::
+
+    <root>/
+      chunks/<aa>/<sha256>.npy     # one array each, named by content hash
+      ckpt-000042.json             # manifest: payload + integrity hash
+
+Each array in a :class:`~repro.resilience.state.SimulationState` is
+serialized to ``.npy`` bytes, hashed, and stored once per distinct
+content — arrays unchanged since the previous checkpoint are *reused*,
+not rewritten, which is what keeps checkpoint cost proportional to the
+amount of state that actually changed (the paper's runs checkpoint a
+136M-cell warehouse; rewriting static geometry every cadence would
+swamp the PFS). Chunk files and manifests are published with
+write-then-rename (:mod:`repro.util.atomic`), so a writer killed
+mid-checkpoint leaves either no manifest (the checkpoint simply never
+happened) or a complete one.
+
+Integrity is verified end-to-end on load: the manifest carries a
+SHA-256 of its own canonical payload (detects torn or hand-edited
+manifests) and every chunk is re-hashed against its name (detects
+storage-layer corruption). A chunk that fails verification is
+*quarantined* — deleted — before the error propagates; this matters
+because content addressing dedupes on file existence, so a corrupt
+chunk left in place would poison every future checkpoint that produces
+the same content.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import io
+import json
+import re
+import time as _time
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.perf.metrics import MetricsRegistry, get_metrics, timed
+from repro.resilience.state import SimulationState
+from repro.util.atomic import atomic_write_bytes, atomic_write_text
+from repro.util.errors import ResilienceError
+
+MANIFEST_RE = re.compile(r"^ckpt-(\d{6})\.json$")
+
+
+def _array_bytes(array: np.ndarray) -> bytes:
+    buf = io.BytesIO()
+    np.save(buf, array, allow_pickle=False)
+    return buf.getvalue()
+
+
+def _payload_digest(payload: dict) -> str:
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+class Checkpointer:
+    """Writes, prunes, validates, and restores checkpoints.
+
+    Cadence is every ``every_steps`` timesteps, OR'd with an optional
+    wall-clock interval ``every_seconds`` (whichever fires first), so
+    cheap steps don't starve durability and expensive steps don't
+    checkpoint redundantly.
+    """
+
+    def __init__(
+        self,
+        root,
+        every_steps: int = 1,
+        every_seconds: Optional[float] = None,
+        keep: int = 5,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        if every_steps < 1:
+            raise ResilienceError(f"every_steps must be >= 1, got {every_steps}")
+        if keep < 1:
+            raise ResilienceError(f"keep must be >= 1, got {keep}")
+        self.root = Path(root)
+        self.chunk_dir = self.root / "chunks"
+        self.chunk_dir.mkdir(parents=True, exist_ok=True)
+        self.every_steps = int(every_steps)
+        self.every_seconds = every_seconds
+        self.keep = int(keep)
+        self.metrics = metrics if metrics is not None else get_metrics()
+        self._last_checkpoint_wall: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    # cadence
+    # ------------------------------------------------------------------
+    def should_checkpoint(self, step: int, now: Optional[float] = None) -> bool:
+        if step % self.every_steps == 0:
+            return True
+        if self.every_seconds is not None:
+            now = _time.monotonic() if now is None else now
+            last = self._last_checkpoint_wall
+            if last is None or now - last >= self.every_seconds:
+                return True
+        return False
+
+    # ------------------------------------------------------------------
+    # paths
+    # ------------------------------------------------------------------
+    def manifest_path(self, step: int) -> Path:
+        return self.root / f"ckpt-{step:06d}.json"
+
+    def chunk_path(self, digest: str) -> Path:
+        return self.chunk_dir / digest[:2] / f"{digest}.npy"
+
+    def steps(self) -> List[int]:
+        """Steps with a manifest on disk, ascending (validity untested)."""
+        out = []
+        for p in self.root.iterdir():
+            m = MANIFEST_RE.match(p.name)
+            if m:
+                out.append(int(m.group(1)))
+        return sorted(out)
+
+    # ------------------------------------------------------------------
+    # save
+    # ------------------------------------------------------------------
+    def save(self, state: SimulationState) -> Path:
+        """Write one checkpoint; returns the manifest path.
+
+        Chunks are published before the manifest: the manifest is the
+        commit record, so a crash at any point before its rename leaves
+        only unreferenced chunks (garbage-collected by :meth:`prune`),
+        never a manifest pointing at missing data.
+        """
+        with timed(self.metrics, "resilience.checkpoint"):
+            chunks: Dict[str, dict] = {}
+            written = reused = 0
+            bytes_written = 0
+            for key, array in state.arrays():
+                data = _array_bytes(array)
+                digest = hashlib.sha256(data).hexdigest()
+                path = self.chunk_path(digest)
+                if path.exists():
+                    reused += 1
+                else:
+                    path.parent.mkdir(parents=True, exist_ok=True)
+                    atomic_write_bytes(path, data)
+                    written += 1
+                    bytes_written += len(data)
+                chunks[key] = {"sha256": digest, "nbytes": len(data)}
+            payload = {
+                "format": 1,
+                "step": state.step,
+                "meta": state.metadata(),
+                "chunks": chunks,
+            }
+            manifest = {"payload": payload, "sha256": _payload_digest(payload)}
+            path = self.manifest_path(state.step)
+            atomic_write_text(path, json.dumps(manifest, indent=2, sort_keys=True) + "\n")
+            self._last_checkpoint_wall = _time.monotonic()
+            self.prune()
+        self.metrics.counter("resilience.checkpoint.saved").inc()
+        self.metrics.counter("resilience.checkpoint.chunks_written").inc(written)
+        self.metrics.counter("resilience.checkpoint.chunks_reused").inc(reused)
+        self.metrics.counter("resilience.checkpoint.bytes_written").inc(bytes_written)
+        self.metrics.gauge("resilience.checkpoint.last_step").set(state.step)
+        return path
+
+    # ------------------------------------------------------------------
+    # load
+    # ------------------------------------------------------------------
+    def load(self, step: int) -> SimulationState:
+        """Load and fully verify the checkpoint at ``step``.
+
+        Raises :class:`ResilienceError` on a missing manifest, a torn
+        or tampered manifest (payload hash mismatch), a missing chunk,
+        or a chunk whose content no longer matches its name. Bad chunk
+        files are deleted so a later re-save of identical content
+        rewrites them instead of deduping against corruption.
+        """
+        with timed(self.metrics, "resilience.restore"):
+            path = self.manifest_path(step)
+            if not path.exists():
+                raise ResilienceError(f"no checkpoint manifest for step {step} in {self.root}")
+            try:
+                manifest = json.loads(path.read_text())
+            except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+                raise ResilienceError(
+                    f"checkpoint manifest {path.name} is not valid JSON "
+                    f"(torn write or corruption): {exc}"
+                ) from exc
+            payload = manifest.get("payload")
+            recorded = manifest.get("sha256")
+            if not isinstance(payload, dict) or recorded is None:
+                raise ResilienceError(f"checkpoint manifest {path.name} is malformed")
+            if _payload_digest(payload) != recorded:
+                raise ResilienceError(
+                    f"checkpoint manifest {path.name} failed its integrity hash"
+                )
+            arrays: Dict[str, np.ndarray] = {}
+            for key, ref in payload.get("chunks", {}).items():
+                arrays[key] = self._read_chunk(key, ref["sha256"])
+            return SimulationState.from_metadata(payload["meta"], arrays)
+
+    def _read_chunk(self, key: str, digest: str) -> np.ndarray:
+        path = self.chunk_path(digest)
+        if not path.exists():
+            raise ResilienceError(f"checkpoint chunk for {key} missing: {path.name}")
+        data = path.read_bytes()
+        if hashlib.sha256(data).hexdigest() != digest:
+            self._quarantine(path)
+            raise ResilienceError(
+                f"checkpoint chunk for {key} failed verification "
+                f"(expected sha256 {digest[:12]}...); chunk quarantined"
+            )
+        try:
+            return np.load(io.BytesIO(data), allow_pickle=False)
+        except ValueError as exc:
+            self._quarantine(path)
+            raise ResilienceError(
+                f"checkpoint chunk for {key} is not a valid .npy file: {exc}"
+            ) from exc
+
+    def _quarantine(self, path: Path) -> None:
+        """Remove a chunk that failed verification. Content addressing
+        dedupes on existence, so leaving the file would make the
+        corruption permanent."""
+        try:
+            path.unlink()
+        except OSError:
+            pass
+        self.metrics.counter("resilience.checkpoint.quarantined").inc()
+
+    def load_latest_valid(
+        self, before: Optional[int] = None
+    ) -> Tuple[SimulationState, int]:
+        """Newest checkpoint that passes full verification.
+
+        Walks manifests newest-first (optionally only those at steps
+        ``<= before``), skipping any that fail validation — this is the
+        recovery path's answer to torn and corrupt checkpoints. Raises
+        :class:`ResilienceError` only when *no* checkpoint survives.
+        """
+        candidates = [s for s in self.steps() if before is None or s <= before]
+        errors: List[str] = []
+        for step in reversed(candidates):
+            try:
+                return self.load(step), step
+            except ResilienceError as exc:
+                self.metrics.counter("resilience.checkpoint.invalid").inc()
+                errors.append(f"step {step}: {exc}")
+        detail = ("; ".join(errors)) or "no manifests on disk"
+        raise ResilienceError(f"no valid checkpoint in {self.root} ({detail})")
+
+    # ------------------------------------------------------------------
+    # retention
+    # ------------------------------------------------------------------
+    def prune(self) -> List[int]:
+        """Keep the newest ``keep`` manifests; GC unreferenced chunks.
+
+        Returns the dropped steps. Chunk GC runs against the union of
+        chunks referenced by *surviving* manifests, so shared (deduped)
+        chunks stay as long as any retained checkpoint needs them.
+        Manifests that fail to parse still count against retention age
+        but contribute no references.
+        """
+        steps = self.steps()
+        dropped = steps[:-self.keep] if len(steps) > self.keep else []
+        for step in dropped:
+            try:
+                self.manifest_path(step).unlink()
+            except OSError:
+                pass
+        referenced = set()
+        for step in steps[-self.keep:]:
+            try:
+                manifest = json.loads(self.manifest_path(step).read_text())
+                for ref in manifest["payload"]["chunks"].values():
+                    referenced.add(ref["sha256"])
+            except (OSError, json.JSONDecodeError, KeyError, TypeError):
+                continue
+        removed_chunks = 0
+        for sub in self.chunk_dir.iterdir():
+            if not sub.is_dir():
+                continue
+            for chunk in sub.iterdir():
+                if chunk.suffix == ".npy" and chunk.stem not in referenced:
+                    try:
+                        chunk.unlink()
+                        removed_chunks += 1
+                    except OSError:
+                        pass
+        if dropped:
+            self.metrics.counter("resilience.checkpoint.pruned").inc(len(dropped))
+        if removed_chunks:
+            self.metrics.counter("resilience.checkpoint.chunks_collected").inc(removed_chunks)
+        return dropped

@@ -1,0 +1,239 @@
+"""``python -m repro resilience`` — checkpoint, restore, drill.
+
+Three subcommands:
+
+``checkpoint``
+    Run a small campaign with checkpointing on cadence and report what
+    landed on disk (steps, chunks written vs reused, bytes).
+
+``restore``
+    Load the latest *valid* checkpoint from a directory, print its
+    summary, and optionally continue the run — the operator's "did my
+    checkpoints survive, and can I resume from them?" probe.
+
+``drill``
+    The kill-and-recover smoke used by CI: run an uninterrupted gold
+    campaign, then the same campaign distributed under a seeded
+    :class:`~repro.resilience.faultplan.FaultPlan` (>= 1 rank death,
+    newest checkpoint corrupted), recover through the orchestrator,
+    and demand the recovered final field equal gold **byte for byte**.
+    Exits non-zero unless the fields match AND at least one recovery
+    actually happened.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from repro.util.errors import ReproError
+
+
+def _add_campaign_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--steps", type=int, default=6, help="timesteps to run")
+    parser.add_argument("--resolution", type=int, default=12, help="fine cells per edge")
+    parser.add_argument("--patch-size", type=int, default=6, help="fine patch edge")
+    parser.add_argument("--rays-per-cell", type=int, default=2)
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def _make_campaign(args, num_ranks: int):
+    from repro.resilience.orchestrator import RadiationCampaign
+
+    return RadiationCampaign(
+        resolution=args.resolution,
+        fine_patch_size=args.patch_size,
+        rays_per_cell=args.rays_per_cell,
+        seed=args.seed,
+        num_ranks=num_ranks,
+    )
+
+
+# ----------------------------------------------------------------------
+def cmd_checkpoint(argv) -> int:
+    from repro.perf.metrics import get_metrics
+    from repro.resilience.checkpoint import Checkpointer
+    from repro.resilience.orchestrator import RecoveryOrchestrator
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro resilience checkpoint",
+        description="Run a campaign with checkpointing and report the result.",
+    )
+    _add_campaign_args(parser)
+    parser.add_argument("--dir", default="checkpoints", help="checkpoint root directory")
+    parser.add_argument("--every", type=int, default=2, help="checkpoint every N steps")
+    parser.add_argument("--keep", type=int, default=5, help="manifests to retain")
+    parser.add_argument("--ranks", type=int, default=1, help="simulated MPI ranks")
+    args = parser.parse_args(argv)
+
+    campaign = _make_campaign(args, num_ranks=args.ranks)
+    ckpt = Checkpointer(args.dir, every_steps=args.every, keep=args.keep)
+    RecoveryOrchestrator(campaign, ckpt).run(args.steps)
+
+    metrics = get_metrics()
+    steps = ckpt.steps()
+    print(f"campaign: {args.steps} steps on {args.ranks} rank(s), seed {args.seed}")
+    print(f"checkpoints in {args.dir}: steps {steps}")
+    print(
+        f"chunks written {int(metrics.value('resilience.checkpoint.chunks_written'))}, "
+        f"reused {int(metrics.value('resilience.checkpoint.chunks_reused'))}, "
+        f"bytes {int(metrics.value('resilience.checkpoint.bytes_written'))}"
+    )
+    return 0
+
+
+# ----------------------------------------------------------------------
+def cmd_restore(argv) -> int:
+    from repro.resilience.checkpoint import Checkpointer
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro resilience restore",
+        description="Validate and summarise the latest restorable checkpoint.",
+    )
+    _add_campaign_args(parser)
+    parser.add_argument("--dir", default="checkpoints", help="checkpoint root directory")
+    parser.add_argument(
+        "--continue-to",
+        type=int,
+        default=None,
+        metavar="STEP",
+        help="resume the campaign and run to this step count",
+    )
+    args = parser.parse_args(argv)
+
+    ckpt = Checkpointer(args.dir)
+    state, step = ckpt.load_latest_valid()
+    arrays = state.arrays()
+    print(f"latest valid checkpoint: step {step} (t={state.time:.6g})")
+    print(f"  {len(arrays)} arrays, {state.nbytes} bytes")
+    print(f"  rng streams captured: {len((state.rng or {}).get('streams', {}))}")
+    if state.layout:
+        for lvl in state.layout["levels"]:
+            print(
+                f"  level {lvl['index']}: [{lvl['lo']}, {lvl['hi']}) "
+                f"{len(lvl['patches'])} patches"
+            )
+    if args.continue_to is not None:
+        campaign = _make_campaign(args, num_ranks=1)
+        campaign.restore(state)
+        campaign.run(args.continue_to)
+        print(
+            f"resumed from step {step} and ran to step {campaign.step}: "
+            f"emissive mean {campaign.emissive.mean():.6f}"
+        )
+    return 0
+
+
+# ----------------------------------------------------------------------
+def cmd_drill(argv) -> int:
+    from repro.resilience.checkpoint import Checkpointer
+    from repro.resilience.faultplan import FaultPlan
+    from repro.resilience.orchestrator import RecoveryOrchestrator
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro resilience drill",
+        description="Seeded kill-and-recover drill: inject rank deaths and "
+        "checkpoint corruption, recover, and verify bit-identical results.",
+    )
+    _add_campaign_args(parser)
+    parser.add_argument("--ranks", type=int, default=4, help="simulated MPI ranks")
+    parser.add_argument("--deaths", type=int, default=1, help="rank deaths to inject")
+    parser.add_argument("--every", type=int, default=2, help="checkpoint every N steps")
+    parser.add_argument("--dir", default=None, help="checkpoint dir (default: temp)")
+    parser.add_argument(
+        "--report", default="drill_report.json", help="drill report output path"
+    )
+    args = parser.parse_args(argv)
+
+    # gold: the same campaign, serial, never interrupted
+    gold = _make_campaign(args, num_ranks=1).run(args.steps)
+
+    import tempfile
+
+    if args.dir is not None:
+        ckpt_dir = args.dir
+        cleanup = None
+    else:
+        cleanup = tempfile.TemporaryDirectory(prefix="repro-drill-")
+        ckpt_dir = cleanup.name
+    try:
+        plan = FaultPlan.seeded(
+            args.seed,
+            num_steps=args.steps,
+            num_ranks=args.ranks,
+            deaths=args.deaths,
+            checkpoint_every=args.every,
+        )
+        campaign = _make_campaign(args, num_ranks=args.ranks)
+        ckpt = Checkpointer(ckpt_dir, every_steps=args.every)
+        orchestrator = RecoveryOrchestrator(campaign, ckpt, plan)
+        report = orchestrator.run(args.steps)
+        recovered = campaign.emissive
+        identical = bool(
+            recovered.shape == gold.shape and np.array_equal(recovered, gold)
+        )
+    finally:
+        if cleanup is not None:
+            cleanup.cleanup()
+
+    doc = {
+        "seed": args.seed,
+        "steps": args.steps,
+        "fault_plan": plan.as_dicts(),
+        "report": report.as_dict(),
+        "bit_identical_to_gold": identical,
+        "max_abs_diff": float(np.abs(recovered - gold).max()),
+    }
+    Path(args.report).write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+
+    print(f"fault plan ({len(plan)} events): {plan.counts()}")
+    for rec in report.recoveries:
+        print(
+            f"  step {rec.at_step}: ranks {rec.dead_ranks} died -> "
+            f"{rec.survivors} survivors, restored step {rec.restored_step} "
+            f"(replayed {rec.steps_replayed}), {rec.patches_rehomed} patches rehomed"
+        )
+    for fault in report.chunk_faults:
+        print(f"  checkpoint damage: {fault['kind']} on step {fault['step']}")
+    print(
+        f"finished step {report.final_step}/{args.steps} on "
+        f"{report.final_ranks}/{report.initial_ranks} ranks; "
+        f"checkpoints saved {report.checkpoints_saved}"
+    )
+    verdict = "bit-identical to gold" if identical else "DIVERGED from gold"
+    print(f"recovered result: {verdict} (report: {args.report})")
+    if not identical:
+        return 1
+    if not report.recoveries:
+        print("error: drill injected no recoverable failure", file=sys.stderr)
+        return 1
+    return 0
+
+
+# ----------------------------------------------------------------------
+def run_resilience(argv=None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    commands = {
+        "checkpoint": cmd_checkpoint,
+        "restore": cmd_restore,
+        "drill": cmd_drill,
+    }
+    if not argv or argv[0] in ("-h", "--help"):
+        print(
+            "usage: python -m repro resilience {checkpoint|restore|drill} [options]"
+        )
+        return 0 if argv else 2
+    cmd = argv[0]
+    if cmd not in commands:
+        print(f"error: unknown resilience command {cmd!r} "
+              f"(use {'|'.join(commands)})", file=sys.stderr)
+        return 2
+    try:
+        return commands[cmd](argv[1:])
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1

@@ -1,0 +1,190 @@
+"""Scripted and seeded-random fault injection.
+
+A :class:`FaultPlan` is a declarative list of failures to inject into a
+run — which rank dies at which step, which worker shard is dead on
+arrival, which checkpoint gets torn or corrupted, which service solve
+throws. Drills build a plan (scripted for unit tests, seeded-random for
+the CI kill-and-recover smoke), hand it to the component under test,
+and then assert that recovery produced correct results *and* that the
+failure recovered from was the injected one (every injected failure
+raises :class:`~repro.util.errors.InjectedFault`).
+
+This generalises the ad-hoc ``fault_hook`` the service worker pool grew
+for retry testing: :meth:`FaultPlan.service_hook` adapts a plan to that
+hook signature, so the same plan object can script worker retries,
+rank deaths, and checkpoint corruption in one drill.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.util.errors import InjectedFault, ResilienceError
+from repro.util.rng import spawn_stream
+
+#: recognised fault kinds
+KINDS = (
+    "rank-death",      # a scheduler rank disappears before `step` executes
+    "worker-death",    # a service worker shard is dead (routes to survivors)
+    "solve-fault",     # a service solve raises on its first `attempts` tries
+    "chunk-corrupt",   # flip a byte in a chunk of the newest checkpoint
+    "chunk-torn",      # truncate a chunk of the newest checkpoint
+)
+
+#: spawn-key purpose for seeded plan generation (see util.rng)
+_PLAN_STREAM_PURPOSE = 7401
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scripted failure.
+
+    ``step`` scopes step-indexed kinds (rank-death, chunk-*);
+    ``target`` is the dying rank / worker id; ``match`` is a request
+    fingerprint prefix for solve faults (``None`` = any); ``attempts``
+    is how many consecutive tries of a matching solve fail before it is
+    allowed to succeed (retry testing).
+    """
+
+    kind: str
+    step: Optional[int] = None
+    target: Optional[int] = None
+    match: Optional[str] = None
+    attempts: int = 1
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise ResilienceError(f"unknown fault kind {self.kind!r} (use {KINDS})")
+
+    def as_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "step": self.step,
+            "target": self.target,
+            "match": self.match,
+            "attempts": self.attempts,
+        }
+
+
+@dataclass
+class FaultPlan:
+    """An ordered collection of :class:`FaultEvent` with query helpers."""
+
+    events: List[FaultEvent] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def seeded(
+        cls,
+        seed: int,
+        num_steps: int,
+        num_ranks: int,
+        deaths: int = 1,
+        corrupt_checkpoint: bool = True,
+        checkpoint_every: int = 2,
+    ) -> "FaultPlan":
+        """A reproducible random plan for kill-and-recover drills.
+
+        Deaths land mid-run, no earlier than the first cadence
+        checkpoint (``checkpoint_every`` must match the drill's
+        checkpointer) — early enough that recovery matters, late enough
+        that corrupting the newest checkpoint still leaves an older
+        valid one. When ``corrupt_checkpoint`` is set, that corruption
+        is scheduled just before the first death, so recovery must
+        *skip* the damaged checkpoint and fall back — the
+        torn-checkpoint path gets exercised on every drill.
+        """
+        if num_ranks < 2:
+            raise ResilienceError("seeded plans need >= 2 ranks (someone must survive)")
+        deaths = min(deaths, num_ranks - 1)
+        gen = spawn_stream(seed, _PLAN_STREAM_PURPOSE)
+        lo = min(max(1, num_steps // 3, checkpoint_every + 1), num_steps)
+        hi = min(max(lo + 1, (2 * num_steps) // 3), num_steps + 1)
+        victims = gen.choice(num_ranks, size=deaths, replace=False)
+        events: List[FaultEvent] = []
+        first_death_step: Optional[int] = None
+        for rank in sorted(int(r) for r in victims):
+            step = int(gen.integers(lo, hi))
+            if first_death_step is None or step < first_death_step:
+                first_death_step = step
+            events.append(FaultEvent("rank-death", step=step, target=rank))
+        if corrupt_checkpoint and first_death_step is not None:
+            events.append(FaultEvent("chunk-corrupt", step=first_death_step))
+        events.sort(key=lambda e: (e.step if e.step is not None else -1, e.kind, e.target or 0))
+        return cls(events)
+
+    @classmethod
+    def from_dicts(cls, dicts: Sequence[dict]) -> "FaultPlan":
+        return cls([FaultEvent(**d) for d in dicts])
+
+    def as_dicts(self) -> List[dict]:
+        return [e.as_dict() for e in self.events]
+
+    # ------------------------------------------------------------------
+    # step-indexed queries (recovery orchestrator)
+    # ------------------------------------------------------------------
+    def rank_deaths_at(self, step: int) -> List[int]:
+        """Ranks that die before ``step`` executes (sorted, deduped)."""
+        return sorted(
+            {
+                e.target
+                for e in self.events
+                if e.kind == "rank-death" and e.step == step and e.target is not None
+            }
+        )
+
+    def chunk_faults_at(self, step: int) -> List[FaultEvent]:
+        """Checkpoint corruptions to apply before ``step`` executes."""
+        return [
+            e
+            for e in self.events
+            if e.kind in ("chunk-corrupt", "chunk-torn") and e.step == step
+        ]
+
+    # ------------------------------------------------------------------
+    # service-side queries (worker pool)
+    # ------------------------------------------------------------------
+    def dead_workers(self) -> List[int]:
+        """Worker shards that are dead for the whole run."""
+        return sorted(
+            {
+                e.target
+                for e in self.events
+                if e.kind == "worker-death" and e.target is not None
+            }
+        )
+
+    def worker_dead(self, worker_id: int) -> bool:
+        return worker_id in self.dead_workers()
+
+    def service_hook(self) -> Callable[[str, int], None]:
+        """Adapt solve faults to the worker pool's ``fault_hook``
+        protocol: ``hook(fingerprint, attempt)`` raising to fail that
+        attempt. A solve-fault event fails matching fingerprints while
+        ``attempt <= attempts``, then lets retries succeed."""
+        events = [e for e in self.events if e.kind == "solve-fault"]
+
+        def hook(fingerprint: str, attempt: int) -> None:
+            for e in events:
+                if e.match is not None and not fingerprint.startswith(e.match):
+                    continue
+                if attempt <= e.attempts:
+                    raise InjectedFault(
+                        f"injected solve fault (attempt {attempt}/{e.attempts}) "
+                        f"for {fingerprint[:12]}"
+                    )
+
+        return hook
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def counts(self) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for e in self.events:
+            out[e.kind] = out.get(e.kind, 0) + 1
+        return out

@@ -1,0 +1,284 @@
+"""Checkpointable simulation state.
+
+A :class:`SimulationState` is everything a run needs to resume
+bit-identically: the DataWarehouse contents (cell-centred, per-level,
+and reduction variables), the timestep counter and simulated time, the
+positions of every live RNG stream, and the grid/assignment layout the
+state was captured under. It is a plain in-memory container — the
+:mod:`~repro.resilience.checkpoint` module handles durability — so the
+same capture path serves checkpoints, in-memory rollback in the
+recovery orchestrator, and tests.
+
+The layout block is *descriptive*, not prescriptive: restore verifies
+the mesh matches (a checkpoint from a 128^3 run must not silently feed
+a 64^3 run) but deliberately ignores the rank assignment, because
+recovering from a rank death means restoring old state under a *new*
+decomposition. Decomposition independence of results is guaranteed by
+the RNG keying (per-patch, never per-rank — see :mod:`repro.util.rng`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.dw.datawarehouse import DataWarehouse
+from repro.dw.label import cc, per_level, reduction
+from repro.dw.variables import CCVariable, ReductionVariable
+from repro.grid.box import Box
+from repro.grid.grid import Grid
+from repro.util.errors import ResilienceError
+from repro.util.rng import RandomStreams
+
+
+@dataclass
+class CCEntry:
+    """One cell-centred variable on one patch."""
+
+    name: str
+    patch_id: int
+    lo: Tuple[int, int, int]
+    hi: Tuple[int, int, int]
+    array: np.ndarray
+
+    @property
+    def key(self) -> str:
+        return f"cc/{self.name}/{self.patch_id}"
+
+
+@dataclass
+class LevelEntry:
+    """One per-level variable."""
+
+    name: str
+    level_index: int
+    array: np.ndarray
+
+    @property
+    def key(self) -> str:
+        return f"level/{self.name}/{self.level_index}"
+
+
+@dataclass
+class SimulationState:
+    """A resumable snapshot of one generation of simulation state."""
+
+    step: int = 0
+    time: float = 0.0
+    generation: int = 0
+    cc_entries: List[CCEntry] = field(default_factory=list)
+    level_entries: List[LevelEntry] = field(default_factory=list)
+    reductions: List[Tuple[str, float, str]] = field(default_factory=list)
+    rng: Optional[dict] = None
+    layout: Optional[dict] = None
+    extra: Dict[str, object] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # array access (the checkpointer's chunking surface)
+    # ------------------------------------------------------------------
+    def arrays(self) -> List[Tuple[str, np.ndarray]]:
+        """Every array in the state as deterministic ``(key, array)``
+        pairs — the unit of content-addressed chunking."""
+        out: List[Tuple[str, np.ndarray]] = []
+        for entry in self.cc_entries:
+            out.append((entry.key, entry.array))
+        for entry in self.level_entries:
+            out.append((entry.key, entry.array))
+        return out
+
+    @property
+    def nbytes(self) -> int:
+        return sum(a.nbytes for _, a in self.arrays())
+
+    # ------------------------------------------------------------------
+    # metadata payload (everything except the array bytes)
+    # ------------------------------------------------------------------
+    def metadata(self) -> dict:
+        """The JSON-able manifest payload; arrays are referenced by key
+        only, their bytes live in checkpoint chunks."""
+        return {
+            "step": self.step,
+            "time": self.time,
+            "generation": self.generation,
+            "cc": [
+                {
+                    "name": e.name,
+                    "patch_id": e.patch_id,
+                    "lo": list(e.lo),
+                    "hi": list(e.hi),
+                    "key": e.key,
+                }
+                for e in self.cc_entries
+            ],
+            "level": [
+                {"name": e.name, "level_index": e.level_index, "key": e.key}
+                for e in self.level_entries
+            ],
+            "reductions": [
+                {"name": n, "value": v, "op": op} for n, v, op in self.reductions
+            ],
+            "rng": self.rng,
+            "layout": self.layout,
+            "extra": self.extra,
+        }
+
+    @classmethod
+    def from_metadata(
+        cls, meta: dict, arrays: Dict[str, np.ndarray]
+    ) -> "SimulationState":
+        """Rebuild a state from a manifest payload plus fetched arrays."""
+        state = cls(
+            step=int(meta["step"]),
+            time=float(meta["time"]),
+            generation=int(meta.get("generation", 0)),
+            rng=meta.get("rng"),
+            layout=meta.get("layout"),
+            extra=dict(meta.get("extra", {})),
+        )
+        for e in meta.get("cc", []):
+            key = e["key"]
+            if key not in arrays:
+                raise ResilienceError(f"checkpoint payload references missing array {key}")
+            state.cc_entries.append(
+                CCEntry(
+                    name=e["name"],
+                    patch_id=int(e["patch_id"]),
+                    lo=tuple(int(x) for x in e["lo"]),
+                    hi=tuple(int(x) for x in e["hi"]),
+                    array=arrays[key],
+                )
+            )
+        for e in meta.get("level", []):
+            key = e["key"]
+            if key not in arrays:
+                raise ResilienceError(f"checkpoint payload references missing array {key}")
+            state.level_entries.append(
+                LevelEntry(
+                    name=e["name"],
+                    level_index=int(e["level_index"]),
+                    array=arrays[key],
+                )
+            )
+        for r in meta.get("reductions", []):
+            state.reductions.append((r["name"], float(r["value"]), r["op"]))
+        return state
+
+    # ------------------------------------------------------------------
+    # DataWarehouse round-trip
+    # ------------------------------------------------------------------
+    def build_dw(self) -> DataWarehouse:
+        """Materialise the state as a fresh DataWarehouse generation."""
+        dw = DataWarehouse(generation=self.generation)
+        for e in self.cc_entries:
+            var = CCVariable(Box(e.lo, e.hi), e.array.copy())
+            dw.put(cc(e.name), e.patch_id, var)
+        for e in self.level_entries:
+            dw.put_level(per_level(e.name), e.level_index, e.array.copy())
+        for name, value, op in self.reductions:
+            dw.put_reduction(reduction(name), ReductionVariable(value, op))
+        return dw
+
+    def restore_streams(self, streams: RandomStreams) -> None:
+        """Rewind ``streams`` to the captured positions (no-op if the
+        state carries no RNG block)."""
+        if self.rng is not None:
+            streams.set_state(self.rng)
+
+
+def capture_state(
+    dw: DataWarehouse,
+    step: int,
+    time: float = 0.0,
+    grid: Optional[Grid] = None,
+    streams: Optional[RandomStreams] = None,
+    assignment: Optional[Dict[int, int]] = None,
+    extra: Optional[Dict[str, object]] = None,
+) -> SimulationState:
+    """Snapshot a DataWarehouse (plus RNG / layout context) for resume.
+
+    Array data is *copied* so the captured state stays valid if the run
+    keeps mutating the warehouse in place.
+    """
+    state = SimulationState(
+        step=int(step),
+        time=float(time),
+        generation=dw.generation,
+        rng=streams.get_state() if streams is not None else None,
+        layout=grid_layout(grid, assignment) if grid is not None else None,
+        extra=dict(extra or {}),
+    )
+    for name, patch_id, var in dw.cc_items():
+        state.cc_entries.append(
+            CCEntry(name, patch_id, var.box.lo, var.box.hi, var.data.copy())
+        )
+    for name, level_index, data in dw.level_items():
+        state.level_entries.append(LevelEntry(name, level_index, np.array(data, copy=True)))
+    for name, var in dw.reduction_items():
+        state.reductions.append((name, float(var.value), var.op))
+    return state
+
+
+# ----------------------------------------------------------------------
+# grid layout description
+# ----------------------------------------------------------------------
+def grid_layout(
+    grid: Grid, assignment: Optional[Dict[int, int]] = None
+) -> dict:
+    """A JSON-able description of the mesh (and, optionally, which rank
+    owned each patch when the state was captured)."""
+    return {
+        "levels": [
+            {
+                "index": lvl.index,
+                "lo": list(lvl.domain_box.lo),
+                "hi": list(lvl.domain_box.hi),
+                "dx": list(lvl.dx),
+                "refinement_ratio": list(lvl.refinement_ratio),
+                "patches": [
+                    {"id": p.patch_id, "lo": list(p.lo), "hi": list(p.hi)}
+                    for p in lvl.patches
+                ],
+            }
+            for lvl in grid.levels
+        ],
+        "assignment": (
+            {str(pid): int(rank) for pid, rank in sorted(assignment.items())}
+            if assignment is not None
+            else None
+        ),
+    }
+
+
+def verify_layout(grid: Grid, layout: Optional[dict]) -> None:
+    """Check that ``grid`` has the same mesh a checkpoint was taken on.
+
+    Only the mesh is compared — domains, spacings, and patch tilings
+    per level. The recorded rank assignment is informational: restoring
+    onto fewer ranks after a failure is the whole point.
+    """
+    if layout is None:
+        return
+    recorded = layout.get("levels", [])
+    if len(recorded) != grid.num_levels:
+        raise ResilienceError(
+            f"checkpoint has {len(recorded)} levels, grid has {grid.num_levels}"
+        )
+    for meta, lvl in zip(recorded, grid.levels):
+        if tuple(meta["lo"]) != lvl.domain_box.lo or tuple(meta["hi"]) != lvl.domain_box.hi:
+            raise ResilienceError(
+                f"level {lvl.index} domain mismatch: checkpoint "
+                f"[{meta['lo']}, {meta['hi']}) vs grid {lvl.domain_box}"
+            )
+        recorded_patches = {
+            int(p["id"]): (tuple(p["lo"]), tuple(p["hi"])) for p in meta["patches"]
+        }
+        live_patches = {
+            p.patch_id: (p.lo, p.hi) for p in lvl.patches
+        }
+        if recorded_patches != live_patches:
+            raise ResilienceError(
+                f"level {lvl.index} patch tiling differs from checkpoint "
+                f"({len(recorded_patches)} recorded vs {len(live_patches)} live patches)"
+            )

@@ -48,6 +48,8 @@ class SimulationController:
         initial_graph: Optional[CompiledGraph] = None,
         archive=None,
         tracer: Optional[SpanTracer] = None,
+        checkpointer=None,
+        streams=None,
     ) -> None:
         self.graph = graph
         self.initial_graph = initial_graph
@@ -56,6 +58,11 @@ class SimulationController:
             raise SchedulerError("scheduler must expose .execute(graph, old, new)")
         self.archive = archive
         self.tracer = tracer
+        #: optional repro.resilience.Checkpointer; when set, advance()
+        #: snapshots on its cadence alongside (not instead of) the archive
+        self.checkpointer = checkpointer
+        #: optional repro.util.rng.RandomStreams captured into checkpoints
+        self.streams = streams
         self.dw_manager = DataWarehouseManager()
         self.timers = TimerRegistry()
         self.reports: List[TimestepReport] = []
@@ -134,7 +141,76 @@ class SimulationController:
         )
         if self.archive is not None and self.archive.should_save(self.step):
             self.archive.save(self.dw_manager.new_dw, self.step, self.time)
+        if self.checkpointer is not None and self.checkpointer.should_checkpoint(
+            self.step
+        ):
+            self.checkpoint()
         return self.dw_manager.new_dw
+
+    # ------------------------------------------------------------------
+    # checkpoint/restart (resilience layer)
+    # ------------------------------------------------------------------
+    def checkpoint(self):
+        """Snapshot the current state through the attached checkpointer.
+
+        Returns the manifest path. Unlike the archive (an output
+        product), checkpoints capture RNG stream positions so a restore
+        resumes bit-identically.
+        """
+        if self.checkpointer is None:
+            raise SchedulerError("no checkpointer attached to this controller")
+        # imported lazily: repro.resilience imports the runtime package
+        from repro.resilience.state import capture_state
+
+        state = capture_state(
+            self.dw_manager.new_dw,
+            step=self.step,
+            time=self.time,
+            grid=self.graph.grid,
+            streams=self.streams,
+        )
+        return self.checkpointer.save(state)
+
+    @classmethod
+    def from_checkpoint(
+        cls,
+        graph: CompiledGraph,
+        checkpointer,
+        step: Optional[int] = None,
+        scheduler=None,
+        streams=None,
+        archive=None,
+    ) -> "SimulationController":
+        """Resume from the latest valid (or a specific) checkpoint.
+
+        Corrupt or torn checkpoints are skipped automatically when no
+        ``step`` is pinned; the restored warehouse becomes the current
+        generation and attached RNG streams are rewound, so the next
+        :meth:`advance` continues bit-identically.
+        """
+        from repro.resilience.state import verify_layout
+
+        if step is not None:
+            state = checkpointer.load(step)
+            found_step = step
+        else:
+            state, found_step = checkpointer.load_latest_valid()
+        verify_layout(graph.grid, state.layout)
+        ctrl = cls(
+            graph,
+            scheduler=scheduler,
+            archive=archive,
+            checkpointer=checkpointer,
+            streams=streams,
+        )
+        ctrl.dw_manager.new_dw = state.build_dw()
+        ctrl.dw_manager._generation = state.generation
+        ctrl.time = state.time
+        ctrl.step = found_step
+        if streams is not None:
+            state.restore_streams(streams)
+        ctrl._initialized = True
+        return ctrl
 
     def run(self, num_steps: int, dt: float) -> DataWarehouse:
         """Initialize (if needed) and advance ``num_steps`` steps."""

@@ -16,7 +16,9 @@ per process invocation.
 * :mod:`repro.service.cache`   — two-tier (LRU + disk)
   content-addressed result cache;
 * :mod:`repro.service.workers` — sharded worker pool with thread and
-  process backends, retry-with-backoff, fault-injection hook;
+  process backends, retry-with-backoff, fault-plan aware dispatch;
+* :mod:`repro.service.journal` — write-ahead request journal backing
+  warm restarts (``recover_journal``);
 * :mod:`repro.service.service` — :class:`RadiationService` +
   :class:`ServiceClient`;
 * :mod:`repro.service.cli`     — the ``python -m repro serve`` /
@@ -25,6 +27,7 @@ per process invocation.
 
 from repro.service.batcher import Batch, MicroBatcher
 from repro.service.cache import ResultCache
+from repro.service.journal import RequestJournal
 from repro.service.queue import SubmissionQueue
 from repro.service.schema import (
     CachedSolve,
@@ -42,6 +45,7 @@ __all__ = [
     "MicroBatcher",
     "PendingSolve",
     "RadiationService",
+    "RequestJournal",
     "ResultCache",
     "ServiceClient",
     "ServiceConfig",

@@ -24,6 +24,7 @@ import numpy as np
 
 from repro.perf.metrics import MetricsRegistry, get_metrics
 from repro.service.schema import CachedSolve
+from repro.util.atomic import atomic_savez, atomic_write_text
 
 _FP_HEX = frozenset("0123456789abcdef")
 
@@ -89,6 +90,27 @@ class ResultCache:
                 self._metrics.counter("service.cache.evictions").inc()
             self._metrics.gauge("service.cache.entries").set(len(self._lru))
 
+    def preload(self) -> int:
+        """Warm-restart support: pull every valid disk entry into the
+        memory LRU (newest files last, so they survive LRU pressure).
+        Returns how many entries were loaded; corrupt files are skipped
+        exactly as they would be on a ``get`` miss."""
+        if self.directory is None or self.capacity <= 0:
+            return 0
+        loaded = 0
+        sidecars = sorted(
+            self.directory.glob("*.json"), key=lambda p: p.stat().st_mtime
+        )
+        for meta_path in sidecars:
+            fingerprint = meta_path.stem
+            entry = self._disk_get(fingerprint)
+            if entry is not None:
+                self._memory_put(entry)
+                loaded += 1
+        if loaded:
+            self._metrics.counter("service.cache.preloaded").inc(loaded)
+        return loaded
+
     # ------------------------------------------------------------------
     # disk tier
     # ------------------------------------------------------------------
@@ -100,18 +122,18 @@ class ResultCache:
         if self.directory is None:
             return
         npz, meta = self._paths(entry.fingerprint)
-        # temp name must keep the .npz suffix — np.savez appends it otherwise
-        tmp = self.directory / f".{entry.fingerprint}.tmp.npz"
-        np.savez_compressed(tmp, divq=entry.divq)
-        tmp.replace(npz)
-        meta.write_text(
+        # arrays first, sidecar last: _disk_get requires both files, so
+        # the atomically-published meta.json acts as the commit marker
+        atomic_savez(npz, divq=entry.divq)
+        atomic_write_text(
+            meta,
             json.dumps(
                 {
                     "fingerprint": entry.fingerprint,
                     "rays_traced": entry.rays_traced,
                     "solve_time_s": entry.solve_time_s,
                 }
-            )
+            ),
         )
 
     def _disk_get(self, fingerprint: str) -> Optional[CachedSolve]:

@@ -32,6 +32,7 @@ from repro.perf.metrics import MetricsRegistry, set_metrics
 from repro.perf.tracer import SpanTracer, set_tracer
 from repro.service.service import RadiationService, ServiceClient, ServiceConfig
 from repro.ups import parse_ups
+from repro.util.atomic import atomic_savez, atomic_write_text
 from repro.util.errors import ReproError, ServiceError
 
 
@@ -55,6 +56,11 @@ def _service_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--max-queue", type=int, default=64, help="submission queue bound"
     )
+    parser.add_argument(
+        "--journal", default=None,
+        help="write-ahead request journal directory; accepted-but-"
+        "unfinished solves are replayed on the next start",
+    )
     parser.add_argument("--metrics", default=None, help="write metrics.json here")
     parser.add_argument("--trace", default=None, help="write Chrome trace here")
 
@@ -68,6 +74,7 @@ def _build_config(args) -> ServiceConfig:
         cache_capacity=0 if args.no_cache else 128,
         cache_dir=None if args.no_cache else args.cache_dir,
         coalesce=not args.no_cache,
+        journal_dir=args.journal,
     )
 
 
@@ -246,6 +253,16 @@ def cmd_serve(argv) -> int:
     print(f"serving from {spool} (idle timeout {args.idle_timeout}s)")
     with RadiationService(_build_config(args), metrics=metrics, tracer=tracer) as svc:
         client = ServiceClient(svc)
+        if svc.journal is not None:
+            recovered = svc.recover_journal()
+            if recovered["cache_preloaded"] or recovered["replayed"]:
+                print(
+                    f"warm restart: {recovered['cache_preloaded']} cached "
+                    f"result(s) preloaded, {recovered['replayed']} journaled "
+                    "solve(s) replayed"
+                )
+            for handle in recovered["handles"]:
+                handle.result(timeout=args.idle_timeout + 300.0)
         while True:
             claimed = 0
             budget_left = args.max_requests is None or served < args.max_requests
@@ -300,12 +317,9 @@ def cmd_serve(argv) -> int:
 
 def _write_result(outbox: Path, ticket: str, result=None, error=None) -> None:
     """npz first, JSON sidecar last — the sidecar's existence is the
-    submitter's completion signal."""
+    submitter's completion signal, and both publish atomically."""
     if result is not None:
-        # temp name must keep the .npz suffix — np.savez appends it otherwise
-        tmp = outbox / f".{ticket}.tmp.npz"
-        np.savez_compressed(tmp, divq=result.divq)
-        tmp.replace(outbox / f"{ticket}.npz")
+        atomic_savez(outbox / f"{ticket}.npz", divq=result.divq)
         meta = {
             "fingerprint": result.fingerprint,
             "cache_hit": result.cache_hit,
@@ -316,6 +330,4 @@ def _write_result(outbox: Path, ticket: str, result=None, error=None) -> None:
         }
     else:
         meta = {"error": error}
-    tmp = outbox / f".{ticket}.json.tmp"
-    tmp.write_text(json.dumps(meta))
-    tmp.replace(outbox / f"{ticket}.json")
+    atomic_write_text(outbox / f"{ticket}.json", json.dumps(meta))

@@ -1,0 +1,94 @@
+"""Write-ahead request journal: crash-safe in-flight bookkeeping.
+
+A service killed mid-run loses its queue, its batcher, and its worker
+shards — but the *requests* it accepted were promises. The journal
+records every accepted solve as one ``<fingerprint>.json`` file (the
+spec, round-trippable via :func:`repro.ups.spec_to_dict`) the moment it
+enters the in-flight table, and forgets it when the solve completes,
+fails, or expires. On warm restart,
+:meth:`repro.service.service.RadiationService.recover_journal` replays
+whatever is left: solves the previous incarnation accepted but never
+finished.
+
+One file per fingerprint (not an append-only log) keeps recovery
+trivially idempotent — re-journaling a coalesced duplicate is a no-op
+overwrite, and completion removes exactly one file. Files are published
+atomically, so a journal entry is never half-written; a corrupt entry
+(storage damage) is skipped with a metric rather than poisoning
+recovery.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from pathlib import Path
+from typing import List, Optional
+
+from repro.perf.metrics import MetricsRegistry, get_metrics
+from repro.ups import ProblemSpec, spec_from_dict, spec_to_dict
+from repro.util.atomic import atomic_write_text
+from repro.util.errors import ReproError
+
+_FP_HEX = frozenset("0123456789abcdef")
+
+
+class RequestJournal:
+    """Directory-backed journal of accepted-but-unfinished solves."""
+
+    def __init__(
+        self, directory, metrics: Optional[MetricsRegistry] = None
+    ) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self._metrics = metrics if metrics is not None else get_metrics()
+        self._lock = threading.Lock()
+
+    def _path(self, fingerprint: str) -> Path:
+        return self.directory / f"{fingerprint}.json"
+
+    # ------------------------------------------------------------------
+    def record(self, fingerprint: str, spec: ProblemSpec) -> None:
+        """Journal an accepted request (idempotent per fingerprint)."""
+        doc = {"fingerprint": fingerprint, "spec": spec_to_dict(spec)}
+        with self._lock:
+            atomic_write_text(self._path(fingerprint), json.dumps(doc, sort_keys=True))
+        self._metrics.counter("service.journal.recorded").inc()
+
+    def forget(self, fingerprint: str) -> None:
+        """Remove a settled request (completed, failed, or expired)."""
+        if set(fingerprint) - _FP_HEX:
+            return
+        with self._lock:
+            try:
+                self._path(fingerprint).unlink()
+            except OSError:
+                return
+        self._metrics.counter("service.journal.settled").inc()
+
+    # ------------------------------------------------------------------
+    def outstanding(self) -> List[ProblemSpec]:
+        """Specs journaled by a previous incarnation and never settled,
+        oldest first. Corrupt entries are dropped (counted, deleted) so
+        one damaged file cannot wedge recovery forever."""
+        out: List[ProblemSpec] = []
+        with self._lock:
+            entries = sorted(
+                self.directory.glob("*.json"), key=lambda p: p.stat().st_mtime
+            )
+        for path in entries:
+            try:
+                doc = json.loads(path.read_text())
+                out.append(spec_from_dict(doc["spec"]))
+            except (json.JSONDecodeError, UnicodeDecodeError, KeyError,
+                    TypeError, ReproError):
+                self._metrics.counter("service.journal.corrupt").inc()
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
+        return out
+
+    def __len__(self) -> int:
+        with self._lock:
+            return sum(1 for _ in self.directory.glob("*.json"))

@@ -32,6 +32,7 @@ from repro.perf.metrics import MetricsRegistry, get_metrics
 from repro.perf.tracer import SpanTracer, get_tracer
 from repro.service.batcher import MicroBatcher
 from repro.service.cache import ResultCache
+from repro.service.journal import RequestJournal
 from repro.service.queue import SubmissionQueue
 from repro.service.schema import (
     CachedSolve,
@@ -64,6 +65,13 @@ class ServiceConfig:
     #: test/fault-injection hook: called as ``fault_hook(fingerprint,
     #: attempt)`` before every solve attempt; raising fails the attempt
     fault_hook: Optional[Callable[[str, int], None]] = None
+    #: declarative fault injection (a repro.resilience.FaultPlan): its
+    #: solve faults become a fault hook, its worker deaths disable
+    #: shards so dispatch routes to survivors
+    fault_plan: Optional[object] = None
+    #: write-ahead request journal directory; accepted-but-unfinished
+    #: solves are replayed by recover_journal() after a crash
+    journal_dir: Optional[str] = None
 
 
 class RadiationService:
@@ -82,6 +90,11 @@ class RadiationService:
         self.cache = ResultCache(
             capacity=c.cache_capacity, directory=c.cache_dir, metrics=self.metrics
         )
+        self.journal = (
+            RequestJournal(c.journal_dir, metrics=self.metrics)
+            if c.journal_dir is not None
+            else None
+        )
         self.queue = SubmissionQueue(maxsize=c.max_queue, metrics=self.metrics)
         self.workers = WorkerPool(
             c.workers,
@@ -89,7 +102,8 @@ class RadiationService:
             backend=c.backend,
             max_retries=c.max_retries,
             retry_backoff_s=c.retry_backoff_s,
-            fault_hook=c.fault_hook,
+            fault_hook=self._effective_fault_hook(),
+            fault_plan=c.fault_plan,
             shard_queue_depth=c.shard_queue_depth,
             metrics=self.metrics,
             tracer=self.tracer,
@@ -105,6 +119,23 @@ class RadiationService:
         self._lock = threading.Lock()
         self._started = False
         self._stopped = False
+
+    def _effective_fault_hook(self):
+        """Combine the explicit hook with the fault plan's solve faults
+        (explicit hook first, so tests can observe every attempt)."""
+        c = self.config
+        plan_hook = (
+            c.fault_plan.service_hook() if c.fault_plan is not None else None
+        )
+        if c.fault_hook is None or plan_hook is None:
+            return c.fault_hook or plan_hook
+        explicit = c.fault_hook
+
+        def chained(fingerprint: str, attempt: int) -> None:
+            explicit(fingerprint, attempt)
+            plan_hook(fingerprint, attempt)
+
+        return chained
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -165,6 +196,10 @@ class RadiationService:
 
         cached = self.cache.get(request.fingerprint)
         if cached is not None:
+            if self.journal is not None:
+                # a replayed journal entry whose result already landed
+                # on disk settles right here
+                self.journal.forget(request.fingerprint)
             self._finish(pending, cached, cache_hit=True)
             return handle
 
@@ -176,12 +211,18 @@ class RadiationService:
                     self.metrics.counter("service.coalesced").inc()
                     return handle
                 self._inflight[request.fingerprint] = [pending]
+        # journal before the queue: once accepted, a crash must not
+        # lose the promise (the reject path below rolls this back)
+        if self.journal is not None:
+            self.journal.record(request.fingerprint, spec)
         try:
             self.queue.put(pending, timeout=self.config.submit_timeout_s)
         except ServiceError:
             if self.config.coalesce:
                 with self._lock:
                     self._inflight.pop(request.fingerprint, None)
+            if self.journal is not None:
+                self.journal.forget(request.fingerprint)
             raise
         return handle
 
@@ -206,6 +247,8 @@ class RadiationService:
         worker: int,
     ) -> None:
         self.cache.put(payload)
+        if self.journal is not None:
+            self.journal.forget(payload.fingerprint)
         now = time.monotonic()
         for i, member in enumerate(self._pop_group(pending)):
             if member.expired(now):
@@ -222,6 +265,8 @@ class RadiationService:
             )
 
     def failed(self, pending: PendingSolve, error: ServiceError) -> None:
+        if self.journal is not None:
+            self.journal.forget(pending.request.fingerprint)
         for member in self._pop_group(pending):
             member.handle.set_error(error)
         self.metrics.counter("service.failed").inc()
@@ -230,6 +275,8 @@ class RadiationService:
         """A pending whose deadline passed before a worker reached it;
         its coalesced riders expire with it (same fingerprint, same
         solve that is not going to happen)."""
+        if self.journal is not None:
+            self.journal.forget(pending.request.fingerprint)
         for member in self._pop_group(pending):
             self._expire_one(member)
 
@@ -280,6 +327,29 @@ class RadiationService:
         )
 
     # ------------------------------------------------------------------
+    # warm restart (resilience layer)
+    # ------------------------------------------------------------------
+    def recover_journal(self) -> dict:
+        """Warm-restart a journaled service: preload the disk cache,
+        then re-submit every solve a previous incarnation accepted but
+        never settled. Replays whose results already landed on disk
+        complete straight from the cache; the rest re-enter the normal
+        request path. Returns ``{"cache_preloaded", "replayed",
+        "handles"}`` so callers can block on the replays."""
+        if self.journal is None:
+            raise ServiceError("service has no journal_dir configured")
+        preloaded = self.cache.preload()
+        specs = self.journal.outstanding()
+        handles = [self.submit(spec) for spec in specs]
+        if handles:
+            self.metrics.counter("service.journal.replayed").inc(len(handles))
+        return {
+            "cache_preloaded": preloaded,
+            "replayed": len(handles),
+            "handles": handles,
+        }
+
+    # ------------------------------------------------------------------
     def stats(self) -> dict:
         """Live serving counters (a convenience view of the registry)."""
         m = self.metrics
@@ -300,6 +370,7 @@ class RadiationService:
             "queue_depth": len(self.queue),
             "inflight": inflight,
             "cache_entries": len(self.cache),
+            "journaled": 0 if self.journal is None else len(self.journal),
         }
 
 

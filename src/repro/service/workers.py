@@ -65,6 +65,7 @@ class WorkerPool:
         max_retries: int = 2,
         retry_backoff_s: float = 0.01,
         fault_hook: Optional[Callable[[str, int], None]] = None,
+        fault_plan=None,
         shard_queue_depth: int = 4,
         metrics: Optional[MetricsRegistry] = None,
         tracer: Optional[SpanTracer] = None,
@@ -79,6 +80,18 @@ class WorkerPool:
         self.max_retries = int(max_retries)
         self.retry_backoff_s = float(retry_backoff_s)
         self.fault_hook = fault_hook
+        # worker deaths from a resilience FaultPlan: dead shards never
+        # start, and dispatch routes their scenes to the next survivor
+        self._dead = (
+            {w for w in fault_plan.dead_workers() if w < self.num_workers}
+            if fault_plan is not None
+            else set()
+        )
+        if len(self._dead) >= self.num_workers:
+            raise ServiceError(
+                f"fault plan kills all {self.num_workers} worker shard(s); "
+                "nothing would ever be solved"
+            )
         # shard queues are bounded so overload propagates backwards:
         # full shard -> dispatch blocks -> batcher stalls -> the front
         # door submission queue fills -> submit() raises. Without this
@@ -101,22 +114,36 @@ class WorkerPool:
 
     # ------------------------------------------------------------------
     def start(self) -> None:
-        for t in self._threads:
+        for i, t in enumerate(self._threads):
+            if i in self._dead:
+                self._metrics.counter("service.worker.deaths", worker=i).inc()
+                continue
             t.start()
 
     def shard_for(self, scene_key: str) -> int:
         """Scene affinity: one scene always lands on one shard."""
         return int(scene_key[:8], 16) % self.num_workers
 
+    def _live_shard(self, shard: int) -> int:
+        """First surviving shard at or after ``shard`` (wrapping): a
+        dead worker's scenes all fail over to the same survivor, so
+        scene affinity is preserved across the death."""
+        for offset in range(self.num_workers):
+            candidate = (shard + offset) % self.num_workers
+            if candidate not in self._dead:
+                return candidate
+        raise ServiceError("no live worker shard")  # pragma: no cover
+
     def dispatch(self, batch: Batch) -> None:
-        self._queues[self.shard_for(batch.scene_key)].put(batch)
+        self._queues[self._live_shard(self.shard_for(batch.scene_key))].put(batch)
 
     def stop(self, wait: bool = True) -> None:
         for q in self._queues:
             q.put(None)
         if wait:
-            for t in self._threads:
-                t.join(timeout=30.0)
+            for i, t in enumerate(self._threads):
+                if i not in self._dead:
+                    t.join(timeout=30.0)
         if self._executor is not None:
             self._executor.shutdown(wait=False)
 

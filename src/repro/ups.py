@@ -33,7 +33,7 @@ from __future__ import annotations
 import hashlib
 import json
 import xml.etree.ElementTree as ET
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from functools import lru_cache
 from typing import Optional
 
@@ -304,6 +304,31 @@ def scene_fingerprint(spec: ProblemSpec) -> str:
     """Digest of the grid geometry and property fields (batching key)."""
     g = spec.grid
     return _scene_digest(g.resolution, g.levels, g.refinement_ratio, g.patch_size)
+
+
+def spec_to_dict(spec: ProblemSpec) -> dict:
+    """A JSON-able round-trippable form of a spec (request journaling)."""
+    return {
+        "grid": asdict(spec.grid),
+        "rmcrt": asdict(spec.rmcrt),
+        "scheduler": asdict(spec.scheduler),
+    }
+
+
+def spec_from_dict(doc: dict) -> ProblemSpec:
+    """Inverse of :func:`spec_to_dict`, with the same validation as
+    :func:`parse_ups` (a journaled spec is untrusted input: the file
+    may have been truncated or edited)."""
+    try:
+        spec = ProblemSpec(
+            grid=GridSpec(**doc.get("grid", {})),
+            rmcrt=RMCRTSpec(**doc.get("rmcrt", {})),
+            scheduler=SchedulerSpec(**doc.get("scheduler", {})),
+        )
+    except TypeError as exc:
+        raise ReproError(f"malformed spec document: {exc}") from None
+    _validate(spec)
+    return spec
 
 
 def spec_fingerprint(spec: ProblemSpec) -> str:

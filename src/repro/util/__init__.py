@@ -1,4 +1,4 @@
-"""Shared utilities: timers, seeded RNG streams, error types.
+"""Shared utilities: timers, seeded RNG streams, atomic writes, error types.
 
 These are deliberately dependency-light; every other subpackage may
 import from here, but :mod:`repro.util` imports nothing from the rest
@@ -7,6 +7,12 @@ of the library.
 
 from repro.util.timing import Timer, TimerRegistry, format_seconds
 from repro.util.rng import RandomStreams, spawn_stream
+from repro.util.atomic import (
+    atomic_save_array,
+    atomic_savez,
+    atomic_write_bytes,
+    atomic_write_text,
+)
 from repro.util.errors import (
     ReproError,
     GridError,
@@ -15,6 +21,8 @@ from repro.util.errors import (
     AllocationError,
     CommError,
     PerfError,
+    ResilienceError,
+    InjectedFault,
 )
 
 __all__ = [
@@ -23,6 +31,10 @@ __all__ = [
     "format_seconds",
     "RandomStreams",
     "spawn_stream",
+    "atomic_save_array",
+    "atomic_savez",
+    "atomic_write_bytes",
+    "atomic_write_text",
     "ReproError",
     "GridError",
     "SchedulerError",
@@ -30,4 +42,6 @@ __all__ = [
     "AllocationError",
     "CommError",
     "PerfError",
+    "ResilienceError",
+    "InjectedFault",
 ]

@@ -1,0 +1,63 @@
+"""Atomic file writes: tmp-file + ``os.replace``.
+
+Every on-disk artifact a crashed writer could tear — archive step
+directories, service cache entries, spool results, checkpoint chunks
+and manifests — goes through these helpers so readers only ever see
+absent-or-complete files, never half-written ones. ``os.replace`` is
+atomic on POSIX within a filesystem; the temp file lives next to its
+target so the rename never crosses a mount.
+
+The restore path (:mod:`repro.resilience`) still *verifies* content
+hashes — atomicity protects against our own interrupted writers, not
+against bit rot or truncation by the storage layer — but corruption
+should never be self-inflicted.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+PathLike = Union[str, Path]
+
+
+def _tmp_path(target: Path) -> Path:
+    """Hidden sibling keeping the full suffix chain (``np.savez`` and
+    friends append their extension to names that lack it)."""
+    return target.parent / f".{target.name}.tmp"
+
+
+def atomic_write_bytes(path: PathLike, data: bytes) -> Path:
+    """Write ``data`` to ``path`` atomically; returns the final path."""
+    target = Path(path)
+    tmp = _tmp_path(target)
+    tmp.write_bytes(data)
+    os.replace(tmp, target)
+    return target
+
+
+def atomic_write_text(path: PathLike, text: str) -> Path:
+    return atomic_write_bytes(path, text.encode("utf-8"))
+
+
+def atomic_savez(path: PathLike, **arrays) -> Path:
+    """``np.savez_compressed`` with atomic publication.
+
+    Serializes to memory first, so the temp file needs no ``.npz``
+    suffix bookkeeping and a crash mid-serialization leaves nothing
+    behind at all.
+    """
+    buf = io.BytesIO()
+    np.savez_compressed(buf, **arrays)
+    return atomic_write_bytes(path, buf.getvalue())
+
+
+def atomic_save_array(path: PathLike, array: np.ndarray) -> Path:
+    """One array in ``.npy`` format, written atomically."""
+    buf = io.BytesIO()
+    np.save(buf, array, allow_pickle=False)
+    return atomic_write_bytes(path, buf.getvalue())

@@ -42,3 +42,16 @@ class ServiceError(ReproError):
     """Radiation-service failures: queue overload (backpressure),
     expired request deadlines, worker solves that exhausted their
     retries, or submission to a stopped service."""
+
+
+class ResilienceError(ReproError):
+    """Checkpoint/restart failures: corrupt or torn checkpoint chunks,
+    manifests that fail their integrity hash, restores with no valid
+    checkpoint to fall back to, or recovery with no surviving ranks."""
+
+
+class InjectedFault(ResilienceError):
+    """A deliberate failure raised by a :class:`~repro.resilience.faultplan.FaultPlan`.
+
+    Distinguishable from organic failures so drills can assert that the
+    failure they recovered from was the one they injected."""

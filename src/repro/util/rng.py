@@ -17,6 +17,8 @@ from typing import Dict, Iterable, Tuple
 
 import numpy as np
 
+from repro.util.errors import ReproError
+
 
 def spawn_stream(seed: int, *key: int) -> np.random.Generator:
     """A generator derived from ``seed`` and an integer key path.
@@ -67,3 +69,62 @@ class RandomStreams:
         else:
             for k in keys:
                 self._cache.pop(tuple(int(x) for x in k), None)
+
+    # ------------------------------------------------------------------
+    # state capture / restore (checkpoint support)
+    # ------------------------------------------------------------------
+    def get_state(self) -> dict:
+        """JSON-able snapshot of every live stream's position.
+
+        Checkpoint/restart needs streams to resume mid-sequence: a
+        restored run must draw the exact values the uninterrupted run
+        would have drawn. Keys that were never requested are absent —
+        they spawn fresh on first use, exactly as in the original run.
+        """
+        return {
+            "seed": self.seed,
+            "streams": {
+                ",".join(str(x) for x in key): _state_to_jsonable(
+                    gen.bit_generator.state
+                )
+                for key, gen in self._cache.items()
+            },
+        }
+
+    def set_state(self, state: dict) -> None:
+        """Restore a :meth:`get_state` snapshot (inverse round-trip).
+
+        Replaces the stream cache: snapshotted streams resume at their
+        saved positions, everything else is forgotten (and will respawn
+        deterministically from the root seed).
+        """
+        if int(state.get("seed", self.seed)) != self.seed:
+            raise ReproError(
+                f"RNG state was captured with seed {state['seed']}, this "
+                f"RandomStreams has seed {self.seed}"
+            )
+        self._cache.clear()
+        for key_s, gen_state in state.get("streams", {}).items():
+            key = tuple(int(x) for x in key_s.split(",")) if key_s else ()
+            gen = spawn_stream(self.seed, *key)
+            gen.bit_generator.state = _state_from_jsonable(gen_state)
+            self._cache[key] = gen
+
+
+def _state_to_jsonable(state):
+    """BitGenerator state -> pure-python JSON-able structure."""
+    if isinstance(state, dict):
+        return {k: _state_to_jsonable(v) for k, v in state.items()}
+    if isinstance(state, np.ndarray):
+        return {"__ndarray__": state.tolist(), "dtype": str(state.dtype)}
+    if isinstance(state, np.integer):
+        return int(state)
+    return state
+
+
+def _state_from_jsonable(state):
+    if isinstance(state, dict):
+        if "__ndarray__" in state:
+            return np.asarray(state["__ndarray__"], dtype=state["dtype"])
+        return {k: _state_from_jsonable(v) for k, v in state.items()}
+    return state

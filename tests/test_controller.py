@@ -166,3 +166,57 @@ class TestController:
         _, _, step_graph = build()
         with pytest.raises(SchedulerError):
             SimulationController(step_graph, scheduler=object())
+
+
+class TestCheckpointing:
+    """The controller's resilience hooks: cadence snapshots through an
+    attached Checkpointer and bit-identical from_checkpoint resume."""
+
+    def test_advance_checkpoints_on_cadence(self, tmp_path):
+        from repro.resilience import Checkpointer
+
+        _, init_graph, step_graph = build()
+        ckpt = Checkpointer(tmp_path, every_steps=2)
+        ctrl = SimulationController(
+            step_graph, initial_graph=init_graph, checkpointer=ckpt
+        )
+        ctrl.run(5, DT)
+        assert ckpt.steps() == [2, 4]
+
+    def test_checkpoint_requires_checkpointer(self):
+        _, init_graph, step_graph = build()
+        ctrl = SimulationController(step_graph, initial_graph=init_graph)
+        with pytest.raises(SchedulerError):
+            ctrl.checkpoint()
+
+    def test_from_checkpoint_bit_identical(self, tmp_path):
+        from repro.resilience import Checkpointer
+
+        grid, init_graph, step_graph = build()
+        gold_ctrl = SimulationController(step_graph, initial_graph=init_graph)
+        gold = gather(grid, gold_ctrl.run(5, DT))
+
+        ckpt = Checkpointer(tmp_path, every_steps=3)
+        ctrl = SimulationController(
+            step_graph, initial_graph=init_graph, checkpointer=ckpt
+        )
+        ctrl.run(3, DT)
+        del ctrl  # crash here
+
+        resumed = SimulationController.from_checkpoint(step_graph, ckpt)
+        assert resumed.step == 3
+        dw = resumed.run(2, DT)
+        assert resumed.step == 5
+        np.testing.assert_array_equal(gather(grid, dw), gold)
+
+    def test_from_checkpoint_pinned_step(self, tmp_path):
+        from repro.resilience import Checkpointer
+
+        _, init_graph, step_graph = build()
+        ckpt = Checkpointer(tmp_path, every_steps=1)
+        ctrl = SimulationController(
+            step_graph, initial_graph=init_graph, checkpointer=ckpt
+        )
+        ctrl.run(3, DT)
+        resumed = SimulationController.from_checkpoint(step_graph, ckpt, step=2)
+        assert resumed.step == 2 and resumed.time == pytest.approx(2 * DT)

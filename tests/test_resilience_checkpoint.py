@@ -1,0 +1,160 @@
+"""Tests for the content-addressed incremental checkpointer."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.dw import CCVariable, DataWarehouse, ReductionVariable, cc, per_level, reduction
+from repro.grid import Box
+from repro.perf.metrics import MetricsRegistry
+from repro.resilience import Checkpointer, capture_state
+from repro.util import RandomStreams, ResilienceError
+
+A = cc("a")
+E = per_level("e")
+TOTAL = reduction("total")
+
+
+def make_state(step, value=1.0, extra_patch=False, streams=None):
+    dw = DataWarehouse(generation=step)
+    box = Box((0, 0, 0), (4, 4, 4))
+    dw.put(A, 0, CCVariable(box, np.full(box.extent, value)))
+    if extra_patch:
+        dw.put(A, 1, CCVariable(box, np.full(box.extent, value * 2)))
+    dw.put_level(E, 0, np.arange(8.0) + value)
+    dw.put_reduction(TOTAL, ReductionVariable(3.5 * value, "sum"))
+    return capture_state(dw, step=step, time=step * 0.1, streams=streams)
+
+
+class TestSaveLoad:
+    def test_round_trip_byte_equal(self, tmp_path):
+        ckpt = Checkpointer(tmp_path)
+        streams = RandomStreams(5)
+        streams.for_patch(0).random(9)  # mid-sequence position
+        state = make_state(2, streams=streams)
+        ckpt.save(state)
+
+        loaded = ckpt.load(2)
+        assert loaded.step == 2 and loaded.time == pytest.approx(0.2)
+        for (k1, a1), (k2, a2) in zip(state.arrays(), loaded.arrays()):
+            assert k1 == k2
+            assert a1.tobytes() == a2.tobytes()
+        assert loaded.reductions == state.reductions
+        # RNG position travels too
+        expect = streams.for_patch(0).random(4)
+        fresh = RandomStreams(5)
+        loaded.restore_streams(fresh)
+        assert np.array_equal(fresh.for_patch(0).random(4), expect)
+
+    def test_build_dw_restores_variables(self, tmp_path):
+        ckpt = Checkpointer(tmp_path)
+        ckpt.save(make_state(1, value=4.0))
+        dw = ckpt.load(1).build_dw()
+        assert dw.get(A, 0).data[0, 0, 0] == 4.0
+        assert dw.get_reduction(TOTAL).value == pytest.approx(14.0)
+
+    def test_load_missing_step_raises(self, tmp_path):
+        with pytest.raises(ResilienceError):
+            Checkpointer(tmp_path).load(7)
+
+
+class TestDedup:
+    def test_unchanged_arrays_reuse_chunks(self, tmp_path):
+        m = MetricsRegistry()
+        ckpt = Checkpointer(tmp_path, metrics=m)
+        ckpt.save(make_state(1))
+        written_first = m.value("resilience.checkpoint.chunks_written")
+        ckpt.save(make_state(2))  # same arrays, new step
+        assert m.value("resilience.checkpoint.chunks_written") == written_first
+        assert m.value("resilience.checkpoint.chunks_reused") == written_first
+
+    def test_changed_array_writes_new_chunk(self, tmp_path):
+        m = MetricsRegistry()
+        ckpt = Checkpointer(tmp_path, metrics=m)
+        ckpt.save(make_state(1, value=1.0))
+        ckpt.save(make_state(2, value=9.0))
+        assert m.value("resilience.checkpoint.chunks_reused") == 0
+
+
+class TestCadence:
+    def test_every_steps(self, tmp_path):
+        ckpt = Checkpointer(tmp_path, every_steps=3)
+        assert ckpt.should_checkpoint(3) and ckpt.should_checkpoint(6)
+        assert not ckpt.should_checkpoint(1) and not ckpt.should_checkpoint(4)
+
+    def test_wall_clock(self, tmp_path):
+        ckpt = Checkpointer(tmp_path, every_steps=10 ** 9, every_seconds=100.0)
+        ckpt.save(make_state(1))
+        base = ckpt._last_checkpoint_wall
+        assert not ckpt.should_checkpoint(2, now=base + 5.0)
+        assert ckpt.should_checkpoint(2, now=base + 101.0)
+
+    def test_invalid_cadence_rejected(self, tmp_path):
+        with pytest.raises(ResilienceError):
+            Checkpointer(tmp_path, every_steps=0)
+        with pytest.raises(ResilienceError):
+            Checkpointer(tmp_path, keep=0)
+
+
+class TestRetention:
+    def test_prune_keeps_newest(self, tmp_path):
+        ckpt = Checkpointer(tmp_path, keep=2)
+        for step in range(1, 6):
+            ckpt.save(make_state(step, value=float(step)))
+        assert ckpt.steps() == [4, 5]
+
+    def test_prune_collects_unreferenced_chunks(self, tmp_path):
+        ckpt = Checkpointer(tmp_path, keep=1)
+        ckpt.save(make_state(1, value=1.0))
+        ckpt.save(make_state(2, value=2.0))  # all-new content; step 1 pruned
+        live = {
+            info["sha256"]
+            for info in json.loads(ckpt.manifest_path(2).read_text())["payload"][
+                "chunks"
+            ].values()
+        }
+        on_disk = {p.stem for p in (tmp_path / "chunks").rglob("*.npy")}
+        assert on_disk == live
+
+    def test_shared_chunks_survive_prune(self, tmp_path):
+        ckpt = Checkpointer(tmp_path, keep=1)
+        ckpt.save(make_state(1))
+        ckpt.save(make_state(2))  # identical arrays -> same chunks
+        state = ckpt.load(2)
+        assert state.step == 2  # shared chunks were not collected
+
+
+class TestIntegrity:
+    def test_manifest_hash_mismatch_rejected(self, tmp_path):
+        ckpt = Checkpointer(tmp_path)
+        ckpt.save(make_state(1))
+        doc = json.loads(ckpt.manifest_path(1).read_text())
+        doc["payload"]["step"] = 99  # tamper without re-hashing
+        ckpt.manifest_path(1).write_text(json.dumps(doc))
+        with pytest.raises(ResilienceError, match="integrity"):
+            ckpt.load(1)
+
+    def test_torn_manifest_rejected(self, tmp_path):
+        ckpt = Checkpointer(tmp_path)
+        ckpt.save(make_state(1))
+        raw = ckpt.manifest_path(1).read_bytes()
+        ckpt.manifest_path(1).write_bytes(raw[: len(raw) // 2])
+        with pytest.raises(ResilienceError):
+            ckpt.load(1)
+
+    def test_corrupt_chunk_quarantined(self, tmp_path):
+        m = MetricsRegistry()
+        ckpt = Checkpointer(tmp_path, metrics=m)
+        ckpt.save(make_state(1))
+        victim = next((tmp_path / "chunks").rglob("*.npy"))
+        data = bytearray(victim.read_bytes())
+        data[len(data) // 2] ^= 0xFF
+        victim.write_bytes(bytes(data))
+        with pytest.raises(ResilienceError, match="verification"):
+            ckpt.load(1)
+        # quarantine deleted the poisoned chunk so a re-save can heal it
+        assert not victim.exists()
+        assert m.value("resilience.checkpoint.quarantined") == 1
+        ckpt.save(make_state(1))
+        assert ckpt.load(1).step == 1

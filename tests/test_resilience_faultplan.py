@@ -1,0 +1,103 @@
+"""Tests for the declarative fault plan."""
+
+import pytest
+
+from repro.resilience import FaultEvent, FaultPlan, InjectedFault, ResilienceError
+
+
+class TestFaultEvent:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ResilienceError, match="unknown fault kind"):
+            FaultEvent(kind="gamma-ray")
+
+    def test_round_trips_through_dicts(self):
+        plan = FaultPlan(
+            [
+                FaultEvent(kind="rank-death", step=3, target=1),
+                FaultEvent(kind="solve-fault", match="abc", attempts=2),
+            ]
+        )
+        again = FaultPlan.from_dicts(plan.as_dicts())
+        assert again.as_dicts() == plan.as_dicts()
+        assert len(again) == 2
+
+
+class TestSeeded:
+    def test_deterministic(self):
+        a = FaultPlan.seeded(seed=7, num_steps=12, num_ranks=8, deaths=2)
+        b = FaultPlan.seeded(seed=7, num_steps=12, num_ranks=8, deaths=2)
+        assert a.as_dicts() == b.as_dicts()
+        c = FaultPlan.seeded(seed=8, num_steps=12, num_ranks=8, deaths=2)
+        assert c.as_dicts() != a.as_dicts()
+
+    def test_respects_checkpoint_cadence(self):
+        """A seeded death never fires before one cadence checkpoint
+        exists — otherwise corrupting the newest checkpoint could make
+        the run unrecoverable by design rather than by bad luck."""
+        for seed in range(10):
+            plan = FaultPlan.seeded(
+                seed=seed, num_steps=8, num_ranks=4, checkpoint_every=3
+            )
+            for e in plan.events:
+                if e.kind == "rank-death":
+                    assert e.step >= 4
+
+    def test_needs_survivors(self):
+        with pytest.raises(ResilienceError):
+            FaultPlan.seeded(seed=0, num_steps=4, num_ranks=1)
+        plan = FaultPlan.seeded(seed=0, num_steps=6, num_ranks=3, deaths=5)
+        assert plan.counts()["rank-death"] <= 2  # always leaves a survivor
+
+    def test_counts(self):
+        plan = FaultPlan.seeded(seed=1, num_steps=9, num_ranks=4, deaths=1)
+        counts = plan.counts()
+        assert counts["rank-death"] == 1
+        assert counts.get("chunk-corrupt", 0) == 1
+
+
+class TestQueries:
+    def test_rank_deaths_at(self):
+        plan = FaultPlan(
+            [
+                FaultEvent(kind="rank-death", step=2, target=3),
+                FaultEvent(kind="rank-death", step=2, target=3),  # dedup
+                FaultEvent(kind="rank-death", step=5, target=0),
+            ]
+        )
+        assert plan.rank_deaths_at(2) == [3]
+        assert plan.rank_deaths_at(5) == [0]
+        assert plan.rank_deaths_at(3) == []
+
+    def test_dead_workers(self):
+        plan = FaultPlan(
+            [
+                FaultEvent(kind="worker-death", target=1),
+                FaultEvent(kind="worker-death", target=4),
+            ]
+        )
+        assert plan.dead_workers() == [1, 4]
+        assert plan.worker_dead(4) and not plan.worker_dead(0)
+
+
+class TestServiceHook:
+    def test_hook_raises_then_allows(self):
+        plan = FaultPlan([FaultEvent(kind="solve-fault", match="abcd", attempts=2)])
+        hook = plan.service_hook()
+        with pytest.raises(InjectedFault):
+            hook("abcdef0123", 1)
+        with pytest.raises(InjectedFault):
+            hook("abcdef0123", 2)
+        hook("abcdef0123", 3)  # attempts exhausted: solve proceeds
+
+    def test_hook_matches_prefix_only(self):
+        plan = FaultPlan([FaultEvent(kind="solve-fault", match="dead")])
+        hook = plan.service_hook()
+        hook("beef000000", 1)  # different fingerprint untouched
+        with pytest.raises(InjectedFault):
+            hook("deadbeef00", 1)
+
+    def test_wildcard_match(self):
+        plan = FaultPlan([FaultEvent(kind="solve-fault")])
+        hook = plan.service_hook()
+        with pytest.raises(InjectedFault):
+            hook("anything", 1)

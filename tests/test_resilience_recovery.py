@@ -1,0 +1,173 @@
+"""Recovery edge cases: damaged checkpoints, drills, double deaths."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.resilience import (
+    Checkpointer,
+    FaultEvent,
+    FaultPlan,
+    RadiationCampaign,
+    RecoveryOrchestrator,
+    ResilienceError,
+)
+
+CAMPAIGN = dict(resolution=12, fine_patch_size=6, rays_per_cell=2, seed=1)
+
+
+def checkpoint_steps(tmp_path, steps, **kw):
+    """Run a serial campaign, checkpointing at each step in ``steps``."""
+    ckpt = Checkpointer(tmp_path, **kw)
+    campaign = RadiationCampaign(**CAMPAIGN)
+    for s in steps:
+        campaign.run(s)
+        ckpt.save(campaign.capture())
+    return ckpt, campaign
+
+
+class TestFallback:
+    def test_corrupt_manifest_falls_back(self, tmp_path):
+        ckpt, _ = checkpoint_steps(tmp_path, [1, 2])
+        doc = json.loads(ckpt.manifest_path(2).read_text())
+        doc["payload"]["time"] = 1e9  # tamper: hash no longer matches
+        ckpt.manifest_path(2).write_text(json.dumps(doc))
+        state, step = ckpt.load_latest_valid()
+        assert step == 1 and state.step == 1
+
+    def test_truncated_manifest_falls_back(self, tmp_path):
+        ckpt, _ = checkpoint_steps(tmp_path, [1, 2])
+        raw = ckpt.manifest_path(2).read_bytes()
+        ckpt.manifest_path(2).write_bytes(raw[: len(raw) // 3])
+        _, step = ckpt.load_latest_valid()
+        assert step == 1
+
+    def test_torn_chunk_falls_back(self, tmp_path):
+        ckpt, _ = checkpoint_steps(tmp_path, [1, 2])
+        # tear a chunk referenced only by the newest manifest (the
+        # emissive field differs between steps; abskg chunks are shared)
+        old = {
+            i["sha256"]
+            for i in json.loads(ckpt.manifest_path(1).read_text())["payload"][
+                "chunks"
+            ].values()
+        }
+        new = json.loads(ckpt.manifest_path(2).read_text())["payload"]["chunks"]
+        unique = next(i["sha256"] for i in new.values() if i["sha256"] not in old)
+        path = ckpt.chunk_path(unique)
+        path.write_bytes(path.read_bytes()[:10])
+        _, step = ckpt.load_latest_valid()
+        assert step == 1
+
+    def test_no_valid_checkpoint_raises(self, tmp_path):
+        ckpt, _ = checkpoint_steps(tmp_path, [1])
+        ckpt.manifest_path(1).write_text("not json")
+        with pytest.raises(ResilienceError, match="no valid checkpoint"):
+            ckpt.load_latest_valid()
+
+    def test_before_bound_skips_newer(self, tmp_path):
+        ckpt, _ = checkpoint_steps(tmp_path, [1, 2, 3])
+        _, step = ckpt.load_latest_valid(before=2)  # inclusive bound
+        assert step == 2
+        _, step = ckpt.load_latest_valid(before=1)
+        assert step == 1
+
+
+class TestFailureDuringRestore:
+    def test_interrupted_restore_can_retry(self, tmp_path):
+        """A crash mid-restore must leave the checkpoint readable: the
+        restore path never mutates the store, so a second attempt from
+        the same manifest succeeds."""
+        ckpt, campaign = checkpoint_steps(tmp_path, [2])
+        gold = RadiationCampaign(**CAMPAIGN).run(4)
+
+        class Boom(RuntimeError):
+            pass
+
+        victim = RadiationCampaign(**CAMPAIGN)
+        state, _ = ckpt.load_latest_valid()
+        orig = victim.restore
+        calls = {"n": 0}
+
+        def flaky_restore(st):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise Boom("died mid-restore")
+            return orig(st)
+
+        victim.restore = flaky_restore
+        with pytest.raises(Boom):
+            victim.restore(state)
+        # retry against a freshly loaded state — still intact on disk
+        state2, step2 = ckpt.load_latest_valid()
+        victim.restore(state2)
+        assert step2 == 2
+        np.testing.assert_array_equal(victim.run(4), gold)
+
+
+class TestDrill:
+    def test_scripted_death_recovers_bit_identical(self, tmp_path):
+        gold = RadiationCampaign(**CAMPAIGN).run(5)
+        plan = FaultPlan([FaultEvent(kind="rank-death", step=3, target=2)])
+        campaign = RadiationCampaign(num_ranks=4, **CAMPAIGN)
+        orch = RecoveryOrchestrator(
+            campaign, Checkpointer(tmp_path, every_steps=2), fault_plan=plan
+        )
+        report = orch.run(5)
+        assert report.final_step == 5
+        assert report.final_ranks == 3
+        assert len(report.recoveries) == 1
+        rec = report.recoveries[0]
+        assert rec.dead_ranks == [2]
+        assert rec.restored_step == 2
+        np.testing.assert_array_equal(campaign.emissive, gold)
+
+    def test_double_death_between_checkpoints(self, tmp_path):
+        """Two separate deaths in one checkpoint interval: the second
+        recovery restores the same checkpoint onto an even smaller
+        machine, and the answer still matches the gold run."""
+        gold = RadiationCampaign(**CAMPAIGN).run(6)
+        plan = FaultPlan(
+            [
+                FaultEvent(kind="rank-death", step=4, target=1),
+                FaultEvent(kind="rank-death", step=5, target=3),
+            ]
+        )
+        campaign = RadiationCampaign(num_ranks=4, **CAMPAIGN)
+        orch = RecoveryOrchestrator(
+            campaign, Checkpointer(tmp_path, every_steps=3), fault_plan=plan
+        )
+        report = orch.run(6)
+        assert report.final_step == 6
+        assert report.final_ranks == 2
+        assert [r.restored_step for r in report.recoveries] == [3, 3]
+        np.testing.assert_array_equal(campaign.emissive, gold)
+
+    def test_seeded_drill_with_corruption(self, tmp_path):
+        """The CLI drill's exact shape: seeded plan, chunk corruption,
+        death, recovery from an older checkpoint, bit-identical finish."""
+        gold = RadiationCampaign(**CAMPAIGN).run(6)
+        plan = FaultPlan.seeded(
+            seed=1, num_steps=6, num_ranks=4, deaths=1, checkpoint_every=2
+        )
+        campaign = RadiationCampaign(num_ranks=4, **CAMPAIGN)
+        orch = RecoveryOrchestrator(
+            campaign, Checkpointer(tmp_path, every_steps=2), fault_plan=plan
+        )
+        report = orch.run(6)
+        assert report.final_step == 6
+        assert len(report.recoveries) == 1
+        np.testing.assert_array_equal(campaign.emissive, gold)
+
+    def test_serial_campaign_cannot_lose_ranks(self, tmp_path):
+        plan = FaultPlan([FaultEvent(kind="rank-death", step=2, target=0)])
+        campaign = RadiationCampaign(**CAMPAIGN)  # one rank
+        orch = RecoveryOrchestrator(
+            campaign, Checkpointer(tmp_path, every_steps=2), fault_plan=plan
+        )
+        report = orch.run(3)
+        # a 1-rank campaign has no survivors to fail over to; the
+        # orchestrator ignores the death rather than deadlocking
+        assert report.final_step == 3
+        assert not report.recoveries

@@ -334,3 +334,136 @@ class TestCLI:
         for npz in results:
             with np.load(npz) as arrays:
                 np.testing.assert_array_equal(arrays["divq"], reference.divq)
+
+
+class TestJournal:
+    """The write-ahead request journal and warm restart."""
+
+    def test_record_forget_outstanding(self, tmp_path, registry):
+        from repro.service import RequestJournal
+        from repro.ups import spec_fingerprint
+
+        j = RequestJournal(tmp_path)
+        spec = tiny_spec()
+        fp = spec_fingerprint(spec)
+        j.record(fp, spec)
+        assert len(j) == 1
+        out = j.outstanding()
+        assert len(out) == 1 and out[0] == spec
+        j.forget(fp)
+        assert len(j) == 0 and j.outstanding() == []
+        j.forget(fp)  # idempotent
+
+    def test_corrupt_entry_skipped_and_deleted(self, tmp_path, registry):
+        from repro.service import RequestJournal
+
+        j = RequestJournal(tmp_path)
+        j.record("ab12", tiny_spec())
+        (tmp_path / "cd34.json").write_text("{truncated")
+        out = j.outstanding()
+        assert len(out) == 1
+        assert not (tmp_path / "cd34.json").exists()
+        assert registry.value("service.journal.corrupt") == 1
+
+    def test_settles_through_request_lifecycle(self, tmp_path):
+        cfg = ServiceConfig(workers=1, journal_dir=str(tmp_path))
+        with RadiationService(cfg) as svc:
+            svc.submit(tiny_spec()).result(60)
+            assert len(svc.journal) == 0  # recorded then forgotten
+
+    def test_warm_restart_replays_outstanding(self, tmp_path):
+        """A crashed service's journal entries are re-solved (or served
+        from the preloaded disk cache) by the next incarnation."""
+        from repro.service import RequestJournal
+        from repro.ups import spec_fingerprint
+
+        jdir, cdir = tmp_path / "journal", tmp_path / "cache"
+        solved, unsolved = tiny_spec(seed=1), tiny_spec(seed=2)
+
+        # incarnation 1 solves one spec, then "crashes" with both
+        # journaled (simulate by journaling after the fact)
+        with RadiationService(
+            ServiceConfig(workers=1, cache_dir=str(cdir))
+        ) as first:
+            first.submit(solved).result(60)
+        j = RequestJournal(jdir)
+        j.record(spec_fingerprint(solved), solved)
+        j.record(spec_fingerprint(unsolved), unsolved)
+
+        with RadiationService(
+            ServiceConfig(workers=1, journal_dir=str(jdir), cache_dir=str(cdir))
+        ) as second:
+            report = second.recover_journal()
+            assert report["replayed"] == 2
+            assert report["cache_preloaded"] >= 1
+            results = [h.result(60) for h in report["handles"]]
+            assert any(r.cache_hit for r in results)  # solved came from disk
+            assert len(second.journal) == 0
+
+    def test_queue_reject_rolls_back_journal(self, tmp_path):
+        """A submit bounced by backpressure must not leave a journal
+        entry behind — no promise was made."""
+        cfg = ServiceConfig(workers=1, journal_dir=str(tmp_path))
+        with RadiationService(cfg) as svc:
+
+            def full_queue(pending, timeout=None):
+                raise ServiceError("queue full")
+
+            svc.queue.put = full_queue
+            with pytest.raises(ServiceError, match="queue full"):
+                svc.submit(tiny_spec())
+            assert len(svc.journal) == 0
+
+
+class TestFaultPlanIntegration:
+    """repro.resilience.FaultPlan as the service's fault-injection API."""
+
+    def test_solve_fault_retries_then_succeeds(self, registry):
+        from repro.resilience import FaultPlan, FaultEvent
+        from repro.ups import spec_fingerprint
+
+        spec = tiny_spec()
+        plan = FaultPlan(
+            [FaultEvent(kind="solve-fault", match=spec_fingerprint(spec)[:8])]
+        )
+        with RadiationService(ServiceConfig(workers=1, fault_plan=plan)) as svc:
+            result = svc.submit(spec).result(60)
+        assert result.attempts == 2
+        assert registry.value("service.worker.retries") == 1
+
+    def test_worker_death_routes_to_survivor(self, registry):
+        from repro.resilience import FaultPlan, FaultEvent
+
+        plan = FaultPlan([FaultEvent(kind="worker-death", target=0)])
+        with RadiationService(ServiceConfig(workers=2, fault_plan=plan)) as svc:
+            results = [
+                svc.submit(tiny_spec(seed=s)).result(60) for s in range(4)
+            ]
+        assert all(r.worker == 1 for r in results)
+        assert registry.value("service.worker.deaths", worker=0) == 1
+
+    def test_all_workers_dead_rejected(self):
+        from repro.resilience import FaultPlan, FaultEvent
+
+        plan = FaultPlan(
+            [
+                FaultEvent(kind="worker-death", target=0),
+                FaultEvent(kind="worker-death", target=1),
+            ]
+        )
+        with pytest.raises(ServiceError, match="kills all"):
+            RadiationService(ServiceConfig(workers=2, fault_plan=plan))
+
+    def test_explicit_hook_and_plan_compose(self):
+        from repro.resilience import FaultPlan, FaultEvent
+
+        seen = []
+        plan = FaultPlan([FaultEvent(kind="solve-fault", attempts=1)])
+        cfg = ServiceConfig(
+            workers=1, fault_plan=plan,
+            fault_hook=lambda fp, attempt: seen.append(attempt),
+        )
+        with RadiationService(cfg) as svc:
+            result = svc.submit(tiny_spec()).result(60)
+        assert result.attempts == 2
+        assert seen == [1, 2]  # explicit hook observed both attempts

@@ -131,3 +131,43 @@ class TestCellTypes:
         before = ct.copy()
         mark_intrusion(ct, Box.cube(2, lo=(50, 50, 50)), origin=outer.lo, domain=interior)
         assert np.array_equal(ct, before)
+
+
+class TestRNGStateRoundTrip:
+    """get_state/set_state: the checkpointing contract of util.rng."""
+
+    def test_mid_sequence_round_trip(self):
+        s = RandomStreams(11)
+        s.for_patch(0).random(17)          # advance stream 0 mid-buffer
+        s.for_patch(3, purpose=2).random(5)
+        snap = s.get_state()
+        expect0 = s.for_patch(0).random(8)
+        expect3 = s.for_patch(3, purpose=2).random(8)
+
+        other = RandomStreams(11)
+        other.for_patch(0).random(2)       # different position, overwritten
+        other.set_state(snap)
+        assert np.array_equal(other.for_patch(0).random(8), expect0)
+        assert np.array_equal(other.for_patch(3, purpose=2).random(8), expect3)
+
+    def test_state_is_json_serializable(self):
+        import json
+
+        s = RandomStreams(5)
+        s.for_patch(1).random(3)
+        doc = json.dumps(s.get_state())
+        other = RandomStreams(5)
+        other.set_state(json.loads(doc))
+        assert np.array_equal(other.for_patch(1).random(4), s.for_patch(1).random(4))
+
+    def test_seed_mismatch_rejected(self):
+        from repro.util.errors import ReproError
+
+        snap = RandomStreams(1).get_state()
+        with pytest.raises(ReproError):
+            RandomStreams(2).set_state(snap)
+
+    def test_untouched_streams_not_in_state(self):
+        s = RandomStreams(3)
+        s.for_patch(0)
+        assert list(s.get_state()["streams"]) == ["0,0"]

@@ -1,0 +1,106 @@
+"""E15 — flight-recorder overhead vs the <5% always-on budget.
+
+The crash flight recorder only earns its keep if it can stay on for
+every run, so its cost is a contract, not a curiosity:
+
+* the micro row prices one :meth:`FlightRecorder.record` call (a
+  single ``deque(maxlen)`` append) in nanoseconds;
+* the macro rows run the same instrumented 2-rank simulation once with
+  the real recorder and once with a no-op recorder, and report the
+  end-to-end overhead as a percentage — the number EXPERIMENTS E15
+  holds against the 5% budget.
+
+Results land in ``BENCH_flightrec_overhead.json``.
+"""
+
+import time
+
+import pytest
+
+from repro.perf.flightrec import FlightRecorder, set_flight_recorder
+from repro.perf.profile import run_profile
+from repro.perf import write_bench_artifact
+
+OVERHEAD_BUDGET_PCT = 5.0
+REPEATS = 3
+
+
+@pytest.fixture(scope="module")
+def artifact_rows():
+    rows = []
+    yield rows
+    write_bench_artifact(
+        "flightrec_overhead",
+        params={"budget_pct": OVERHEAD_BUDGET_PCT, "repeats": REPEATS,
+                "capacity": 4096},
+        rows=rows,
+    )
+
+
+class _NoopRecorder(FlightRecorder):
+    """The control arm: same interface, no ring append."""
+
+    def record(self, kind, name, rank=None, **data):
+        pass
+
+
+def test_record_call_cost(benchmark, artifact_rows):
+    rec = FlightRecorder(capacity=4096)
+
+    def burst():
+        for i in range(1000):
+            rec.record("task", "bench", rank=0, dur_s=0.001, i=i)
+
+    benchmark(burst)
+    ns_per_record = benchmark.stats.stats.mean * 1e9 / 1000
+    artifact_rows.append({
+        "arm": "micro",
+        "ns_per_record": ns_per_record,
+        "mean_s": benchmark.stats.stats.mean,
+    })
+    # one ring append must stay far below a task execution (~ms)
+    assert ns_per_record < 50_000
+
+
+def _timed_run(tmp_path, tag):
+    t0 = time.perf_counter()
+    run_profile(
+        steps=1,
+        resolution=12,
+        rays_per_cell=2,
+        num_ranks=2,
+        trace_path=str(tmp_path / f"trace_{tag}.json"),
+        metrics_path=str(tmp_path / f"metrics_{tag}.json"),
+    )
+    return time.perf_counter() - t0
+
+
+def test_end_to_end_overhead_within_budget(artifact_rows, tmp_path):
+    recording, disabled = [], []
+    for i in range(REPEATS):
+        previous = set_flight_recorder(FlightRecorder(capacity=4096))
+        try:
+            recording.append(_timed_run(tmp_path, f"on{i}"))
+        finally:
+            set_flight_recorder(previous)
+        previous = set_flight_recorder(_NoopRecorder(capacity=4096))
+        try:
+            disabled.append(_timed_run(tmp_path, f"off{i}"))
+        finally:
+            set_flight_recorder(previous)
+    # min-of-N is the standard noise filter for wall-clock comparisons
+    on, off = min(recording), min(disabled)
+    overhead_pct = max(0.0, (on - off) / off * 100.0)
+    artifact_rows.append({
+        "arm": "recording", "mean_s": sum(recording) / REPEATS,
+        "best_s": on,
+    })
+    artifact_rows.append({
+        "arm": "disabled", "mean_s": sum(disabled) / REPEATS,
+        "best_s": off,
+    })
+    artifact_rows.append({"arm": "overhead", "overhead_pct": overhead_pct})
+    assert overhead_pct < OVERHEAD_BUDGET_PCT, (
+        f"flight recorder costs {overhead_pct:.2f}% "
+        f"(budget {OVERHEAD_BUDGET_PCT}%)"
+    )

@@ -15,6 +15,14 @@ against a spool directory; ``python -m repro submit file.ups ...``
 pushes requests through it (in-process, or cross-process via
 ``--spool``). See :mod:`repro.service.cli`.
 
+``python -m repro status --spool DIR`` renders the service's SLO
+dashboard (p50/p95/p99, error-budget burn, breaches) one-shot or with
+``--watch``.
+
+``python -m repro perfgate`` compares fresh ``BENCH_<name>.json``
+artifacts against the committed baselines in ``benchmarks/baselines/``
+and fails on regression. See :mod:`repro.perf.baseline`.
+
 ``python -m repro check [lint|graph|races|leaks|all]`` runs the
 correctness tooling — the CI gate. See :mod:`repro.check.cli`.
 
@@ -106,6 +114,18 @@ def _run_profile(argv) -> int:
     parser.add_argument(
         "--metrics", default="metrics.json", help="metrics snapshot output path"
     )
+    parser.add_argument(
+        "--merge",
+        action="store_true",
+        help="write per-rank trace files and stitch them into one "
+        "cross-rank trace with send/recv flow arrows",
+    )
+    parser.add_argument(
+        "--rank-trace-dir",
+        default=None,
+        help="directory for the per-rank trace files (default: next to "
+        "the --trace output)",
+    )
     args = parser.parse_args(argv)
 
     try:
@@ -118,6 +138,8 @@ def _run_profile(argv) -> int:
             seed=args.seed,
             trace_path=args.trace,
             metrics_path=args.metrics,
+            merge=args.merge,
+            rank_trace_dir=args.rank_trace_dir,
         )
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -138,6 +160,14 @@ def main(argv=None) -> int:
         from repro.service.cli import cmd_submit
 
         return cmd_submit(argv[1:])
+    if argv and argv[0] == "status":
+        from repro.service.cli import cmd_status
+
+        return cmd_status(argv[1:])
+    if argv and argv[0] == "perfgate":
+        from repro.perf.baseline import main as perfgate_main
+
+        return perfgate_main(argv[1:])
     if argv and argv[0] == "check":
         from repro.check.cli import run_check
 

@@ -17,6 +17,7 @@ from typing import Union
 from repro.comm.pool_locked import LockedVectorCommPool
 from repro.comm.pool_waitfree import WaitFreeCommPool
 from repro.comm.request import BufferLedger, CommNode
+from repro.perf import tracectx
 from repro.runtime.mpi import SimMPI
 from repro.util.errors import CommError
 
@@ -121,8 +122,13 @@ def run_comm_workload(
         pool.insert(CommNode(req, nbytes=payload_bytes))
 
     def sender() -> None:
+        # one causal trace for the whole workload, a child hop per
+        # message — lets the pools' ctx_propagated counter verify that
+        # every retired request still carried its sender's context
+        root = tracectx.new_trace()
         for i in range(num_messages):
-            send_comm.isend(payload, dest=0, tag=i)
+            with tracectx.use(root.child()):
+                send_comm.isend(payload, dest=0, tag=i)
 
     def worker() -> None:
         while pool.processed < num_messages:

@@ -75,6 +75,7 @@ class LockedVectorCommPool(PoolStatsMixin):
     def _process_safe(self) -> int:
         done = 0
         scanned = 0
+        traced = 0
         with self._lock:
             remaining: List[CommNode] = []
             for node in self._nodes:
@@ -84,6 +85,8 @@ class LockedVectorCommPool(PoolStatsMixin):
                     self.ledger.allocate(node.nbytes)
                     if node.finish_communication(self.ledger):
                         done += 1
+                        if node.ctx is not None:
+                            traced += 1
                     remaining.append(None)  # erased
                 else:
                     remaining.append(node)
@@ -91,6 +94,7 @@ class LockedVectorCommPool(PoolStatsMixin):
         with self._stats_lock:
             self.processed += done
             self.stats.retired += done
+            self.stats.ctx_propagated += traced
             self.stats.slot_scans += scanned
             self.stats.passes += 1
         return done
@@ -114,6 +118,9 @@ class LockedVectorCommPool(PoolStatsMixin):
                     time.sleep(0)  # yield: the unpack window
                 if node.finish_communication(self.ledger):
                     done += 1
+                    if node.ctx is not None:
+                        with self._stats_lock:
+                            self.stats.ctx_propagated += 1
                     with self._lock:
                         try:
                             self._nodes.remove(node)

@@ -192,6 +192,7 @@ class WaitFreeCommPool(PoolStatsMixin):
         finishCommunication -> erase. Returns how many THIS call
         processed."""
         done = 0
+        traced = 0
         while True:
             it = self.find_any(lambda node: node.test())
             if it is None:
@@ -203,11 +204,14 @@ class WaitFreeCommPool(PoolStatsMixin):
                     "wait-free pool double-processed a record — unique "
                     "iterator invariant violated"
                 )
+            if node.ctx is not None:
+                traced += 1
             it.erase()
             done += 1
         with self._stats_lock:
             self.processed += done
             self.stats.retired += done
+            self.stats.ctx_propagated += traced
             self.stats.passes += 1
         return done
 

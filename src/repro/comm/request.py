@@ -96,3 +96,10 @@ class CommNode:
     @property
     def finished(self) -> bool:
         return self._finished
+
+    @property
+    def ctx(self):
+        """The sender's causal trace context, if the underlying request
+        carried one (see :mod:`repro.perf.tracectx`); pools count these
+        so causal coverage is measurable."""
+        return getattr(self.request, "ctx", None)

@@ -28,6 +28,9 @@ class PoolStats:
     passes: int = 0
     #: capacity growth events
     grows: int = 0
+    #: retired requests whose message carried a causal trace context
+    #: (repro.perf.tracectx) — the pool's causal-coverage measure
+    ctx_propagated: int = 0
 
     def as_dict(self) -> dict:
         return asdict(self)

@@ -1,0 +1,175 @@
+"""The crash flight recorder: always-on, fixed-size, dump-on-failure.
+
+When a 16k-rank run dies, the trace you wish you had is the one nobody
+was recording. The flight recorder closes that gap the way an
+aircraft's does: a fixed-size ring buffer of the most recent spans and
+metric deltas per rank, cheap enough to leave on for every run, read
+only after something goes wrong.
+
+Design constraints, in order:
+
+* **Always on** — recording must cost well under 5% of runtime with
+  tracing otherwise disabled (EXPERIMENTS E15 measures this).
+  Recording one entry is a single ``deque.append`` on a
+  ``deque(maxlen=N)``, which CPython performs atomically under the GIL
+  — no lock on the hot path, which is what "lock-free" buys here.
+* **Bounded** — the ring holds the last ``capacity`` entries and
+  silently overwrites the oldest; memory is fixed for the life of the
+  process no matter how long the run.
+* **Postmortem-first** — :meth:`FlightRecorder.dump` writes
+  ``flightrec_rank<k>.json`` atomically, so the file is parseable even
+  if the process dies immediately after (or during a second dump).
+
+Feeds: components call :meth:`record` directly at integration points
+(task start/finish, checkpoint, recovery events), and the recorder is
+also attachable as a :class:`~repro.perf.tracer.SpanTracer` sink so an
+*enabled* tracer mirrors every span into the ring for free.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from collections import deque
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro.util.errors import PerfError
+
+
+class FlightRecorder:
+    """A per-rank ring buffer of recent runtime entries.
+
+    One recorder instance covers one process by default (``rank`` keys
+    partition the ring only at dump time, so a simulated many-rank run
+    can share a single recorder and still produce per-rank
+    postmortems).
+    """
+
+    def __init__(self, capacity: int = 4096, rank: Optional[int] = None) -> None:
+        if capacity < 1:
+            raise PerfError(f"flight recorder capacity must be >= 1, got {capacity}")
+        self.capacity = int(capacity)
+        self.rank = rank
+        self._t0 = time.perf_counter()
+        # deque(maxlen) appends are atomic in CPython: the hot path is
+        # one bound-method call, no lock, no allocation beyond the entry
+        self._ring: deque = deque(maxlen=self.capacity)
+        self._dropped_hint = 0  # entries recorded (ring length saturates)
+
+    # ------------------------------------------------------------------
+    # recording
+    # ------------------------------------------------------------------
+    def record(self, kind: str, name: str, rank: Optional[int] = None, **data) -> None:
+        """Append one entry; overwrites the oldest when full."""
+        self._ring.append(
+            {
+                "t": time.perf_counter() - self._t0,
+                "kind": kind,
+                "name": name,
+                "rank": self.rank if rank is None else rank,
+                **data,
+            }
+        )
+        self._dropped_hint += 1
+
+    def sink(self, event: dict) -> None:
+        """A :meth:`SpanTracer.add_sink` adapter: mirror trace events
+        into the ring (tid doubles as the rank for scheduler threads)."""
+        self._ring.append(
+            {
+                "t": time.perf_counter() - self._t0,
+                "kind": "span",
+                "name": event.get("name"),
+                "rank": event.get("tid"),
+                "ph": event.get("ph"),
+                "ts_us": event.get("ts"),
+                "dur_us": event.get("dur"),
+                "args": event.get("args"),
+            }
+        )
+        self._dropped_hint += 1
+
+    # ------------------------------------------------------------------
+    # inspection & postmortem
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    @property
+    def recorded_total(self) -> int:
+        """Entries ever recorded (>= len(): the excess was overwritten)."""
+        return self._dropped_hint
+
+    def entries(self, rank: Optional[int] = None) -> List[dict]:
+        """A snapshot of the ring, oldest first, optionally one rank's.
+
+        Rank-less entries (controller events, crash markers) are
+        process-wide and show up in *every* rank's filtered view — a
+        postmortem without the crash marker would be useless."""
+        snapshot = list(self._ring)
+        if rank is None:
+            return snapshot
+        return [e for e in snapshot if e.get("rank") in (rank, None)]
+
+    def clear(self) -> None:
+        self._ring.clear()
+
+    def dump(
+        self,
+        directory=".",
+        rank: Optional[int] = None,
+        reason: str = "unspecified",
+    ) -> Path:
+        """Write one ``flightrec_rank<k>.json`` postmortem atomically.
+
+        ``rank=None`` dumps the whole ring as the recorder's own rank
+        (or rank 0); a specific ``rank`` dumps only that rank's entries
+        — what the recovery orchestrator calls for each lost rank.
+        """
+        from repro.util.atomic import atomic_write_text
+
+        label = rank if rank is not None else (self.rank if self.rank is not None else 0)
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        path = directory / f"flightrec_rank{label}.json"
+        entries = self.entries(rank=rank)
+        payload = {
+            "rank": label,
+            "reason": reason,
+            "capacity": self.capacity,
+            "recorded_total": self.recorded_total,
+            "entries_in_dump": len(entries),
+            "wall_time_s": time.perf_counter() - self._t0,
+            "entries": entries,
+        }
+        atomic_write_text(path, json.dumps(payload, indent=1, default=str) + "\n")
+        return path
+
+    def dump_all_ranks(self, directory=".", reason: str = "unspecified") -> Dict[int, Path]:
+        """One postmortem per rank seen in the ring (plus the recorder's
+        own rank if set); the crash-site sweep."""
+        ranks = sorted(
+            {e.get("rank") for e in self.entries() if isinstance(e.get("rank"), int)}
+        )
+        if not ranks:
+            ranks = [self.rank if self.rank is not None else 0]
+        return {r: self.dump(directory, rank=r, reason=reason) for r in ranks}
+
+
+# ----------------------------------------------------------------------
+# the process-wide default recorder: always on, fixed cost
+# ----------------------------------------------------------------------
+_global_recorder = FlightRecorder()
+
+
+def get_flight_recorder() -> FlightRecorder:
+    return _global_recorder
+
+
+def set_flight_recorder(recorder: FlightRecorder) -> FlightRecorder:
+    """Swap the default recorder; returns the previous one."""
+    global _global_recorder
+    previous = _global_recorder
+    _global_recorder = recorder
+    return previous

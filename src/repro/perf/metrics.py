@@ -145,6 +145,34 @@ class Histogram(Metric):
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def quantile(self, q: float) -> Optional[float]:
+        """Estimate the ``q``-quantile by linear interpolation within
+        the bucket holding the target rank (the Prometheus
+        ``histogram_quantile`` scheme).
+
+        Resolution is bucket-bounded by construction; the estimate is
+        clamped to the observed ``[min, max]`` so sparse tails cannot
+        report values outside the data. None when empty.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise PerfError(f"quantile q must be in [0, 1], got {q}")
+        with self._lock:
+            if not self.count:
+                return None
+            target = q * self.count
+            cumulative = 0
+            lo = 0.0
+            for bound, in_bucket in zip(self.bounds, self.bucket_counts):
+                if cumulative + in_bucket >= target and in_bucket:
+                    frac = (target - cumulative) / in_bucket
+                    value = lo + frac * (bound - lo)
+                    return min(max(value, self.min), self.max)
+                cumulative += in_bucket
+                lo = bound
+            # target lies in the overflow bucket: best upper estimate
+            # is the observed maximum
+            return self.max
+
     def as_dict(self) -> dict:
         return {
             "name": self.name,
@@ -154,6 +182,9 @@ class Histogram(Metric):
             "mean": self.mean,
             "min": self.min if self.count else None,
             "max": self.max if self.count else None,
+            "p50": self.quantile(0.50),
+            "p95": self.quantile(0.95),
+            "p99": self.quantile(0.99),
             "buckets": [
                 {"le": b, "count": c}
                 for b, c in zip(self.bounds, self.bucket_counts)
@@ -264,10 +295,14 @@ class MetricsRegistry:
         return out
 
     def write(self, path) -> None:
-        """Dump all series as a ``metrics.json`` document."""
-        with open(path, "w") as fh:
-            json.dump(self.as_dict(), fh, indent=2, sort_keys=True)
-            fh.write("\n")
+        """Dump all series as a ``metrics.json`` document, atomically
+        (write-then-rename), so concurrent readers never see a torn
+        snapshot."""
+        from repro.util.atomic import atomic_write_text
+
+        atomic_write_text(
+            path, json.dumps(self.as_dict(), indent=2, sort_keys=True) + "\n"
+        )
 
 
 # ----------------------------------------------------------------------

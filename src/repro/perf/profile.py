@@ -36,8 +36,18 @@ def run_profile(
     seed: int = 0,
     trace_path: Optional[str] = "trace.json",
     metrics_path: Optional[str] = "metrics.json",
+    merge: bool = False,
+    rank_trace_dir: Optional[str] = None,
 ) -> dict:
     """Run ``steps`` instrumented timesteps; write the two artifacts.
+
+    With ``merge=True`` the recording is additionally split into
+    per-rank trace files (``trace_rank<k>.json`` under
+    ``rank_trace_dir``, default: alongside ``trace_path``) — what a
+    real one-file-per-MPI-rank run would have produced — and then
+    stitched back through :func:`repro.perf.merge.merge_traces`, so
+    ``trace_path`` holds the *merged* trace with cross-rank flow
+    arrows, and the summary carries the merge/connectivity stats.
 
     Returns a summary dict: the artifact paths, event/metric counts,
     and the across-rank runtime-stats reduction of the last step.
@@ -102,7 +112,23 @@ def run_profile(
         set_tracer(prev_tracer)
         set_metrics(prev_metrics)
 
-    if trace_path is not None:
+    merge_stats = None
+    rank_trace_paths: list = []
+    if merge and trace_path is not None:
+        from pathlib import Path
+
+        from repro.perf.merge import merge_traces, write_rank_traces
+
+        directory = (
+            Path(rank_trace_dir)
+            if rank_trace_dir is not None
+            else (Path(trace_path).parent or Path("."))
+        )
+        rank_trace_paths = write_rank_traces(
+            tracer.events(), num_ranks, directory=directory
+        )
+        _, merge_stats = merge_traces(rank_trace_paths, out_path=trace_path)
+    elif trace_path is not None:
         tracer.write(trace_path)
     if metrics_path is not None:
         metrics.write(metrics_path)
@@ -112,6 +138,8 @@ def run_profile(
     return {
         "trace_path": trace_path,
         "metrics_path": metrics_path,
+        "merge_stats": merge_stats,
+        "rank_trace_paths": [str(p) for p in rank_trace_paths],
         "steps": steps,
         "num_ranks": num_ranks,
         "events": len(events),
@@ -136,6 +164,12 @@ def format_summary(summary: dict) -> str:
         f"({summary['task_spans']} task spans) -> {summary['trace_path']}",
         f"  {summary['metrics']} metric series -> {summary['metrics_path']}",
     ]
+    ms = summary.get("merge_stats")
+    if ms:
+        lines.append(
+            f"  merged {ms['files']} per-rank traces: {ms['flow_pairs']} "
+            f"send/recv flow pairs, {ms['connected_fraction']:.0%} connected"
+        )
     stats = {
         d["name"]: StatSummary(**{k: v for k, v in d.items() if k != "imbalance"})
         for d in summary["runtime_stats"]

@@ -1,0 +1,134 @@
+"""Causal trace context: one id that follows a request everywhere.
+
+The paper's team found its headline bugs by asking *where did this
+message come from* — a question per-rank timelines alone cannot
+answer. A :class:`TraceContext` is the answer carried in-band: a
+``trace_id`` minted where work originates (a task execution, a service
+submission), a ``span_id`` for the current hop, and the parent's span
+id, propagated
+
+* through the simulated MPI fabric — :meth:`Communicator.isend
+  <repro.runtime.mpi.Communicator.isend>` stamps the ambient context
+  onto every message and the receive side reads it back, so a ``recv``
+  span on rank 3 carries the ``trace_id`` of the ``send`` on rank 0
+  that caused it;
+* through the service path — a :class:`~repro.service.schema
+  .SolveRequest` captures the submitter's context, and the worker that
+  eventually traces the rays re-enters it, so client, queue, batcher,
+  worker, and cache spans share one trace.
+
+Propagation is thread-local and explicit: :func:`use` installs a
+context for a block, :func:`current` reads it, and an enabled
+:class:`~repro.perf.tracer.SpanTracer` stamps ``trace_id``/``span_id``
+onto every span recorded while a context is active. No context means
+no stamping — zero cost for uninstrumented runs.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+# process-unique prefix so ids from different processes (the service's
+# process backend, spool workers) never collide when traces merge
+_PREFIX = f"{os.getpid() & 0xFFFF:04x}"
+_ids = itertools.count(1)
+_local = threading.local()
+
+
+def _next_id() -> str:
+    return f"{_PREFIX}-{next(_ids):08x}"
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """One hop of one causal trace (immutable; children share trace_id)."""
+
+    trace_id: str
+    span_id: str
+    parent_id: Optional[str] = None
+
+    def child(self) -> "TraceContext":
+        """A new hop in the same trace, parented to this one."""
+        return TraceContext(
+            trace_id=self.trace_id, span_id=_next_id(), parent_id=self.span_id
+        )
+
+    def as_dict(self) -> dict:
+        return {
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "TraceContext":
+        return cls(
+            trace_id=str(d["trace_id"]),
+            span_id=str(d["span_id"]),
+            parent_id=d.get("parent_id"),
+        )
+
+
+def new_trace() -> TraceContext:
+    """Mint a fresh root context (a new causal chain starts here)."""
+    return TraceContext(trace_id=_next_id(), span_id=_next_id(), parent_id=None)
+
+
+def child_or_new(ctx: Optional[TraceContext] = None) -> TraceContext:
+    """Continue ``ctx`` (or the ambient context) if there is one,
+    otherwise start a new trace — the standard entry-point idiom."""
+    base = ctx if ctx is not None else current()
+    return base.child() if base is not None else new_trace()
+
+
+def _stack() -> list:
+    stack = getattr(_local, "stack", None)
+    if stack is None:
+        stack = _local.stack = []
+    return stack
+
+
+def current() -> Optional[TraceContext]:
+    """The calling thread's active context (None when outside any)."""
+    stack = getattr(_local, "stack", None)
+    return stack[-1] if stack else None
+
+
+@contextmanager
+def use(ctx: Optional[TraceContext]) -> Iterator[Optional[TraceContext]]:
+    """Install ``ctx`` as the thread's active context for the block.
+
+    ``None`` is a no-op passthrough so call sites never need their own
+    guard (``with use(request.ctx): ...`` works whether or not the
+    request carried one).
+    """
+    if ctx is None:
+        yield None
+        return
+    stack = _stack()
+    stack.append(ctx)
+    try:
+        yield ctx
+    finally:
+        stack.pop()
+
+
+def stamp(args: dict, ctx: Optional[TraceContext] = None) -> dict:
+    """Merge a context's ids into a span's args (ambient by default).
+
+    Existing keys win — a span that explicitly recorded the *sender's*
+    trace id (a recv span) must not have it overwritten by the
+    receiver's own ambient context.
+    """
+    c = ctx if ctx is not None else current()
+    if c is not None:
+        args.setdefault("trace_id", c.trace_id)
+        args.setdefault("span_id", c.span_id)
+        if c.parent_id is not None:
+            args.setdefault("parent_span_id", c.parent_id)
+    return args

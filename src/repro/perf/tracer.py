@@ -13,6 +13,22 @@ easiest to validate: every event has ``name``, ``ph``, ``ts``, ``pid``,
 ``tid``. Simulated timelines (:mod:`repro.dessim.tracesim`) inject
 their events through :meth:`SpanTracer.complete` so measured and
 modelled runs share one file format.
+
+Observability v2 additions:
+
+* **Causal stamping** — while a :mod:`repro.perf.tracectx` context is
+  active on the recording thread, every span's args carry its
+  ``trace_id``/``span_id``, so cross-rank and cross-component spans of
+  one causal chain are joinable after the fact.
+* **Flow events** — :meth:`flow_start` / :meth:`flow_finish` emit
+  Chrome ``ph: "s"`` / ``ph: "f"`` events; when a send's flow-start and
+  the matching recv's flow-finish share an ``id``, the trace viewer
+  draws the message arrow between ranks
+  (:func:`repro.perf.merge.merge_traces` stitches per-rank files).
+* **Sinks** — every recorded event is also offered to registered sink
+  callables (the flight recorder's ring buffer subscribes here). The
+  internal event list is append-atomic under a lock, so concurrent
+  worker threads can never tear or lose events.
 """
 
 from __future__ import annotations
@@ -21,8 +37,9 @@ import json
 import threading
 import time
 from contextlib import contextmanager
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional
 
+from repro.perf import tracectx
 from repro.util.errors import PerfError
 
 
@@ -35,21 +52,33 @@ class SpanTracer:
     pins rank threads to ``tid == rank``). A disabled tracer turns
     every call into a cheap no-op so instrumentation can stay wired in
     permanently.
+
+    ``t0`` (a ``time.perf_counter()`` reading) anchors the timestamp
+    origin; tracers sharing one ``t0`` produce directly comparable
+    timelines, which is how per-rank trace files stay alignable for
+    :func:`~repro.perf.merge.merge_traces`.
     """
 
-    def __init__(self, enabled: bool = True, pid: int = 0) -> None:
+    def __init__(
+        self, enabled: bool = True, pid: int = 0, t0: Optional[float] = None
+    ) -> None:
         self.enabled = bool(enabled)
         self.pid = int(pid)
-        self._t0 = time.perf_counter()
+        self._t0 = time.perf_counter() if t0 is None else float(t0)
         self._events: List[dict] = []
         self._lock = threading.Lock()
         self._local = threading.local()
         self._tids: Dict[int, int] = {}
         self._next_tid = 0
+        self._sinks: List[Callable[[dict], None]] = []
 
     # ------------------------------------------------------------------
     # time & thread bookkeeping
     # ------------------------------------------------------------------
+    @property
+    def t0(self) -> float:
+        return self._t0
+
     def _now_us(self) -> float:
         return (time.perf_counter() - self._t0) * 1e6
 
@@ -90,17 +119,46 @@ class SpanTracer:
                 }
             )
 
+    # ------------------------------------------------------------------
+    # the event sink
+    # ------------------------------------------------------------------
+    def add_sink(self, sink: Callable[[dict], None]) -> None:
+        """Subscribe ``sink(event)`` to every event this tracer records
+        (the flight recorder's feed). Sinks must be cheap and
+        thread-safe; they run on the recording thread."""
+        with self._lock:
+            if sink not in self._sinks:
+                self._sinks.append(sink)
+
+    def remove_sink(self, sink: Callable[[dict], None]) -> None:
+        with self._lock:
+            if sink in self._sinks:
+                self._sinks.remove(sink)
+
     def _emit(self, event: dict) -> None:
+        # append under the lock — concurrent emitters may interleave in
+        # order but can never lose or tear an event — then offer the
+        # event to sinks outside it, so a slow sink cannot serialize
+        # every recording thread.
         with self._lock:
             self._events.append(event)
+            sinks = tuple(self._sinks)
+        for sink in sinks:
+            sink(event)
 
     # ------------------------------------------------------------------
     # spans
     # ------------------------------------------------------------------
     def begin(self, name: str, cat: str = "", **args) -> None:
-        """Open a span on the calling thread's stack."""
+        """Open a span on the calling thread's stack.
+
+        The thread's active :mod:`~repro.perf.tracectx` context (if
+        any) is captured here, at entry — the span belongs to the
+        causal chain that *started* it even if the context is popped
+        before the span closes."""
         if not self.enabled:
             return
+        tracectx.stamp(args)
         self._stack().append((name, cat, args, self._now_us()))
 
     def end(self, name: Optional[str] = None) -> None:
@@ -148,6 +206,7 @@ class SpanTracer:
         """A zero-duration marker (Chrome 'instant' event)."""
         if not self.enabled:
             return
+        tracectx.stamp(args)
         event = {
             "name": name,
             "ph": "i",
@@ -190,6 +249,54 @@ class SpanTracer:
         self._emit(event)
 
     # ------------------------------------------------------------------
+    # flow events (message arrows across timeline rows)
+    # ------------------------------------------------------------------
+    def flow_start(
+        self, flow_id, name: str = "msg", cat: str = "comm",
+        tid: Optional[int] = None, **args
+    ) -> None:
+        """The producing end of a flow (Chrome ``ph: "s"``); emit inside
+        the send span so the arrow leaves the right box."""
+        if not self.enabled:
+            return
+        tracectx.stamp(args)
+        event = {
+            "name": name,
+            "ph": "s",
+            "id": str(flow_id),
+            "ts": self._now_us(),
+            "pid": self.pid,
+            "tid": self._tid() if tid is None else int(tid),
+            "cat": cat,
+        }
+        if args:
+            event["args"] = args
+        self._emit(event)
+
+    def flow_finish(
+        self, flow_id, name: str = "msg", cat: str = "comm",
+        tid: Optional[int] = None, **args
+    ) -> None:
+        """The consuming end of a flow (Chrome ``ph: "f"``, binding to
+        the enclosing slice); emit where the message is processed."""
+        if not self.enabled:
+            return
+        tracectx.stamp(args)
+        event = {
+            "name": name,
+            "ph": "f",
+            "bp": "e",
+            "id": str(flow_id),
+            "ts": self._now_us(),
+            "pid": self.pid,
+            "tid": self._tid() if tid is None else int(tid),
+            "cat": cat,
+        }
+        if args:
+            event["args"] = args
+        self._emit(event)
+
+    # ------------------------------------------------------------------
     # inspection & export
     # ------------------------------------------------------------------
     def open_spans(self) -> int:
@@ -212,9 +319,11 @@ class SpanTracer:
         return self.events()
 
     def write(self, path) -> None:
-        with open(path, "w") as fh:
-            json.dump(self.to_chrome_trace(), fh, indent=1)
-            fh.write("\n")
+        """Export to ``path`` atomically (write-then-rename), so a
+        reader — or a crash mid-export — never sees a torn trace."""
+        from repro.util.atomic import atomic_write_text
+
+        atomic_write_text(path, json.dumps(self.to_chrome_trace(), indent=1) + "\n")
 
 
 # ----------------------------------------------------------------------

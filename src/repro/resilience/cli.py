@@ -170,7 +170,12 @@ def cmd_drill(argv) -> int:
         )
         campaign = _make_campaign(args, num_ranks=args.ranks)
         ckpt = Checkpointer(ckpt_dir, every_steps=args.every)
-        orchestrator = RecoveryOrchestrator(campaign, ckpt, plan)
+        # postmortems go next to the report, not into the (possibly
+        # temporary) checkpoint dir — they must survive the drill
+        orchestrator = RecoveryOrchestrator(
+            campaign, ckpt, plan,
+            flightrec_dir=str(Path(args.report).resolve().parent),
+        )
         report = orchestrator.run(args.steps)
         recovered = campaign.emissive
         identical = bool(

@@ -34,6 +34,7 @@ from repro.dw.label import cc, per_level, reduction
 from repro.dw.variables import CCVariable, ReductionVariable
 from repro.grid.celltype import CellType
 from repro.grid.loadbalance import LoadBalancer, compact_ranks, reassign_on_failure
+from repro.perf.flightrec import get_flight_recorder
 from repro.radiation.benchmark import BurnsChristonBenchmark
 from repro.resilience.checkpoint import Checkpointer
 from repro.resilience.faultplan import FaultEvent, FaultPlan
@@ -276,6 +277,8 @@ class DrillReport:
     chunk_faults: List[dict] = field(default_factory=list)
     recoveries: List[RecoveryEvent] = field(default_factory=list)
     final_step: int = 0
+    #: flight-recorder postmortems written for killed ranks
+    flightrec_dumps: List[str] = field(default_factory=list)
 
     def as_dict(self) -> dict:
         return {
@@ -286,6 +289,7 @@ class DrillReport:
             "chunk_faults": self.chunk_faults,
             "recoveries": [r.as_dict() for r in self.recoveries],
             "final_step": self.final_step,
+            "flightrec_dumps": self.flightrec_dumps,
         }
 
 
@@ -304,11 +308,19 @@ class RecoveryOrchestrator:
         campaign: RadiationCampaign,
         checkpointer: Checkpointer,
         fault_plan: Optional[FaultPlan] = None,
+        flightrec_dir: Optional[str] = None,
     ) -> None:
         self.campaign = campaign
         self.checkpointer = checkpointer
         self.plan = fault_plan if fault_plan is not None else FaultPlan()
         self._fired: set = set()
+        #: where rank-death postmortems land (None = next to the
+        #: checkpoint store)
+        self.flightrec_dir = (
+            flightrec_dir if flightrec_dir is not None else str(checkpointer.root)
+        )
+        #: flightrec_rank<k>.json paths written by recoveries this run
+        self.flightrec_dumps: List[str] = []
 
     # ------------------------------------------------------------------
     def run(self, num_steps: int) -> DrillReport:
@@ -348,6 +360,7 @@ class RecoveryOrchestrator:
                 report.checkpoints_saved += 1
         report.final_step = campaign.step
         report.final_ranks = campaign.num_ranks
+        report.flightrec_dumps = list(self.flightrec_dumps)
         return report
 
     # ------------------------------------------------------------------
@@ -361,6 +374,18 @@ class RecoveryOrchestrator:
         dead = sorted({int(r) % campaign.num_ranks for r in plan_targets})
         if len(dead) >= campaign.num_ranks:
             dead = dead[: campaign.num_ranks - 1]
+        # the black box comes off the wreck first: dump each killed
+        # rank's recent history before its entries age out of the ring
+        recorder = get_flight_recorder()
+        recorder.record(
+            "failure", "rank-death", step=at_step, dead_ranks=list(dead)
+        )
+        for r in dead:
+            path = recorder.dump(
+                self.flightrec_dir, rank=r,
+                reason=f"rank {r} killed at step {at_step}",
+            )
+            self.flightrec_dumps.append(str(path))
         rehoming = campaign.lose_ranks(dead)
         t = Timer("restore")
         with t:

@@ -18,6 +18,7 @@ from dataclasses import dataclass
 from typing import List, Optional
 
 from repro.dw.datawarehouse import DataWarehouse, DataWarehouseManager
+from repro.perf.flightrec import get_flight_recorder
 from repro.perf.tracer import SpanTracer, get_tracer
 from repro.runtime.scheduler import SerialScheduler
 from repro.runtime.taskgraph import CompiledGraph
@@ -69,6 +70,9 @@ class SimulationController:
         self.time = 0.0
         self.step = 0
         self._initialized = False
+        #: where advance() writes flight-recorder postmortems when a
+        #: timestep dies with an unhandled exception
+        self.flightrec_dir = "."
 
     @classmethod
     def restart(
@@ -121,14 +125,30 @@ class SimulationController:
             raise SchedulerError("dt must be positive")
         self.dw_manager.advance()
         tracer = self.tracer if self.tracer is not None else get_tracer()
-        with self.timers("timestep"), tracer.span(
-            f"timestep {self.step + 1}", cat="controller", step=self.step + 1
-        ):
-            self.scheduler.execute(
-                self.graph,
-                old_dw=self.dw_manager.old_dw,
-                new_dw=self.dw_manager.new_dw,
+        recorder = get_flight_recorder()
+        recorder.record("controller", "timestep.begin", step=self.step + 1)
+        try:
+            with self.timers("timestep"), tracer.span(
+                f"timestep {self.step + 1}", cat="controller", step=self.step + 1
+            ):
+                self.scheduler.execute(
+                    self.graph,
+                    old_dw=self.dw_manager.old_dw,
+                    new_dw=self.dw_manager.new_dw,
+                )
+        except BaseException as exc:  # repro: allow(overbroad-except) — postmortem then re-raise
+            # the postmortem the flight recorder exists for: dump the
+            # recent-history ring before the exception unwinds the run
+            recorder.record(
+                "crash", type(exc).__name__, step=self.step + 1, error=str(exc)
             )
+            recorder.dump_all_ranks(
+                self.flightrec_dir,
+                reason=f"unhandled {type(exc).__name__} in timestep "
+                f"{self.step + 1}: {exc}",
+            )
+            raise
+        recorder.record("controller", "timestep.end", step=self.step + 1)
         self.time += dt
         self.step += 1
         self.reports.append(

@@ -25,6 +25,7 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
+from repro.perf import tracectx
 from repro.util.errors import CommError
 
 ANY_SOURCE = -1
@@ -48,6 +49,9 @@ class Message:
     data: Any
     nbytes: int
     seq: int  # global posting order, for deterministic FIFO matching
+    #: causal trace context stamped by the sender (perf.tracectx);
+    #: rides the fabric so the receive side can attribute the message
+    ctx: Optional[object] = None
 
 
 class Request:
@@ -90,6 +94,8 @@ class RecvRequest(Request):
         self.matched_source: Optional[int] = None
         self.matched_tag: Optional[int] = None
         self.nbytes: int = 0
+        #: the sender's trace context, populated at delivery
+        self.ctx: Optional[object] = None
 
     def _matches(self, msg: Message) -> bool:
         return (self.source in (ANY_SOURCE, msg.source)) and (
@@ -100,6 +106,7 @@ class RecvRequest(Request):
         self.matched_source = msg.source
         self.matched_tag = msg.tag
         self.nbytes = msg.nbytes
+        self.ctx = msg.ctx
         self._finish(msg.data)
 
 
@@ -308,6 +315,7 @@ class Communicator:
             data=data,
             nbytes=_payload_nbytes(data),
             seq=self.fabric._next_seq(),
+            ctx=tracectx.current(),
         )
         req = SendRequest()
         self.fabric._post_send(msg)

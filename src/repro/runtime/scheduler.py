@@ -30,7 +30,9 @@ import numpy as np
 from repro.dw.datawarehouse import DataWarehouse
 from repro.dw.label import VarKind
 from repro.dw.variables import CCVariable
-from repro.perf.metrics import MetricsRegistry, get_metrics
+from repro.perf import tracectx
+from repro.perf.flightrec import get_flight_recorder
+from repro.perf.metrics import Histogram, MetricsRegistry, get_metrics
 from repro.perf.rankstats import (
     StatSummary,
     format_rank_stats,
@@ -209,6 +211,12 @@ class RankStats:
     messages_sent: int = 0
     bytes_sent: int = 0
     idle_spins: int = 0
+    #: per-rank task-duration quantiles (seconds), estimated from a
+    #: bucketed histogram — the tail, not just the mean, is what load
+    #: imbalance shows up in
+    task_time_p50: float = 0.0
+    task_time_p95: float = 0.0
+    task_time_p99: float = 0.0
 
     def as_dict(self) -> dict:
         from dataclasses import asdict
@@ -341,20 +349,30 @@ class DistributedScheduler:
         pool = make_pool(self.pool_kind)
         newly_satisfied: List[int] = []
 
-        def stage(msg):
+        def stage(msg, req):
             def callback(data):
-                if msg.label.kind is VarKind.PER_LEVEL:
-                    new_dw.put_level(msg.label, msg.level_index, data)
-                else:
-                    new_dw.add_foreign(
-                        msg.label, msg.src_patch_id, CCVariable(msg.region, data)
-                    )
-                newly_satisfied.append(msg.msg_id)
+                # the recv span is attributed to the *sender's* causal
+                # chain: its trace_id comes off the delivered message
+                # (req.ctx), not this rank's ambient context
+                args = {"msg_id": msg.msg_id, "src": msg.src_rank, "dst": rank}
+                sender_ctx = req.ctx
+                if sender_ctx is not None:
+                    args["trace_id"] = sender_ctx.trace_id
+                    args["parent_span_id"] = sender_ctx.span_id
+                with tracer.span("comm.recv", cat="comm", **args):
+                    tracer.flow_finish(msg.msg_id, **args)
+                    if msg.label.kind is VarKind.PER_LEVEL:
+                        new_dw.put_level(msg.label, msg.level_index, data)
+                    else:
+                        new_dw.add_foreign(
+                            msg.label, msg.src_patch_id, CCVariable(msg.region, data)
+                        )
+                    newly_satisfied.append(msg.msg_id)
             return callback
 
         for msg in graph.messages_to(rank):
             req = comm.irecv(source=msg.src_rank, tag=msg.msg_id)
-            pool.insert(CommNode(req, nbytes=msg.nbytes, on_finish=stage(msg)))
+            pool.insert(CommNode(req, nbytes=msg.nbytes, on_finish=stage(msg, req)))
 
         ready = deque(
             t.dtask_id for t in local if indeg[t.dtask_id] == 0 and not pending[t.dtask_id]
@@ -363,6 +381,8 @@ class DistributedScheduler:
         total = len(local)
         idle_spins = 0
         stats = self.rank_stats[rank]
+        task_hist = Histogram("scheduler.rank.task_seconds", ())
+        recorder = get_flight_recorder()
         while completed < total:
             t0 = time.perf_counter()
             pool.process_ready()
@@ -388,32 +408,56 @@ class DistributedScheduler:
             ctx = TaskContext(
                 dt.task, dt.patch, graph.grid.level(dt.level_index), old_dw, new_dw, rank=rank
             )
+            # one causal chain per task execution: the task span, every
+            # send it triggers, and (via the fabric) the matching recv
+            # spans on other ranks all share this trace_id
+            task_trace = tracectx.child_or_new()
             t0 = time.perf_counter()
-            with tracer.span(
-                dt.task.name, cat="task",
-                patch=dt.patch.patch_id, level=dt.level_index, rank=rank,
-            ):
-                dt.task.callback(ctx)
-            stats.task_exec_time += time.perf_counter() - t0
-            stats.tasks_executed += 1
-            completed += 1
-            # ship every outgoing message this task's results satisfy
-            t0 = time.perf_counter()
-            for msg in outgoing_by_dtask.get(dt.dtask_id, ()):
-                if msg.label.kind is VarKind.PER_LEVEL:
-                    data = new_dw.get_level(msg.label, msg.level_index)
-                else:
-                    data = new_dw.get(msg.label, dt.patch.patch_id).view(msg.region).copy()
-                comm.isend(data, dest=msg.dst_rank, tag=msg.msg_id)
-                stats.messages_sent += 1
-                stats.bytes_sent += msg.nbytes
-            stats.local_comm_time += time.perf_counter() - t0
+            with tracectx.use(task_trace):
+                with tracer.span(
+                    dt.task.name, cat="task",
+                    patch=dt.patch.patch_id, level=dt.level_index, rank=rank,
+                ):
+                    dt.task.callback(ctx)
+                task_dur = time.perf_counter() - t0
+                stats.task_exec_time += task_dur
+                task_hist.observe(task_dur)
+                stats.tasks_executed += 1
+                completed += 1
+                # always-on black box: one atomic deque append per task
+                recorder.record(
+                    "task", dt.task.name, rank=rank,
+                    patch=dt.patch.patch_id, dur_s=round(task_dur, 6),
+                    trace_id=task_trace.trace_id,
+                )
+                # ship every outgoing message this task's results satisfy
+                t0 = time.perf_counter()
+                for msg in outgoing_by_dtask.get(dt.dtask_id, ()):
+                    if msg.label.kind is VarKind.PER_LEVEL:
+                        data = new_dw.get_level(msg.label, msg.level_index)
+                    else:
+                        data = new_dw.get(msg.label, dt.patch.patch_id).view(msg.region).copy()
+                    with tracer.span(
+                        "comm.send", cat="comm",
+                        msg_id=msg.msg_id, src=rank, dst=msg.dst_rank,
+                    ):
+                        tracer.flow_start(
+                            msg.msg_id, msg_id=msg.msg_id, src=rank, dst=msg.dst_rank
+                        )
+                        comm.isend(data, dest=msg.dst_rank, tag=msg.msg_id)
+                    stats.messages_sent += 1
+                    stats.bytes_sent += msg.nbytes
+                stats.local_comm_time += time.perf_counter() - t0
             # local dependents
             for dep in dt.dependents:
                 if dep in indeg:
                     indeg[dep] -= 1
                     if indeg[dep] == 0 and not pending[dep]:
                         ready.append(dep)
+        if task_hist.count:
+            stats.task_time_p50 = task_hist.quantile(0.50) or 0.0
+            stats.task_time_p95 = task_hist.quantile(0.95) or 0.0
+            stats.task_time_p99 = task_hist.quantile(0.99) or 0.0
         pool.publish_metrics(metrics, pool=self.pool_kind, rank=rank)
 
 

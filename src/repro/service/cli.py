@@ -299,12 +299,17 @@ def cmd_serve(argv) -> int:
                 print(_result_line(ticket, result))
             outstanding = still_waiting
             done_budget = args.max_requests is not None and served >= args.max_requests
+            # live SLO snapshot: atomically republished every pass so
+            # `python -m repro status --spool DIR` always reads a
+            # complete, current document
+            svc.slo.write(spool / "status.json")
             if not outstanding and (
                 done_budget
                 or time.monotonic() - last_request > args.idle_timeout
             ):
                 break
             time.sleep(0.05)
+        svc.slo.write(spool / "status.json")
         stats = svc.stats()
     hits = stats["cache_hits_memory"] + stats["cache_hits_disk"]
     print(
@@ -313,6 +318,65 @@ def cmd_serve(argv) -> int:
     )
     _write_observability(args, metrics, tracer)
     return 0
+
+
+# ----------------------------------------------------------------------
+# status
+# ----------------------------------------------------------------------
+def cmd_status(argv) -> int:
+    """Render the SLO dashboard from a published status.json."""
+    from repro.perf.slo import format_status
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro status",
+        description="Show service SLO status (latency quantiles, error "
+        "budget, degradation) from a serve run's status.json.",
+    )
+    parser.add_argument(
+        "--spool", default=None,
+        help="spool directory of a 'repro serve' run (reads its status.json)",
+    )
+    parser.add_argument(
+        "--file", default=None, help="explicit status.json path"
+    )
+    parser.add_argument(
+        "--watch", action="store_true", help="refresh continuously"
+    )
+    parser.add_argument(
+        "--interval", type=float, default=1.0, help="refresh period (seconds)"
+    )
+    parser.add_argument(
+        "--max-refreshes", type=int, default=None,
+        help="stop --watch after N refreshes (default: run until ^C)",
+    )
+    args = parser.parse_args(argv)
+    if (args.spool is None) == (args.file is None):
+        print("error: give exactly one of --spool or --file", file=sys.stderr)
+        return 2
+    path = Path(args.file) if args.file else Path(args.spool) / "status.json"
+
+    refreshes = 0
+    while True:
+        try:
+            snapshot = json.loads(path.read_text())
+        except FileNotFoundError:
+            print(f"error: no status file at {path} (is serve running?)",
+                  file=sys.stderr)
+            return 1
+        except json.JSONDecodeError as exc:
+            print(f"error: unreadable status file {path}: {exc}", file=sys.stderr)
+            return 1
+        print(format_status(snapshot))
+        refreshes += 1
+        if not args.watch:
+            return 3 if snapshot.get("degraded") else 0
+        if args.max_refreshes is not None and refreshes >= args.max_refreshes:
+            return 3 if snapshot.get("degraded") else 0
+        try:
+            time.sleep(args.interval)
+        except KeyboardInterrupt:
+            return 0
+        print()
 
 
 def _write_result(outbox: Path, ticket: str, result=None, error=None) -> None:

@@ -18,6 +18,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro.perf import tracectx
 from repro.ups import ProblemSpec, scene_fingerprint, spec_fingerprint
 from repro.util.errors import ServiceError
 
@@ -34,12 +35,18 @@ class SolveRequest:
     request_id: int = field(default_factory=lambda: next(_request_ids))
     fingerprint: str = ""
     scene_key: str = ""
+    #: causal trace context captured at submission — continues the
+    #: submitter's ambient trace if one is active, else starts a new
+    #: one; queue, batcher, worker, and cache spans all re-enter it
+    ctx: Optional[tracectx.TraceContext] = None
 
     def __post_init__(self) -> None:
         if not self.fingerprint:
             self.fingerprint = spec_fingerprint(self.spec)
         if not self.scene_key:
             self.scene_key = scene_fingerprint(self.spec)
+        if self.ctx is None:
+            self.ctx = tracectx.child_or_new()
 
 
 @dataclass

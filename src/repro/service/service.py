@@ -28,7 +28,9 @@ import time
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Union
 
+from repro.perf import tracectx
 from repro.perf.metrics import MetricsRegistry, get_metrics
+from repro.perf.slo import SloMonitor, SloPolicy
 from repro.perf.tracer import SpanTracer, get_tracer
 from repro.service.batcher import MicroBatcher
 from repro.service.cache import ResultCache
@@ -72,6 +74,10 @@ class ServiceConfig:
     #: write-ahead request journal directory; accepted-but-unfinished
     #: solves are replayed by recover_journal() after a crash
     journal_dir: Optional[str] = None
+    #: SLO thresholds; when set, a degraded service (breached p99 /
+    #: queue depth / error-budget burn) sheds new submissions at the
+    #: front door until the breach clears. None = observe only.
+    slo_policy: Optional[SloPolicy] = None
 
 
 class RadiationService:
@@ -119,6 +125,10 @@ class RadiationService:
         self._lock = threading.Lock()
         self._started = False
         self._stopped = False
+        #: streaming SLO monitor — always observing; only *enforcing*
+        #: (load shedding) when a policy was configured explicitly
+        self.slo = SloMonitor(c.slo_policy)
+        self._slo_enforced = c.slo_policy is not None
 
     def _effective_fault_hook(self):
         """Combine the explicit hook with the fault plan's solve faults
@@ -184,6 +194,16 @@ class RadiationService:
         if self._stopped:
             raise ServiceError("service already stopped")
         self.start()
+        self.slo.set_queue_depth(len(self.queue))
+        if self._slo_enforced and self.slo.degraded():
+            # shed at the front door: reject before any state is
+            # created, the same contract as queue backpressure
+            self.metrics.counter("service.shed").inc()
+            self.slo.observe("submit", 0.0, error=True)
+            raise ServiceError(
+                "service degraded, shedding load: "
+                + "; ".join(self.slo.breaches())
+            )
         request = SolveRequest(spec=spec, deadline_s=deadline_s)
         handle = SolveHandle(request)
         now = time.monotonic()
@@ -193,6 +213,13 @@ class RadiationService:
             abs_deadline=None if deadline_s is None else now + deadline_s,
         )
         self.metrics.counter("service.requests").inc()
+        # milestone markers along the request path, all inside the
+        # request's causal trace — the merged timeline shows submit →
+        # (cache|coalesce|queue) → solve → deliver as one chain
+        with tracectx.use(request.ctx):
+            self.tracer.instant(
+                "service.submit", cat="service", fingerprint=request.fingerprint[:12]
+            )
 
         cached = self.cache.get(request.fingerprint)
         if cached is not None:
@@ -200,6 +227,8 @@ class RadiationService:
                 # a replayed journal entry whose result already landed
                 # on disk settles right here
                 self.journal.forget(request.fingerprint)
+            with tracectx.use(request.ctx):
+                self.tracer.instant("service.cache_hit", cat="service")
             self._finish(pending, cached, cache_hit=True)
             return handle
 
@@ -209,6 +238,8 @@ class RadiationService:
                 if group is not None:
                     group.append(pending)
                     self.metrics.counter("service.coalesced").inc()
+                    with tracectx.use(request.ctx):
+                        self.tracer.instant("service.coalesced", cat="service")
                     return handle
                 self._inflight[request.fingerprint] = [pending]
         # journal before the queue: once accepted, a crash must not
@@ -223,7 +254,9 @@ class RadiationService:
                     self._inflight.pop(request.fingerprint, None)
             if self.journal is not None:
                 self.journal.forget(request.fingerprint)
+            self.slo.observe("submit", 0.0, error=True)
             raise
+        self.slo.set_queue_depth(len(self.queue))
         return handle
 
     # ------------------------------------------------------------------
@@ -269,6 +302,7 @@ class RadiationService:
             self.journal.forget(pending.request.fingerprint)
         for member in self._pop_group(pending):
             member.handle.set_error(error)
+            self.slo.observe("solve", 0.0, error=True)
         self.metrics.counter("service.failed").inc()
 
     def expire(self, pending: PendingSolve) -> None:
@@ -282,6 +316,7 @@ class RadiationService:
 
     def _expire_one(self, member: PendingSolve) -> None:
         self.metrics.counter("service.deadline.expired").inc()
+        self.slo.observe("solve", 0.0, error=True)
         member.handle.set_error(
             ServiceError(
                 f"request {member.request.request_id} deadline "
@@ -310,6 +345,13 @@ class RadiationService:
         latency = time.monotonic() - member.submitted_at
         self.metrics.histogram("service.request.latency_s").observe(latency)
         self.metrics.counter("service.completed").inc()
+        self.slo.observe("cache" if cache_hit else "solve", latency)
+        self.slo.set_queue_depth(len(self.queue))
+        with tracectx.use(member.request.ctx):
+            self.tracer.instant(
+                "service.deliver", cat="service",
+                cache_hit=cache_hit, latency_ms=round(latency * 1e3, 3),
+            )
         member.handle.set_result(
             SolveResult(
                 request_id=member.request.request_id,
@@ -371,6 +413,8 @@ class RadiationService:
             "inflight": inflight,
             "cache_entries": len(self.cache),
             "journaled": 0 if self.journal is None else len(self.journal),
+            "shed": m.value("service.shed"),
+            "degraded": self.slo.degraded(),
         }
 
 

@@ -29,6 +29,7 @@ import threading
 import time
 from typing import Callable, List, Optional
 
+from repro.perf import tracectx
 from repro.perf.metrics import MetricsRegistry, get_metrics
 from repro.perf.tracer import SpanTracer, get_tracer
 from repro.service.batcher import Batch
@@ -171,29 +172,32 @@ class WorkerPool:
                 live.append(pending)
         for pending in live:
             fp = pending.request.fingerprint
-            try:
-                if scene is None and self.backend == "thread":
-                    with self._tracer.span(
-                        "service.prepare_scene", cat="service",
-                        scene=batch.scene_key[:12],
-                    ):
-                        scene = prepare_scene(pending.request.spec)
-                payload, attempts = self._solve_with_retries(
-                    pending.request.spec, scene, fp, worker_id
-                )
-            except Exception as exc:  # noqa: BLE001 — any failure fails the request
-                self._metrics.counter(
-                    "service.worker.failures", worker=worker_id
-                ).inc()
-                self.sink.failed(
-                    pending,
-                    ServiceError(
-                        f"solve {fp[:12]} failed after "
-                        f"{self.max_retries + 1} attempt(s): {exc}"
-                    ),
-                )
-                continue
-            self.sink.completed(pending, payload, attempts, len(live), worker_id)
+            # re-enter the submitter's causal trace: the worker's
+            # prepare/solve spans join the trace that started at submit()
+            with tracectx.use(pending.request.ctx):
+                try:
+                    if scene is None and self.backend == "thread":
+                        with self._tracer.span(
+                            "service.prepare_scene", cat="service",
+                            scene=batch.scene_key[:12],
+                        ):
+                            scene = prepare_scene(pending.request.spec)
+                    payload, attempts = self._solve_with_retries(
+                        pending.request.spec, scene, fp, worker_id
+                    )
+                except Exception as exc:  # noqa: BLE001 — any failure fails the request
+                    self._metrics.counter(
+                        "service.worker.failures", worker=worker_id
+                    ).inc()
+                    self.sink.failed(
+                        pending,
+                        ServiceError(
+                            f"solve {fp[:12]} failed after "
+                            f"{self.max_retries + 1} attempt(s): {exc}"
+                        ),
+                    )
+                    continue
+                self.sink.completed(pending, payload, attempts, len(live), worker_id)
 
     def _solve_with_retries(
         self,

@@ -1,0 +1,155 @@
+"""Tests for the crash flight recorder: ring semantics, per-rank
+postmortem dumps, the tracer-sink adapter, and the crash path through
+SimulationController."""
+
+import json
+import threading
+
+import numpy as np
+import pytest
+
+from repro.dw import cc
+from repro.perf.flightrec import (
+    FlightRecorder,
+    get_flight_recorder,
+    set_flight_recorder,
+)
+from repro.perf.tracer import SpanTracer
+from repro.runtime import Computes, SimulationController, Task, TaskGraph
+from repro.util.errors import PerfError
+
+
+class TestRing:
+    def test_capacity_bounds_the_ring(self):
+        rec = FlightRecorder(capacity=4)
+        for i in range(10):
+            rec.record("task", f"t{i}")
+        assert len(rec) == 4
+        assert rec.recorded_total == 10
+        assert [e["name"] for e in rec.entries()] == ["t6", "t7", "t8", "t9"]
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(PerfError):
+            FlightRecorder(capacity=0)
+
+    def test_entries_filter_by_rank(self):
+        rec = FlightRecorder(capacity=16)
+        rec.record("task", "a", rank=0)
+        rec.record("task", "b", rank=1)
+        rec.record("task", "c", rank=0)
+        assert [e["name"] for e in rec.entries(rank=0)] == ["a", "c"]
+        assert [e["name"] for e in rec.entries(rank=1)] == ["b"]
+
+    def test_extra_data_rides_along(self):
+        rec = FlightRecorder(capacity=4)
+        rec.record("task", "trace", rank=2, dur_s=0.5, trace_id="abc")
+        (entry,) = rec.entries()
+        assert entry["dur_s"] == 0.5
+        assert entry["trace_id"] == "abc"
+        assert entry["t"] >= 0.0
+
+    def test_concurrent_records_are_all_kept(self):
+        rec = FlightRecorder(capacity=10_000)
+
+        def worker(k):
+            for _ in range(500):
+                rec.record("task", "x", rank=k)
+
+        threads = [threading.Thread(target=worker, args=(k,)) for k in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert rec.recorded_total == 2000
+        assert len(rec) == 2000
+
+
+class TestSinkAdapter:
+    def test_enabled_tracer_mirrors_spans_into_the_ring(self):
+        rec = FlightRecorder(capacity=16)
+        tracer = SpanTracer(enabled=True)
+        tracer.add_sink(rec.sink)
+        with tracer.span("solve", cat="task"):
+            pass
+        spans = [e for e in rec.entries() if e["kind"] == "span"]
+        (solve,) = [e for e in spans if e["name"] == "solve"]
+        assert solve["dur_us"] >= 0
+
+
+class TestDump:
+    def test_dump_writes_parseable_postmortem(self, tmp_path):
+        rec = FlightRecorder(capacity=8, rank=5)
+        rec.record("task", "a")
+        path = rec.dump(tmp_path, reason="unit test")
+        assert path.name == "flightrec_rank5.json"
+        payload = json.loads(path.read_text())
+        assert payload["rank"] == 5
+        assert payload["reason"] == "unit test"
+        assert payload["entries_in_dump"] == 1
+        assert payload["entries"][0]["name"] == "a"
+
+    def test_dump_one_rank_filters(self, tmp_path):
+        rec = FlightRecorder(capacity=8)
+        rec.record("task", "mine", rank=1)
+        rec.record("task", "other", rank=2)
+        path = rec.dump(tmp_path, rank=1, reason="rank 1 died")
+        payload = json.loads(path.read_text())
+        assert [e["name"] for e in payload["entries"]] == ["mine"]
+
+    def test_dump_all_ranks_sweeps_every_rank_seen(self, tmp_path):
+        rec = FlightRecorder(capacity=8)
+        for r in (0, 1, 3):
+            rec.record("task", "x", rank=r)
+        paths = rec.dump_all_ranks(tmp_path, reason="sweep")
+        assert sorted(paths) == [0, 1, 3]
+        for r, p in paths.items():
+            assert json.loads(p.read_text())["rank"] == r
+
+
+class TestGlobalRecorder:
+    def test_swap_and_restore(self):
+        mine = FlightRecorder(capacity=4)
+        previous = set_flight_recorder(mine)
+        try:
+            assert get_flight_recorder() is mine
+        finally:
+            set_flight_recorder(previous)
+
+
+class TestControllerCrashDump:
+    def test_unhandled_task_exception_dumps_postmortems(self, tmp_path):
+        mine = FlightRecorder(capacity=64)
+        previous = set_flight_recorder(mine)
+        try:
+            from repro.grid import Box, Grid, decompose_level
+
+            grid = Grid()
+            level = grid.add_level(Box.cube(4), (0.25,) * 3)
+            decompose_level(level, (4, 4, 4))
+            phi = cc("phi")
+
+            def init_cb(ctx):
+                ctx.compute(phi, np.zeros((4, 4, 4)))
+
+            def boom_cb(ctx):
+                raise RuntimeError("injected fault")
+
+            init_tg = TaskGraph(grid)
+            init_tg.add_task(Task("init", init_cb, computes=[Computes(phi)]), 0)
+            step_tg = TaskGraph(grid)
+            step_tg.add_task(Task("boom", boom_cb, computes=[Computes(phi)]), 0)
+            ctrl = SimulationController(
+                step_tg.compile(), initial_graph=init_tg.compile()
+            )
+            ctrl.flightrec_dir = str(tmp_path)
+            ctrl.initialize()
+            with pytest.raises(RuntimeError, match="injected fault"):
+                ctrl.advance(0.1)
+            dumps = sorted(tmp_path.glob("flightrec_rank*.json"))
+            assert dumps, "crash produced no postmortem"
+            payload = json.loads(dumps[0].read_text())
+            assert "injected fault" in payload["reason"]
+            crashes = [e for e in payload["entries"] if e["kind"] == "crash"]
+            assert crashes and crashes[0]["name"] == "RuntimeError"
+        finally:
+            set_flight_recorder(previous)

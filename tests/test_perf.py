@@ -431,3 +431,105 @@ class TestProfileRunner:
                      "--rays-per-cell", "2"]) == 0
         assert (tmp_path / "trace.json").exists()
         assert (tmp_path / "metrics.json").exists()
+
+
+# ----------------------------------------------------------------------
+# histogram quantiles
+# ----------------------------------------------------------------------
+class TestHistogramQuantiles:
+    def make(self, values, buckets=(1.0, 5.0, 10.0)):
+        reg = MetricsRegistry()
+        hist = reg.histogram("lat", buckets=buckets)
+        for v in values:
+            hist.observe(v)
+        return hist
+
+    def test_empty_histogram_has_no_quantile(self):
+        assert self.make([]).quantile(0.5) is None
+
+    def test_q_out_of_range_raises(self):
+        hist = self.make([1.0])
+        for q in (-0.1, 1.1):
+            with pytest.raises(PerfError):
+                hist.quantile(q)
+
+    def test_interpolates_within_a_bucket(self):
+        # 100 uniform values in [0, 1): the median sits mid-bucket
+        hist = self.make([i / 100 for i in range(100)])
+        assert 0.3 <= hist.quantile(0.5) <= 0.7
+
+    def test_clamped_to_observed_range(self):
+        hist = self.make([2.0, 3.0], buckets=(1.0, 5.0, 10.0))
+        assert hist.quantile(0.0) >= 2.0
+        assert hist.quantile(1.0) <= 3.0
+
+    def test_overflow_bucket_reports_max(self):
+        hist = self.make([100.0, 200.0], buckets=(1.0, 5.0))
+        assert hist.quantile(0.99) == 200.0
+
+    def test_as_dict_carries_p50_p95_p99(self):
+        d = self.make([0.5] * 10).as_dict()
+        assert {"p50", "p95", "p99"} <= set(d)
+        assert d["p50"] == d["p95"] == d["p99"] == 0.5
+
+    def test_quantiles_are_monotone(self):
+        import random
+
+        rnd = random.Random(3)
+        hist = self.make([rnd.uniform(0, 20) for _ in range(500)])
+        q = [hist.quantile(x) for x in (0.1, 0.5, 0.9, 0.99)]
+        assert q == sorted(q)
+
+
+# ----------------------------------------------------------------------
+# tracer thread safety
+# ----------------------------------------------------------------------
+class TestTracerConcurrency:
+    def test_concurrent_spans_round_trip_to_chrome_trace(self):
+        tracer = SpanTracer(enabled=True)
+        n_threads, n_spans = 8, 50
+        start = threading.Barrier(n_threads)
+
+        def worker(k):
+            start.wait()
+            for i in range(n_spans):
+                with tracer.span(f"w{k}.s{i}", cat="task", k=k, i=i):
+                    pass
+
+        threads = [
+            threading.Thread(target=worker, args=(k,))
+            for k in range(n_threads)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        events = tracer.to_chrome_trace()
+        spans = [e for e in events if e["ph"] == "X"]
+        assert len(spans) == n_threads * n_spans  # no lost emits
+        names = {e["name"] for e in spans}
+        assert len(names) == n_threads * n_spans  # no duplicates
+        for e in spans:
+            assert {"name", "ph", "ts", "pid", "tid"} <= set(e)
+        # per-thread tids partition the spans evenly
+        by_tid = {}
+        for e in spans:
+            by_tid.setdefault(e["tid"], []).append(e)
+        assert all(len(v) == n_spans for v in by_tid.values())
+
+    def test_sinks_see_every_event_once(self):
+        tracer = SpanTracer(enabled=True)
+        seen = []
+        tracer.add_sink(seen.append)
+
+        def worker():
+            for i in range(100):
+                tracer.instant(f"i{i}")
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(seen) == 400

@@ -1,0 +1,175 @@
+"""Tests for SLO monitoring: P² streaming quantile accuracy, endpoint
+error accounting, policy breach evaluation, the status dashboard, and
+load shedding through the service when a policy is configured."""
+
+import numpy as np
+import pytest
+
+from repro.perf.slo import (
+    EndpointStats,
+    P2Quantile,
+    SloMonitor,
+    SloPolicy,
+    format_status,
+)
+from repro.util.errors import PerfError
+
+
+class TestP2Quantile:
+    def test_rejects_degenerate_q(self):
+        for q in (0.0, 1.0, -0.1, 1.5):
+            with pytest.raises(PerfError):
+                P2Quantile(q)
+
+    def test_exact_below_five_observations(self):
+        sketch = P2Quantile(0.5)
+        for v in (3.0, 1.0, 2.0):
+            sketch.observe(v)
+        assert sketch.value == 2.0
+
+    def test_empty_sketch_has_no_value(self):
+        assert P2Quantile(0.5).value is None
+
+    @pytest.mark.parametrize("q", [0.5, 0.95, 0.99])
+    def test_tracks_numpy_on_uniform_stream(self, q):
+        rng = np.random.default_rng(7)
+        data = rng.uniform(0.0, 1.0, 5000)
+        sketch = P2Quantile(q)
+        for v in data:
+            sketch.observe(v)
+        exact = np.quantile(data, q)
+        assert abs(sketch.value - exact) < 0.02
+
+    def test_tracks_numpy_on_heavy_tail(self):
+        rng = np.random.default_rng(11)
+        data = rng.lognormal(0.0, 1.0, 5000)
+        sketch = P2Quantile(0.99)
+        for v in data:
+            sketch.observe(v)
+        exact = np.quantile(data, 0.99)
+        assert abs(sketch.value - exact) / exact < 0.15
+
+    def test_constant_stream(self):
+        sketch = P2Quantile(0.95)
+        for _ in range(100):
+            sketch.observe(4.0)
+        assert sketch.value == 4.0
+
+
+class TestEndpointStats:
+    def test_errors_do_not_pollute_latency(self):
+        ep = EndpointStats("solve")
+        for _ in range(20):
+            ep.observe(1.0)
+        for _ in range(5):
+            ep.observe(0.0, error=True)
+        d = ep.as_dict()
+        assert d["requests"] == 25
+        assert d["errors"] == 5
+        assert d["error_rate"] == pytest.approx(0.2)
+        assert d["p99_s"] == pytest.approx(1.0)  # rejections excluded
+
+
+class TestSloMonitor:
+    def test_healthy_monitor_reports_no_breaches(self):
+        mon = SloMonitor(SloPolicy())
+        for _ in range(50):
+            mon.observe("solve", 0.01)
+        assert mon.breaches() == []
+        assert not mon.degraded()
+
+    def test_queue_depth_breach(self):
+        mon = SloMonitor(SloPolicy(max_queue_depth=4))
+        mon.set_queue_depth(9)
+        assert any("queue depth" in b for b in mon.breaches())
+
+    def test_p99_latency_breach(self):
+        mon = SloMonitor(SloPolicy(p99_latency_s=0.1, min_requests=10))
+        for _ in range(50):
+            mon.observe("solve", 5.0)
+        assert any("p99" in b for b in mon.breaches())
+
+    def test_error_budget_burn_breach(self):
+        mon = SloMonitor(SloPolicy(error_budget=0.02, burn_alarm=1.0))
+        for i in range(100):
+            mon.observe("solve", 0.01, error=(i % 10 == 0))  # 10% errors
+        assert mon.burn_rate("solve") == pytest.approx(5.0)
+        assert any("burn" in b for b in mon.breaches())
+
+    def test_min_requests_gates_verdicts(self):
+        mon = SloMonitor(SloPolicy(p99_latency_s=0.001, min_requests=10))
+        for _ in range(5):
+            mon.observe("solve", 9.9)
+        assert mon.breaches() == []  # sample too small to convict
+
+    def test_degraded_clears_when_breach_clears(self):
+        mon = SloMonitor(SloPolicy(max_queue_depth=4))
+        mon.set_queue_depth(10)
+        assert mon.degraded()
+        mon.set_queue_depth(0)
+        assert not mon.degraded()
+
+    def test_snapshot_schema_and_atomic_write(self, tmp_path):
+        import json
+
+        mon = SloMonitor(SloPolicy())
+        for _ in range(12):
+            mon.observe("solve", 0.02)
+        mon.write(tmp_path / "status.json")
+        snap = json.loads((tmp_path / "status.json").read_text())
+        assert {"uptime_s", "queue_depth", "degraded", "breaches",
+                "policy", "endpoints"} <= set(snap)
+        assert snap["endpoints"]["solve"]["p99_s"] > 0
+
+
+class TestFormatStatus:
+    def test_renders_endpoints_and_breaches(self):
+        mon = SloMonitor(SloPolicy(max_queue_depth=2))
+        mon.set_queue_depth(5)
+        for _ in range(20):
+            mon.observe("solve", 0.5)
+        text = format_status(mon.snapshot())
+        assert "DEGRADED" in text
+        assert "BREACH" in text
+        assert "solve" in text
+
+    def test_renders_quiet_monitor(self):
+        text = format_status(SloMonitor().snapshot())
+        assert "ok" in text
+        assert "no endpoint traffic" in text
+
+
+class TestServiceShedding:
+    def test_degraded_service_sheds_submits(self):
+        from repro.service import RadiationService, ServiceConfig
+        from repro.ups import GridSpec, ProblemSpec, RMCRTSpec
+        from repro.util.errors import ServiceError
+
+        spec = ProblemSpec(
+            grid=GridSpec(resolution=8, levels=1),
+            rmcrt=RMCRTSpec(n_divq_rays=1, random_seed=0),
+        )
+        policy = SloPolicy(error_budget=0.01, burn_alarm=1.0, min_requests=5)
+        with RadiationService(ServiceConfig(workers=1, slo_policy=policy)) as svc:
+            # burn the error budget far past the alarm
+            for _ in range(20):
+                svc.slo.observe("solve", 0.0, error=True)
+            assert svc.slo.degraded()
+            with pytest.raises(ServiceError, match="shedding"):
+                svc.submit(spec)
+            assert svc.stats()["shed"] >= 1
+            assert svc.stats()["degraded"] is True
+
+    def test_no_policy_means_no_shedding(self):
+        from repro.service import RadiationService, ServiceClient, ServiceConfig
+        from repro.ups import GridSpec, ProblemSpec, RMCRTSpec
+
+        spec = ProblemSpec(
+            grid=GridSpec(resolution=8, levels=1),
+            rmcrt=RMCRTSpec(n_divq_rays=1, random_seed=0),
+        )
+        with RadiationService(ServiceConfig(workers=1)) as svc:
+            # even with a synthetic breach, no policy -> no enforcement
+            svc.slo.set_queue_depth(10_000)
+            result = ServiceClient(svc).solve(spec, timeout=60)
+            assert result.divq is not None

@@ -1,0 +1,185 @@
+"""Tests for causal trace propagation: TraceContext semantics, stamping
+into spans, propagation through the simulated MPI fabric (recv spans
+carry the *sender's* trace id), and the cross-rank trace merge with its
+flow-event pairing."""
+
+import json
+import threading
+
+import pytest
+
+from repro.perf import tracectx
+from repro.perf.merge import merge_traces, validate_chrome_trace, write_rank_traces
+from repro.perf.profile import run_profile
+from repro.perf.tracer import SpanTracer
+
+
+# ----------------------------------------------------------------------
+# context semantics
+# ----------------------------------------------------------------------
+class TestTraceContext:
+    def test_new_trace_ids_are_unique(self):
+        a, b = tracectx.new_trace(), tracectx.new_trace()
+        assert a.trace_id != b.trace_id
+        assert a.span_id != b.span_id
+
+    def test_child_keeps_trace_id_and_parents_to_span(self):
+        root = tracectx.new_trace()
+        kid = root.child()
+        assert kid.trace_id == root.trace_id
+        assert kid.parent_id == root.span_id
+        assert kid.span_id != root.span_id
+
+    def test_round_trips_through_dict(self):
+        ctx = tracectx.new_trace().child()
+        assert tracectx.TraceContext.from_dict(ctx.as_dict()) == ctx
+
+    def test_use_installs_and_restores(self):
+        assert tracectx.current() is None
+        ctx = tracectx.new_trace()
+        with tracectx.use(ctx):
+            assert tracectx.current() is ctx
+            inner = ctx.child()
+            with tracectx.use(inner):
+                assert tracectx.current() is inner
+            assert tracectx.current() is ctx
+        assert tracectx.current() is None
+
+    def test_use_none_is_passthrough(self):
+        with tracectx.use(None) as got:
+            assert got is None
+            assert tracectx.current() is None
+
+    def test_child_or_new_continues_ambient(self):
+        root = tracectx.new_trace()
+        with tracectx.use(root):
+            assert tracectx.child_or_new().trace_id == root.trace_id
+        fresh = tracectx.child_or_new()
+        assert fresh.trace_id != root.trace_id
+        assert fresh.parent_id is None
+
+    def test_context_is_thread_local(self):
+        ctx = tracectx.new_trace()
+        seen = {}
+
+        def peek():
+            seen["other"] = tracectx.current()
+
+        with tracectx.use(ctx):
+            t = threading.Thread(target=peek)
+            t.start()
+            t.join()
+        assert seen["other"] is None
+
+    def test_stamp_prefers_existing_keys(self):
+        ambient = tracectx.new_trace()
+        with tracectx.use(ambient):
+            args = tracectx.stamp({"trace_id": "sender-id"})
+        # a recv span that recorded the sender's id must keep it
+        assert args["trace_id"] == "sender-id"
+        assert args["span_id"] == ambient.span_id
+
+    def test_stamp_without_context_is_noop(self):
+        assert tracectx.stamp({}) == {}
+
+
+# ----------------------------------------------------------------------
+# stamping through the tracer
+# ----------------------------------------------------------------------
+class TestTracerStamping:
+    def test_spans_carry_ambient_context(self):
+        tracer = SpanTracer(enabled=True)
+        root = tracectx.new_trace()
+        with tracectx.use(root):
+            with tracer.span("work", cat="task"):
+                pass
+        (event,) = [e for e in tracer.events() if e["ph"] == "X"]
+        assert event["args"]["trace_id"] == root.trace_id
+        assert event["args"]["span_id"] == root.span_id
+
+
+# ----------------------------------------------------------------------
+# end-to-end: 2-rank run, merge, flow pairing
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="class")
+def merged_run(tmp_path_factory):
+    tmp = tmp_path_factory.mktemp("merged")
+    summary = run_profile(
+        steps=1,
+        resolution=12,
+        rays_per_cell=2,
+        num_ranks=2,
+        trace_path=str(tmp / "trace.json"),
+        metrics_path=str(tmp / "metrics.json"),
+        merge=True,
+        rank_trace_dir=str(tmp),
+    )
+    events = json.loads((tmp / "trace.json").read_text())
+    return summary, events
+
+
+class TestCausalMpiPropagation:
+    def test_recv_spans_carry_a_send_trace_id(self, merged_run):
+        _, events = merged_run
+        sends = [
+            e for e in events
+            if e.get("ph") == "X" and e.get("name") == "comm.send"
+        ]
+        recvs = [
+            e for e in events
+            if e.get("ph") == "X" and e.get("name") == "comm.recv"
+        ]
+        assert sends and recvs
+        send_traces = {e["args"]["trace_id"] for e in sends}
+        for recv in recvs:
+            assert recv["args"]["trace_id"] in send_traces, recv
+
+    def test_connectivity_meets_the_bar(self, merged_run):
+        summary, _ = merged_run
+        stats = summary["merge_stats"]
+        assert stats["flow_pairs"] > 0
+        assert stats["connected_fraction"] >= 0.95
+
+    def test_merged_trace_validates_with_paired_flows(self, merged_run):
+        _, events = merged_run
+        assert validate_chrome_trace(events) == []
+        starts = {e["id"] for e in events if e.get("ph") == "s"}
+        finishes = {e["id"] for e in events if e.get("ph") == "f"}
+        assert starts and starts == finishes  # merge drops unpaired flows
+
+    def test_task_spans_share_trace_with_their_sends(self, merged_run):
+        _, events = merged_run
+        task_traces = {
+            e["args"]["trace_id"]
+            for e in events
+            if e.get("ph") == "X" and e.get("cat") == "task"
+            and "trace_id" in e.get("args", {})
+        }
+        send_traces = {
+            e["args"]["trace_id"]
+            for e in events
+            if e.get("ph") == "X" and e.get("name") == "comm.send"
+        }
+        assert send_traces <= task_traces
+
+
+class TestMergeUnits:
+    def test_merge_drops_unpaired_flow_events(self, tmp_path):
+        tracer = SpanTracer(enabled=True)
+        with tracer.span("t", cat="task", tid=0):
+            tracer.flow_start(1, tid=0)
+            tracer.flow_start(2, tid=0)  # never finished
+        with tracer.span("r", cat="comm", tid=1):
+            tracer.flow_finish(1, tid=1)
+        paths = write_rank_traces(tracer.events(), 2, tmp_path)
+        names = {p.name for p in paths}
+        assert {"trace_rank0.json", "trace_rank1.json"} <= names
+        events, stats = merge_traces(paths, out_path=tmp_path / "merged.json")
+        assert stats["flow_pairs"] == 1
+        assert stats["unmatched_flow_events"] == 1
+        flow_ids = [str(e["id"]) for e in events if e.get("ph") in ("s", "f")]
+        assert sorted(flow_ids) == ["1", "1"]
+
+    def test_validate_flags_missing_keys(self):
+        problems = validate_chrome_trace([{"name": "x", "ph": "X"}])
+        assert problems

@@ -1,0 +1,148 @@
+"""E16 — snapshot-collector cost vs the <5% budget, and analyzer speed.
+
+The tsdb snapshot collector is wired into the schedulers and the
+controller's advance loop, so — like the flight recorder — its cost is
+a contract:
+
+* the micro row prices one :meth:`SnapshotCollector.sample` call
+  (registry flatten + one JSONL line append) in microseconds;
+* the macro rows run the same instrumented 2-rank simulation once with
+  a per-execute collector installed and once with none, reporting the
+  A/B end-to-end delta for the record; the 5% budget is *asserted* on
+  the directly-measured time spent inside ``sample()`` as a fraction
+  of the run — the A/B delta is dominated by run-to-run machine noise
+  (~±10% on a busy host) and would make the gate flaky;
+* the analyze row prices a full :func:`analyze_events` pass (DAG +
+  critical path + attribution) over a 4-rank tracesim timeline — the
+  offline cost of turning a trace into answers.
+
+Results land in ``BENCH_analyze_overhead.json``.
+"""
+
+import time
+
+import pytest
+
+from repro.perf import write_bench_artifact
+from repro.perf.analyze import _tracesim_events, analyze_events
+from repro.perf.metrics import MetricsRegistry
+from repro.perf.profile import run_profile
+from repro.perf.tsdb import SnapshotCollector, TimeSeriesStore, set_collector
+
+OVERHEAD_BUDGET_PCT = 5.0
+REPEATS = 3
+
+
+@pytest.fixture(scope="module")
+def artifact_rows():
+    rows = []
+    yield rows
+    write_bench_artifact(
+        "analyze_overhead",
+        params={"budget_pct": OVERHEAD_BUDGET_PCT, "repeats": REPEATS,
+                "retention": 2048},
+        rows=rows,
+    )
+
+
+def test_sample_call_cost(benchmark, artifact_rows, tmp_path):
+    registry = MetricsRegistry()
+    # a representative registry: the profile run publishes ~100 series
+    for i in range(32):
+        registry.counter(f"c{i}", rank=str(i % 4)).inc(i)
+        registry.gauge(f"g{i}", rank=str(i % 4)).set(i)
+    h = registry.histogram("lat_s")
+    for v in range(64):
+        h.observe(v * 1e-3)
+    store = TimeSeriesStore(tmp_path, retention=2048)
+    coll = SnapshotCollector(store, registry=registry)
+
+    def burst():
+        for _ in range(10):
+            coll.sample()
+
+    benchmark(burst)
+    us_per_sample = benchmark.stats.stats.mean * 1e6 / 10
+    artifact_rows.append({
+        "arm": "micro",
+        "us_per_sample": us_per_sample,
+        "mean_s": benchmark.stats.stats.mean,
+    })
+    # one snapshot must stay far below a timestep (~100ms)
+    assert us_per_sample < 50_000
+
+
+class _TimedCollector(SnapshotCollector):
+    """Accumulates wall-clock spent inside sample() so the budget can
+    be checked against a direct measurement instead of a noisy A/B."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.spent_s = 0.0
+
+    def sample(self, **fields):
+        t0 = time.perf_counter()
+        super().sample(**fields)
+        self.spent_s += time.perf_counter() - t0
+
+
+def _timed_run(tmp_path, tag):
+    t0 = time.perf_counter()
+    run_profile(
+        steps=1,
+        resolution=12,
+        rays_per_cell=2,
+        num_ranks=2,
+        trace_path=str(tmp_path / f"trace_{tag}.json"),
+        metrics_path=str(tmp_path / f"metrics_{tag}.json"),
+    )
+    return time.perf_counter() - t0
+
+
+def test_end_to_end_overhead_within_budget(artifact_rows, tmp_path):
+    collecting, disabled, in_sample = [], [], []
+    for i in range(REPEATS):
+        store = TimeSeriesStore(tmp_path / f"tsdb{i}", retention=2048)
+        collector = _TimedCollector(store, registry=None)
+        previous = set_collector(collector)
+        try:
+            collecting.append(_timed_run(tmp_path, f"on{i}"))
+        finally:
+            set_collector(previous)
+        in_sample.append(collector.spent_s)
+        disabled.append(_timed_run(tmp_path, f"off{i}"))
+    # min-of-N is the standard noise filter for wall-clock comparisons
+    on, off = min(collecting), min(disabled)
+    ab_overhead_pct = max(0.0, (on - off) / off * 100.0)
+    # the gated number: time *inside* sample() over the best run —
+    # deterministic where the A/B delta is noise-dominated
+    direct_overhead_pct = min(in_sample) / on * 100.0
+    artifact_rows.append({
+        "arm": "collecting", "mean_s": sum(collecting) / REPEATS,
+        "best_s": on,
+    })
+    artifact_rows.append({
+        "arm": "disabled", "mean_s": sum(disabled) / REPEATS,
+        "best_s": off,
+    })
+    artifact_rows.append({
+        "arm": "overhead",
+        "overhead_pct": direct_overhead_pct,
+        "ab_overhead_pct": ab_overhead_pct,
+    })
+    assert direct_overhead_pct < OVERHEAD_BUDGET_PCT, (
+        f"snapshot collector costs {direct_overhead_pct:.2f}% "
+        f"(budget {OVERHEAD_BUDGET_PCT}%)"
+    )
+
+
+def test_analyze_pass_cost(benchmark, artifact_rows):
+    events, _ = _tracesim_events(ranks=4, resolution=12, rays_per_cell=2)
+    report = benchmark(lambda: analyze_events(events, source="bench"))
+    artifact_rows.append({
+        "arm": "analyze",
+        "mean_s": benchmark.stats.stats.mean,
+        "spans_analyzed": report["spans"],
+        "flow_edges": report["flow_edges"],
+    })
+    assert report["speedup_bound"]["bound_holds"]

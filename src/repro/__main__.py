@@ -19,6 +19,11 @@ pushes requests through it (in-process, or cross-process via
 dashboard (p50/p95/p99, error-budget burn, breaches) one-shot or with
 ``--watch``.
 
+``python -m repro analyze`` runs the trace analytics engine — critical
+path, per-rank compute/comm-wait/idle attribution, speedup bounds —
+over a merged trace, a fresh profile run, or a tracesim simulation,
+and writes ``analysis_report.json``. See :mod:`repro.perf.analyze`.
+
 ``python -m repro perfgate`` compares fresh ``BENCH_<name>.json``
 artifacts against the committed baselines in ``benchmarks/baselines/``
 and fails on regression. See :mod:`repro.perf.baseline`.
@@ -164,6 +169,10 @@ def main(argv=None) -> int:
         from repro.service.cli import cmd_status
 
         return cmd_status(argv[1:])
+    if argv and argv[0] == "analyze":
+        from repro.perf.analyze import cmd_analyze
+
+        return cmd_analyze(argv[1:])
     if argv and argv[0] == "perfgate":
         from repro.perf.baseline import main as perfgate_main
 

@@ -25,6 +25,7 @@ from repro.dessim.cluster import (
     simulate_campaign,
 )
 from repro.dessim.tracesim import (
+    MsgFlow,
     TaskGraphTraceSimulator,
     TaskTrace,
     TraceReport,
@@ -52,6 +53,7 @@ __all__ = [
     "StrongScalingStudy",
     "TimestepBreakdown",
     "simulate_campaign",
+    "MsgFlow",
     "TaskGraphTraceSimulator",
     "TaskTrace",
     "TraceReport",

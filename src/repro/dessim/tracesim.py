@@ -20,7 +20,7 @@ real run), and message latency comes from a
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.machine.network import GEMINI, NetworkModel
@@ -46,6 +46,27 @@ class TaskTrace:
 
 
 @dataclass
+class MsgFlow:
+    """One simulated message delivery: who sent, who consumed, when.
+
+    ``flow_id`` is ``"<msg_id>.<k>"`` — one flow per *waiter* of a
+    (possibly broadcast) message id, so the exported ``s``/``f`` flow
+    events pair 1:1 the way :func:`repro.perf.merge.validate_chrome_trace`
+    requires and the analyzer can treat each delivery as its own edge.
+    """
+
+    flow_id: str
+    msg_id: int
+    src_dtask_id: int
+    dst_dtask_id: int
+    src_rank: int
+    dst_rank: int
+    depart: float
+    arrive: float
+    nbytes: int
+
+
+@dataclass
 class RankTimeline:
     rank: int
     busy: float = 0.0
@@ -63,6 +84,7 @@ class TraceReport:
     ranks: Dict[int, RankTimeline]
     messages_sent: int
     message_bytes: int
+    flows: List[MsgFlow] = field(default_factory=list)
 
     @property
     def total_busy(self) -> float:
@@ -88,13 +110,19 @@ class TraceReport:
         Each rank becomes a thread row (``tid`` = rank, named via an
         ``M`` metadata event); each task trace becomes a complete
         (``"X"``) event with simulated-seconds scaled to microseconds,
-        carrying its ready time and executor wait in ``args``. The
-        result loads directly in chrome://tracing or Perfetto.
+        carrying its ready time and executor wait in ``args``; each
+        simulated message delivery becomes an ``s``/``f`` flow pair
+        (departure on the sender's row, arrival on the consumer's, the
+        consuming task named in ``args.dtask_id``) so the viewer draws
+        the message arrows and :mod:`repro.perf.analyze` recovers the
+        cross-rank dependency edges. The result loads directly in
+        chrome://tracing or Perfetto.
         """
         events: List[dict] = [
             {
                 "name": "thread_name",
                 "ph": "M",
+                "ts": 0,
                 "pid": pid,
                 "tid": rank,
                 "args": {"name": f"rank {rank}"},
@@ -116,6 +144,32 @@ class TraceReport:
                         "ready_us": t.ready * 1e6,
                         "wait_us": t.wait * 1e6,
                     },
+                }
+            )
+        for fl in self.flows:
+            events.append(
+                {
+                    "name": "msg",
+                    "ph": "s",
+                    "ts": fl.depart * 1e6,
+                    "pid": pid,
+                    "tid": fl.src_rank,
+                    "cat": "sim.flow",
+                    "id": fl.flow_id,
+                    "args": {"dtask_id": fl.src_dtask_id, "nbytes": fl.nbytes},
+                }
+            )
+            events.append(
+                {
+                    "name": "msg",
+                    "ph": "f",
+                    "bp": "e",
+                    "ts": fl.arrive * 1e6,
+                    "pid": pid,
+                    "tid": fl.dst_rank,
+                    "cat": "sim.flow",
+                    "id": fl.flow_id,
+                    "args": {"dtask_id": fl.dst_dtask_id, "nbytes": fl.nbytes},
                 }
             )
         return events
@@ -166,6 +220,7 @@ class TaskGraphTraceSimulator:
                 heapq.heappush(ready_heap, (0.0, t.dtask_id))
 
         traces: List[TaskTrace] = []
+        flows: List[MsgFlow] = []
         ranks = {r: RankTimeline(rank=r) for r in rank_free}
         done = 0
         total = len(by_id)
@@ -203,9 +258,22 @@ class TaskGraphTraceSimulator:
                 arrival = end + self.network.ptp_time(msg.nbytes)
                 msg_count += 1
                 msg_bytes += msg.nbytes
-                for waiter in waiting_on_msg.get(msg.msg_id, ()):
+                for k, waiter in enumerate(waiting_on_msg.get(msg.msg_id, ())):
                     remaining_msgs[waiter] -= 1
                     enable(waiter, arrival)
+                    flows.append(
+                        MsgFlow(
+                            flow_id=f"{msg.msg_id}.{k}",
+                            msg_id=msg.msg_id,
+                            src_dtask_id=tid,
+                            dst_dtask_id=waiter,
+                            src_rank=dt.rank,
+                            dst_rank=by_id[waiter].rank,
+                            depart=end,
+                            arrive=arrival,
+                            nbytes=msg.nbytes,
+                        )
+                    )
 
         if done != total:
             raise SchedulerError(
@@ -219,6 +287,7 @@ class TaskGraphTraceSimulator:
             ranks=ranks,
             messages_sent=msg_count,
             message_bytes=msg_bytes,
+            flows=flows,
         )
 
 

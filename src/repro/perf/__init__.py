@@ -15,9 +15,21 @@ reproduction:
   reduction of per-rank statistics;
 * :mod:`repro.perf.harness` — the shared ``BENCH_<name>.json``
   artifact writer for the benchmark scripts;
-* :mod:`repro.perf.profile` — the ``python -m repro profile`` runner.
+* :mod:`repro.perf.profile` — the ``python -m repro profile`` runner;
+* :mod:`repro.perf.analyze` — critical-path extraction, wall-clock
+  attribution, and speedup bounds over merged traces
+  (``python -m repro analyze``);
+* :mod:`repro.perf.tsdb` — the embedded metrics time-series store and
+  snapshot collector behind ``repro status --watch`` history.
 """
 
+from repro.perf.analyze import (
+    analyze_events,
+    analyze_trace,
+    build_span_dag,
+    critical_path,
+    format_analysis,
+)
 from repro.perf.harness import (
     BENCH_SCHEMA_VERSION,
     bench_artifact_path,
@@ -42,6 +54,13 @@ from repro.perf.rankstats import (
     reduce_rank_stats,
 )
 from repro.perf.tracer import SpanTracer, get_tracer, set_tracer
+from repro.perf.tsdb import (
+    SnapshotCollector,
+    TimeSeriesStore,
+    flatten_registry,
+    get_collector,
+    set_collector,
+)
 
 __all__ = [
     "BENCH_SCHEMA_VERSION",
@@ -50,16 +69,26 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "SnapshotCollector",
     "SpanTracer",
     "StatSummary",
+    "TimeSeriesStore",
+    "analyze_events",
+    "analyze_trace",
     "bench_artifact_path",
+    "build_span_dag",
+    "critical_path",
+    "flatten_registry",
+    "format_analysis",
     "format_rank_stats",
+    "get_collector",
     "get_metrics",
     "get_tracer",
     "publish_rank_stats",
     "rank_stats_as_dict",
     "reduce_rank_stats",
     "reset_metrics",
+    "set_collector",
     "set_metrics",
     "set_tracer",
     "timed",

@@ -34,6 +34,7 @@ from collections import deque
 from pathlib import Path
 from typing import Dict, List, Optional
 
+from repro.perf import tracectx
 from repro.util.errors import PerfError
 
 
@@ -61,7 +62,17 @@ class FlightRecorder:
     # recording
     # ------------------------------------------------------------------
     def record(self, kind: str, name: str, rank: Optional[int] = None, **data) -> None:
-        """Append one entry; overwrites the oldest when full."""
+        """Append one entry; overwrites the oldest when full.
+
+        When a causal :mod:`~repro.perf.tracectx` context is entered on
+        the recording thread, its ``trace_id`` is stamped into the
+        entry (explicit ``trace_id=...`` kwargs win), so a postmortem
+        ring can be joined against merged traces by trace id.
+        """
+        if "trace_id" not in data:
+            ctx = tracectx.current()
+            if ctx is not None:
+                data["trace_id"] = ctx.trace_id
         self._ring.append(
             {
                 "t": time.perf_counter() - self._t0,

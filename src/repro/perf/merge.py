@@ -104,11 +104,22 @@ def merge_traces(
     if not paths:
         raise PerfError("merge_traces needs >= 1 per-rank trace file")
     per_file: List[Tuple[str, List[dict]]] = []
+    empty_files = 0
     for p in paths:
         path = Path(p)
         try:
-            events = json.loads(path.read_text())
-        except (OSError, json.JSONDecodeError) as exc:
+            text = path.read_text()
+        except OSError as exc:
+            raise PerfError(f"unreadable per-rank trace {path}: {exc}") from exc
+        if not text.strip():
+            # a rank that died before flushing leaves a zero-byte file;
+            # its lane is simply empty in the merged view
+            empty_files += 1
+            per_file.append((_rank_label(path, prefix), []))
+            continue
+        try:
+            events = json.loads(text)
+        except json.JSONDecodeError as exc:
             raise PerfError(f"unreadable per-rank trace {path}: {exc}") from exc
         if not isinstance(events, list):
             raise PerfError(f"per-rank trace {path} is not a JSON array")
@@ -160,19 +171,21 @@ def merge_traces(
         matched += pairs
         merged.extend(start_events[:pairs])
         merged.extend(finish_events[:pairs])
-    unmatched = (
-        sum(len(v) for v in starts.values())
-        + sum(len(v) for v in finishes.values())
-        - 2 * matched
-    )
+    total_starts = sum(len(v) for v in starts.values())
+    total_finishes = sum(len(v) for v in finishes.values())
+    unmatched_starts = total_starts - matched
+    unmatched_finishes = total_finishes - matched
     merged.sort(key=lambda e: (e.get("ph") != "M", e.get("ts", 0)))
 
     span_pairs = min(send_spans, recv_spans)
     stats = {
         "files": len(per_file),
+        "empty_files": empty_files,
         "events": len(merged),
         "flow_pairs": matched,
-        "unmatched_flow_events": unmatched,
+        "unmatched_flow_events": unmatched_starts + unmatched_finishes,
+        "unmatched_flow_starts": unmatched_starts,
+        "unmatched_flow_finishes": unmatched_finishes,
         "send_spans": send_spans,
         "recv_spans": recv_spans,
         "connected_fraction": (matched / span_pairs) if span_pairs else 1.0,

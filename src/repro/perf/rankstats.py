@@ -33,8 +33,20 @@ class StatSummary:
 
     @property
     def imbalance(self) -> float:
-        """max/mean — 1.0 is perfectly balanced."""
-        return self.max / self.mean if self.mean else 1.0
+        """max/mean — 1.0 is perfectly balanced.
+
+        A single rank is balanced by definition. A non-positive mean
+        has no meaningful ratio: all-zero stats are balanced (1.0),
+        while a positive max over a zero/negative mean (one rank did
+        all the work, others cancelled it out) reports the worst case,
+        ``ranks`` — the ratio a one-rank-does-everything distribution
+        would produce.
+        """
+        if self.ranks <= 1:
+            return 1.0
+        if self.mean > 0:
+            return self.max / self.mean
+        return 1.0 if self.max <= 0 else float(self.ranks)
 
     def as_dict(self) -> dict:
         return {

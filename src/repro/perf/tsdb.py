@@ -1,0 +1,411 @@
+"""Embedded metrics time-series store + snapshot collector.
+
+The observability stack so far produces *point-in-time* artifacts: a
+``metrics.json`` at the end of a profile, a ``status.json`` per serve
+pass. Scaling questions ("did p95 drift while the queue backed up?",
+"what was the ray-throughput trend across the last restart?") need
+*history* — which is what the ROADMAP's SLO-driven autoscaler will
+consume as its telemetry substrate.
+
+:class:`TimeSeriesStore` is deliberately small: one JSONL file per
+rank, one flat ``{"t": ..., fields...}`` object per line.
+
+* **Append-only** — each sample is a single O(1) line append, cheap
+  enough to run inside the controller's advance loop.
+* **Atomically ring-retained** — when the file grows past
+  ``2 × retention`` lines it is compacted to the newest ``retention``
+  samples via write-tmp-then-rename (:mod:`repro.util.atomic`), so a
+  reader never sees a torn file and disk use is bounded.
+* **Restart-safe** — the loader tolerates a torn final line (a crash
+  mid-append) and re-seeds its line count from the surviving file, so
+  history accumulates across process restarts.
+
+:class:`SnapshotCollector` flattens a :class:`MetricsRegistry` (and
+any extra provider, e.g. the serve loop's SLO snapshot) into one
+sample on a cadence. Query helpers cover the read side: range scans
+(:meth:`TimeSeriesStore.series`), counter-reset-safe :meth:`rate`,
+and :meth:`downsample` onto aligned bucket edges so series from
+different ranks line up. ``python -m repro status --watch`` renders
+the result as sparkline history.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.util.errors import PerfError
+
+#: compact once the file holds this many times the retention target
+COMPACT_FACTOR = 2
+
+#: eight-level block characters for terminal sparklines
+_SPARK_BLOCKS = "▁▂▃▄▅▆▇█"
+
+
+class TimeSeriesStore:
+    """Per-rank JSONL sample log with ring retention.
+
+    Not thread-safe by design: each rank thread (or the serve loop)
+    owns its own store, mirroring how rank trace files are written.
+    """
+
+    def __init__(self, directory, rank: int = 0, retention: int = 2048) -> None:
+        if retention < 1:
+            raise PerfError(f"tsdb retention must be >= 1, got {retention}")
+        self.directory = Path(directory)
+        self.rank = int(rank)
+        self.retention = int(retention)
+        self.path = self.directory / f"tsdb_rank{self.rank}.jsonl"
+        self.directory.mkdir(parents=True, exist_ok=True)
+        samples, torn = self._scan()
+        #: undecodable lines found when this store was opened (a torn
+        #: tail from a crash mid-append, healed below)
+        self.dropped_lines = torn
+        self._lines = len(samples)
+        if torn:
+            # heal the torn tail at open: rewrite the surviving samples
+            # so the next append starts a clean line
+            self.compact()
+
+    # ------------------------------------------------------------------
+    # write side
+    # ------------------------------------------------------------------
+    def append(self, fields: Dict[str, float], t: Optional[float] = None) -> dict:
+        """Append one sample; returns the stored record."""
+        record = {"t": time.time() if t is None else float(t)}
+        record.update(fields)
+        with self.path.open("a", encoding="utf-8") as fh:
+            fh.write(json.dumps(record, sort_keys=True) + "\n")
+        self._lines += 1
+        if self._lines >= self.retention * COMPACT_FACTOR:
+            self.compact()
+        return record
+
+    def compact(self) -> int:
+        """Rewrite the file keeping only the newest ``retention``
+        samples; atomic (tmp + rename), returns the retained count."""
+        samples = self._read_samples()
+        keep = samples[-self.retention:]
+        tmp = self.path.parent / f".{self.path.name}.tmp"
+        with tmp.open("w", encoding="utf-8") as fh:
+            for rec in keep:
+                fh.write(json.dumps(rec, sort_keys=True) + "\n")
+        os.replace(tmp, self.path)
+        self._lines = len(keep)
+        return self._lines
+
+    # ------------------------------------------------------------------
+    # read side
+    # ------------------------------------------------------------------
+    def _scan(self) -> Tuple[List[dict], int]:
+        if not self.path.exists():
+            return [], 0
+        out: List[dict] = []
+        dropped = 0
+        with self.path.open("r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    rec = json.loads(line)
+                except json.JSONDecodeError:
+                    # a torn line (crash mid-append) is expected; any
+                    # undecodable line is dropped and counted, never fatal
+                    dropped += 1
+                    continue
+                if isinstance(rec, dict) and "t" in rec:
+                    out.append(rec)
+                else:
+                    dropped += 1
+        out.sort(key=lambda r: r["t"])
+        return out, dropped
+
+    def _read_samples(self) -> List[dict]:
+        return self._scan()[0]
+
+    def samples(
+        self, t0: Optional[float] = None, t1: Optional[float] = None
+    ) -> List[dict]:
+        """All samples, optionally restricted to ``t0 <= t <= t1``."""
+        out = self._read_samples()
+        if t0 is not None:
+            out = [r for r in out if r["t"] >= t0]
+        if t1 is not None:
+            out = [r for r in out if r["t"] <= t1]
+        return out
+
+    def names(self) -> List[str]:
+        """Every field name seen in the retained window, sorted."""
+        seen = set()
+        for rec in self._read_samples():
+            seen.update(k for k in rec if k != "t")
+        return sorted(seen)
+
+    def series(
+        self,
+        name: str,
+        t0: Optional[float] = None,
+        t1: Optional[float] = None,
+    ) -> List[Tuple[float, float]]:
+        """Range scan of one field: ``[(t, value), ...]`` ascending."""
+        return [
+            (rec["t"], float(rec[name]))
+            for rec in self.samples(t0, t1)
+            if isinstance(rec.get(name), (int, float))
+        ]
+
+    def latest(self) -> Optional[dict]:
+        samples = self._read_samples()
+        return samples[-1] if samples else None
+
+    def rate(
+        self,
+        name: str,
+        t0: Optional[float] = None,
+        t1: Optional[float] = None,
+    ) -> Optional[float]:
+        """Per-second increase of a (cumulative) counter field over the
+        window. Negative deltas — a counter reset across a process
+        restart — are clamped to zero rather than poisoning the rate,
+        the standard monotone-counter treatment."""
+        pts = self.series(name, t0, t1)
+        if len(pts) < 2:
+            return None
+        elapsed = pts[-1][0] - pts[0][0]
+        if elapsed <= 0:
+            return None
+        increase = sum(
+            max(0.0, b[1] - a[1]) for a, b in zip(pts, pts[1:])
+        )
+        return increase / elapsed
+
+    def downsample(
+        self,
+        name: str,
+        bucket_s: float,
+        t0: Optional[float] = None,
+        t1: Optional[float] = None,
+        agg: str = "mean",
+    ) -> List[Tuple[float, float]]:
+        """Aggregate a series onto bucket edges aligned to multiples of
+        ``bucket_s`` (epoch-aligned, so different ranks' series share
+        edges). ``agg`` is ``mean``, ``max``, ``min``, or ``last``.
+        Empty buckets are omitted."""
+        if bucket_s <= 0:
+            raise PerfError(f"downsample bucket must be > 0, got {bucket_s}")
+        if agg not in ("mean", "max", "min", "last"):
+            raise PerfError(f"unknown downsample agg {agg!r}")
+        buckets: Dict[float, List[float]] = {}
+        for t, v in self.series(name, t0, t1):
+            edge = (t // bucket_s) * bucket_s
+            buckets.setdefault(edge, []).append(v)
+        out = []
+        for edge in sorted(buckets):
+            vals = buckets[edge]
+            if agg == "mean":
+                out.append((edge, sum(vals) / len(vals)))
+            elif agg == "max":
+                out.append((edge, max(vals)))
+            elif agg == "min":
+                out.append((edge, min(vals)))
+            else:
+                out.append((edge, vals[-1]))
+        return out
+
+
+# ----------------------------------------------------------------------
+# flattening a MetricsRegistry into sample fields
+# ----------------------------------------------------------------------
+def _series_key(name: str, labels: Dict[str, str]) -> str:
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={v}" for k, v in sorted(labels.items()))
+    return f"{name}{{{inner}}}"
+
+
+def flatten_registry(registry) -> Dict[str, float]:
+    """One flat ``field -> float`` mapping: counters and gauges by
+    series key, histograms expanded to count/mean/p50/p95/p99."""
+    doc = registry.as_dict()
+    fields: Dict[str, float] = {}
+    for c in doc["counters"]:
+        fields[_series_key(c["name"], c["labels"])] = float(c["value"])
+    for g in doc["gauges"]:
+        fields[_series_key(g["name"], g["labels"])] = float(g["value"])
+    for h in doc["histograms"]:
+        key = _series_key(h["name"], h["labels"])
+        fields[f"{key}.count"] = float(h["count"])
+        for stat in ("mean", "p50", "p95", "p99"):
+            value = h.get(stat)
+            if isinstance(value, (int, float)):
+                fields[f"{key}.{stat}"] = float(value)
+    return fields
+
+
+def flatten_status(snapshot: dict) -> Dict[str, float]:
+    """Numeric fields of a service ``status.json`` / SloMonitor
+    snapshot, namespaced under ``slo.`` — the serve loop's extra
+    provider, so quantile history lands next to the registry series."""
+    fields: Dict[str, float] = {}
+    for key in ("uptime_s", "queue_depth"):
+        value = snapshot.get(key)
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            fields[f"slo.{key}"] = float(value)
+    if "degraded" in snapshot:
+        fields["slo.degraded"] = 1.0 if snapshot["degraded"] else 0.0
+    for name, ep in (snapshot.get("endpoints") or {}).items():
+        for stat in ("requests", "errors", "error_rate", "p50_s", "p95_s", "p99_s"):
+            value = ep.get(stat)
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                fields[f"slo.{name}.{stat}"] = float(value)
+    return fields
+
+
+class SnapshotCollector:
+    """Samples a registry (plus optional extra fields) into a store on
+    a cadence. ``interval_s=0`` samples on every call — the right
+    setting for per-timestep collection where the caller already owns
+    the cadence; the serve loop uses a real interval so its tight poll
+    loop doesn't spam the store."""
+
+    def __init__(
+        self,
+        store: TimeSeriesStore,
+        registry=None,
+        interval_s: float = 0.0,
+        extra: Optional[Callable[[], Dict[str, float]]] = None,
+    ) -> None:
+        self.store = store
+        self.registry = registry
+        self.interval_s = float(interval_s)
+        self.extra = extra
+        self.samples_taken = 0
+        self._last_sample_t: Optional[float] = None
+
+    def _fields(self) -> Dict[str, float]:
+        registry = self.registry
+        if registry is None:
+            from repro.perf.metrics import get_metrics
+
+            registry = get_metrics()
+        fields = flatten_registry(registry)
+        if self.extra is not None:
+            for k, v in self.extra().items():
+                if isinstance(v, bool):
+                    fields[k] = 1.0 if v else 0.0
+                elif isinstance(v, (int, float)):
+                    fields[k] = float(v)
+        return fields
+
+    def sample(self, **fields: float) -> dict:
+        """Take a sample now, unconditionally. Keyword args become
+        additional fields (e.g. ``step=controller.step``)."""
+        merged = self._fields()
+        merged.update({k: float(v) for k, v in fields.items()})
+        record = self.store.append(merged)
+        self.samples_taken += 1
+        self._last_sample_t = record["t"]
+        return record
+
+    def maybe_sample(self, **fields: float) -> Optional[dict]:
+        """Take a sample if the cadence interval has elapsed."""
+        now = time.time()
+        if (
+            self._last_sample_t is not None
+            and now - self._last_sample_t < self.interval_s
+        ):
+            return None
+        return self.sample(**fields)
+
+
+# ----------------------------------------------------------------------
+# the process-wide default collector
+# ----------------------------------------------------------------------
+_global_collector: Optional[SnapshotCollector] = None
+
+
+def get_collector() -> Optional[SnapshotCollector]:
+    """The process-wide default collector, or None when sampling is
+    off (the default: no collector, no overhead)."""
+    return _global_collector
+
+
+def set_collector(
+    collector: Optional[SnapshotCollector],
+) -> Optional[SnapshotCollector]:
+    """Install (or clear, with None) the default collector; returns
+    the previous one."""
+    global _global_collector
+    previous = _global_collector
+    _global_collector = collector
+    return previous
+
+
+# ----------------------------------------------------------------------
+# history rendering for `repro status --watch`
+# ----------------------------------------------------------------------
+def sparkline(values: Sequence[float], width: int = 32) -> str:
+    """Block-character sparkline of the last ``width`` values."""
+    vals = list(values)[-width:]
+    if not vals:
+        return ""
+    lo, hi = min(vals), max(vals)
+    if hi <= lo:
+        return _SPARK_BLOCKS[0] * len(vals)
+    span = hi - lo
+    return "".join(
+        _SPARK_BLOCKS[
+            min(len(_SPARK_BLOCKS) - 1, int((v - lo) / span * len(_SPARK_BLOCKS)))
+        ]
+        for v in vals
+    )
+
+
+def format_history(
+    store: TimeSeriesStore,
+    names: Optional[Iterable[str]] = None,
+    width: int = 32,
+    max_rows: int = 12,
+) -> str:
+    """Sparkline table of recent history for the status dashboard.
+
+    Without an explicit ``names`` selection, prefers the SLO-shaped
+    fields (queue depth, endpoint quantiles, degraded flag) and falls
+    back to whatever the store holds.
+    """
+    samples = store.samples()
+    if not samples:
+        return "history: (no tsdb samples yet)"
+    if names is None:
+        all_names = store.names()
+        preferred = [
+            n for n in all_names
+            if any(tag in n for tag in ("queue", "p95", "p99", "degraded"))
+        ]
+        # the service-level series are the dashboard headline; raw
+        # registry series follow
+        preferred.sort(key=lambda n: (not n.startswith("slo."), n))
+        names = preferred or all_names
+    rows = []
+    span_s = samples[-1]["t"] - samples[0]["t"]
+    header = (
+        f"history: {len(samples)} samples over {span_s:.1f}s "
+        f"(rank {store.rank}, retention {store.retention})"
+    )
+    for name in list(names)[:max_rows]:
+        pts = store.series(name)
+        if not pts:
+            continue
+        values = [v for _, v in pts]
+        rows.append(
+            f"  {name:<44} {sparkline(values, width):<{width}} "
+            f"last={values[-1]:g} min={min(values):g} max={max(values):g}"
+        )
+    if not rows:
+        return header + "\n  (no numeric fields)"
+    return "\n".join([header] + rows)

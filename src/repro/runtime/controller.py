@@ -20,6 +20,7 @@ from typing import List, Optional
 from repro.dw.datawarehouse import DataWarehouse, DataWarehouseManager
 from repro.perf.flightrec import get_flight_recorder
 from repro.perf.tracer import SpanTracer, get_tracer
+from repro.perf.tsdb import get_collector
 from repro.runtime.scheduler import SerialScheduler
 from repro.runtime.taskgraph import CompiledGraph
 from repro.util.errors import SchedulerError
@@ -51,6 +52,7 @@ class SimulationController:
         tracer: Optional[SpanTracer] = None,
         checkpointer=None,
         streams=None,
+        collector=None,
     ) -> None:
         self.graph = graph
         self.initial_graph = initial_graph
@@ -64,6 +66,9 @@ class SimulationController:
         self.checkpointer = checkpointer
         #: optional repro.util.rng.RandomStreams captured into checkpoints
         self.streams = streams
+        #: optional repro.perf.tsdb.SnapshotCollector sampled after each
+        #: timestep (falls back to the process default; None = no sampling)
+        self.collector = collector
         self.dw_manager = DataWarehouseManager()
         self.timers = TimerRegistry()
         self.reports: List[TimestepReport] = []
@@ -165,6 +170,11 @@ class SimulationController:
             self.step
         ):
             self.checkpoint()
+        collector = (
+            self.collector if self.collector is not None else get_collector()
+        )
+        if collector is not None:
+            collector.maybe_sample(step=self.step, sim_time=self.time)
         return self.dw_manager.new_dw
 
     # ------------------------------------------------------------------

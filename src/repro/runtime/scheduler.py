@@ -40,11 +40,21 @@ from repro.perf.rankstats import (
     reduce_rank_stats,
 )
 from repro.perf.tracer import SpanTracer, get_tracer
+from repro.perf.tsdb import get_collector
 from repro.runtime.mpi import SimMPI
 from repro.runtime.task import TaskContext
 from repro.runtime.taskgraph import CompiledGraph, DetailedTask
 from repro.util.errors import SchedulerError
 from repro.util.timing import TimerRegistry
+
+
+def _sample_collector() -> None:
+    """Snapshot the default metrics registry into the process tsdb
+    collector (when one is installed) after a graph execution — the
+    per-execute cadence point shared by all three schedulers."""
+    collector = get_collector()
+    if collector is not None:
+        collector.maybe_sample()
 
 
 class SerialScheduler:
@@ -89,6 +99,7 @@ class SerialScheduler:
         metrics.gauge("scheduler.taskexec_seconds", scheduler="serial").set(
             self.timers("taskexec").elapsed
         )
+        _sample_collector()
         return dw
 
 
@@ -193,6 +204,7 @@ class ThreadedScheduler:
         metrics.gauge("scheduler.taskexec_seconds", scheduler="threaded").set(
             self.timers("taskexec").elapsed
         )
+        _sample_collector()
         return dw
 
 
@@ -307,6 +319,7 @@ class DistributedScheduler:
             scheduler="distributed",
         )
         fabric.stats.publish_metrics(metrics)
+        _sample_collector()
         return rank_dws
 
     def runtime_stats(self) -> Dict[str, StatSummary]:

@@ -25,11 +25,18 @@ import sys
 import time
 import uuid
 from pathlib import Path
+from typing import Optional
 
 import numpy as np
 
 from repro.perf.metrics import MetricsRegistry, set_metrics
 from repro.perf.tracer import SpanTracer, set_tracer
+from repro.perf.tsdb import (
+    SnapshotCollector,
+    TimeSeriesStore,
+    flatten_status,
+    format_history,
+)
 from repro.service.service import RadiationService, ServiceClient, ServiceConfig
 from repro.ups import parse_ups
 from repro.util.atomic import atomic_savez, atomic_write_text
@@ -238,6 +245,14 @@ def cmd_serve(argv) -> int:
         "--max-requests", type=int, default=None,
         help="exit after serving this many requests",
     )
+    parser.add_argument(
+        "--tsdb-interval", type=float, default=1.0,
+        help="seconds between tsdb history samples (0 disables)",
+    )
+    parser.add_argument(
+        "--tsdb-retention", type=int, default=2048,
+        help="samples retained per rank in the spool tsdb",
+    )
     _service_args(parser)
     args = parser.parse_args(argv)
 
@@ -253,6 +268,20 @@ def cmd_serve(argv) -> int:
     print(f"serving from {spool} (idle timeout {args.idle_timeout}s)")
     with RadiationService(_build_config(args), metrics=metrics, tracer=tracer) as svc:
         client = ServiceClient(svc)
+        # metrics history: one collector sampling the registry plus the
+        # SLO snapshot into spool/tsdb on a cadence; samples accumulate
+        # across serve restarts (append-only, ring-retained)
+        collector = None
+        if args.tsdb_interval > 0:
+            store = TimeSeriesStore(
+                spool / "tsdb", rank=0, retention=args.tsdb_retention
+            )
+            collector = SnapshotCollector(
+                store,
+                registry=metrics,
+                interval_s=args.tsdb_interval,
+                extra=lambda: flatten_status(svc.slo.snapshot()),
+            )
         if svc.journal is not None:
             recovered = svc.recover_journal()
             if recovered["cache_preloaded"] or recovered["replayed"]:
@@ -303,6 +332,8 @@ def cmd_serve(argv) -> int:
             # `python -m repro status --spool DIR` always reads a
             # complete, current document
             svc.slo.write(spool / "status.json")
+            if collector is not None:
+                collector.maybe_sample(served=served, outstanding=len(outstanding))
             if not outstanding and (
                 done_budget
                 or time.monotonic() - last_request > args.idle_timeout
@@ -310,6 +341,8 @@ def cmd_serve(argv) -> int:
                 break
             time.sleep(0.05)
         svc.slo.write(spool / "status.json")
+        if collector is not None:
+            collector.sample(served=served, outstanding=len(outstanding))
         stats = svc.stats()
     hits = stats["cache_hits_memory"] + stats["cache_hits_disk"]
     print(
@@ -349,11 +382,32 @@ def cmd_status(argv) -> int:
         "--max-refreshes", type=int, default=None,
         help="stop --watch after N refreshes (default: run until ^C)",
     )
+    parser.add_argument(
+        "--history", action="store_true",
+        help="render sparkline history from the spool's tsdb (implied "
+        "by --watch when the tsdb exists)",
+    )
+    parser.add_argument(
+        "--history-width", type=int, default=32,
+        help="sparkline width (samples shown per series)",
+    )
     args = parser.parse_args(argv)
     if (args.spool is None) == (args.file is None):
         print("error: give exactly one of --spool or --file", file=sys.stderr)
         return 2
     path = Path(args.file) if args.file else Path(args.spool) / "status.json"
+    tsdb_dir = Path(args.spool) / "tsdb" if args.spool else None
+
+    def history_block() -> Optional[str]:
+        if tsdb_dir is None:
+            return "history: (needs --spool; --file has no tsdb)" if args.history else None
+        store_path = tsdb_dir / "tsdb_rank0.jsonl"
+        if not store_path.exists():
+            return "history: (no tsdb samples yet)" if args.history else None
+        if not (args.history or args.watch):
+            return None
+        store = TimeSeriesStore(tsdb_dir, rank=0)
+        return format_history(store, width=args.history_width)
 
     refreshes = 0
     while True:
@@ -367,6 +421,9 @@ def cmd_status(argv) -> int:
             print(f"error: unreadable status file {path}: {exc}", file=sys.stderr)
             return 1
         print(format_status(snapshot))
+        history = history_block()
+        if history is not None:
+            print(history)
         refreshes += 1
         if not args.watch:
             return 3 if snapshot.get("degraded") else 0

@@ -1,0 +1,328 @@
+"""Tests for the trace analytics engine: span-DAG construction,
+critical-path extraction (and its lower-bound guarantee), wall-clock
+attribution summing to the measured window, bottleneck ranking, and the
+``python -m repro analyze`` CLI over both real merged traces and
+tracesim timelines."""
+
+import json
+
+import pytest
+
+from repro.perf.analyze import (
+    ATTRIBUTION_TOLERANCE,
+    analyze_events,
+    analyze_trace,
+    attribute_wallclock,
+    build_span_dag,
+    cmd_analyze,
+    critical_path,
+    format_analysis,
+)
+from repro.util.errors import PerfError
+
+
+def span(name, tid, ts, dur, cat="task", pid=0, args=None):
+    return {
+        "name": name, "ph": "X", "ts": float(ts), "dur": float(dur),
+        "pid": pid, "tid": tid, "cat": cat, "args": args or {},
+    }
+
+
+def flow(fid, ph, tid, ts, pid=0, args=None):
+    return {
+        "name": "msg", "ph": ph, "ts": float(ts), "pid": pid, "tid": tid,
+        "cat": "flow", "id": fid, "args": args or {},
+    }
+
+
+# ----------------------------------------------------------------------
+# DAG construction
+# ----------------------------------------------------------------------
+class TestBuildSpanDag:
+    def test_rank_lanes_only(self):
+        events = [
+            span("a", 0, 0, 10),
+            span("driver-envelope", 9, 0, 100, cat="controller"),
+        ]
+        dag = build_span_dag(events)
+        # the driver lane has no task spans: excluded entirely
+        assert [n.name for n in dag.nodes] == ["a"]
+        assert dag.ranks == [0]
+
+    def test_lane_program_order_edges(self):
+        events = [span("a", 0, 0, 10), span("b", 0, 20, 10)]
+        dag = build_span_dag(events)
+        a, b = dag.nodes
+        assert b.lane_pred == a.index
+        assert a.lane_pred is None
+
+    def test_nested_spans_dropped(self):
+        events = [span("outer", 0, 0, 100), span("inner", 0, 10, 5)]
+        dag = build_span_dag(events)
+        assert [n.name for n in dag.nodes] == ["outer"]
+
+    def test_multi_pid_uses_pid_as_rank(self):
+        events = [span("a", 0, 0, 10, pid=0), span("b", 0, 0, 10, pid=3)]
+        dag = build_span_dag(events)
+        assert dag.ranks == [0, 3]
+
+    def test_single_pid_uses_tid_as_rank(self):
+        events = [span("a", 0, 0, 10), span("b", 2, 0, 10)]
+        dag = build_span_dag(events)
+        assert dag.ranks == [0, 2]
+
+    def test_flow_edge_connects_sender_to_receiver(self):
+        events = [
+            span("send-task", 0, 0, 10),
+            span("recv-task", 1, 20, 10),
+            flow("m1", "s", 0, 5),
+            flow("m1", "f", 1, 22),
+        ]
+        dag = build_span_dag(events)
+        assert dag.msg_edges == 1
+        recv = next(n for n in dag.nodes if n.name == "recv-task")
+        send = next(n for n in dag.nodes if n.name == "send-task")
+        assert send.index in recv.msg_preds
+
+    def test_time_inconsistent_flow_rejected(self):
+        # source span ends after the destination starts: not a valid
+        # happens-before edge, must not poison the critical path
+        events = [
+            span("late-sender", 0, 0, 50),
+            span("early-recv", 1, 10, 10),
+            flow("m1", "s", 0, 40),
+            flow("m1", "f", 1, 12),
+        ]
+        dag = build_span_dag(events)
+        assert dag.msg_edges == 0
+        assert dag.unbound_flows == 1
+
+    def test_flow_arriving_between_spans_binds_by_dtask_id(self):
+        events = [
+            span("producer", 0, 0, 10, args={"dtask_id": 1}),
+            span("consumer", 1, 50, 10, args={"dtask_id": 7}),
+            flow("m1", "s", 0, 10),
+            flow("m1", "f", 1, 20, args={"dtask_id": 7}),
+        ]
+        dag = build_span_dag(events)
+        assert dag.msg_edges == 1
+        consumer = next(n for n in dag.nodes if n.name == "consumer")
+        assert len(consumer.msg_preds) == 1
+
+
+# ----------------------------------------------------------------------
+# critical path
+# ----------------------------------------------------------------------
+class TestCriticalPath:
+    def test_follows_message_chain_across_ranks(self):
+        events = [
+            span("a", 0, 0, 10),
+            span("b", 1, 0, 2),
+            span("c", 1, 15, 10),
+            flow("m", "s", 0, 5),
+            flow("m", "f", 1, 16),
+        ]
+        path = critical_path(build_span_dag(events))
+        # c's binding predecessor is a (ends at 10) not b (ends at 2)
+        assert [n.name for n in path] == ["a", "c"]
+
+    def test_path_spans_are_time_disjoint(self):
+        events = [
+            span("a", 0, 0, 10), span("b", 0, 12, 10), span("c", 0, 30, 5),
+        ]
+        path = critical_path(build_span_dag(events))
+        for prev, cur in zip(path, path[1:]):
+            assert prev.end <= cur.start + 1e-9
+
+    def test_empty_dag(self):
+        assert critical_path(build_span_dag([])) == []
+
+
+# ----------------------------------------------------------------------
+# attribution
+# ----------------------------------------------------------------------
+class TestAttribution:
+    def test_buckets_sum_to_wall_clock(self):
+        events = [
+            span("work", 0, 0, 60),
+            span("comm.send", 0, 60, 10, cat="comm"),
+            span("work", 1, 0, 30),
+            span("comm.recv", 1, 40, 20, cat="comm"),
+        ]
+        att = attribute_wallclock(build_span_dag(events))
+        assert att["wall_s"] == pytest.approx(70 / 1e6)
+        for row in att["per_rank"]:
+            total = row["compute_s"] + row["comm_wait_s"] + row["idle_s"]
+            assert total == pytest.approx(att["wall_s"], rel=1e-9)
+        r1 = next(r for r in att["per_rank"] if r["rank"] == 1)
+        assert r1["idle_s"] == pytest.approx(20 / 1e6)
+        assert att["buckets_sum_ok"]
+
+    def test_comm_spans_split_from_compute(self):
+        events = [span("comm.recv", 0, 0, 10, cat="comm"), span("t", 0, 20, 10)]
+        att = attribute_wallclock(build_span_dag(events))
+        row = att["per_rank"][0]
+        assert row["comm_wait_s"] == pytest.approx(10 / 1e6)
+        assert row["compute_s"] == pytest.approx(10 / 1e6)
+
+
+# ----------------------------------------------------------------------
+# full analysis: synthetic + real pipelines
+# ----------------------------------------------------------------------
+class TestAnalyzeEvents:
+    def test_empty_trace_raises(self):
+        with pytest.raises(PerfError):
+            analyze_events([], source="empty")
+
+    def test_report_shape_and_bounds(self):
+        events = [
+            span("a", 0, 0, 40),
+            span("b", 1, 0, 10),
+            span("c", 1, 50, 40),
+            flow("m", "s", 0, 5),
+            flow("m", "f", 1, 55),
+        ]
+        report = analyze_events(events, source="synthetic")
+        sb = report["speedup_bound"]
+        assert sb["bound_holds"]
+        assert sb["critical_path_s"] <= report["makespan_s"] * (1 + 1e-6)
+        assert sb["total_work_s"] == pytest.approx(90 / 1e6)
+        assert report["attribution"]["buckets_sum_ok"]
+        text = format_analysis(report)
+        assert "critical path" in text
+        assert "attribution" in text
+
+    def test_bottleneck_ranking(self):
+        events = [
+            span("cheap", 0, 0, 1),
+            span("expensive", 0, 10, 100),
+            span("expensive", 1, 0, 90),
+        ]
+        report = analyze_events(events, top_k=2)
+        tasks = report["bottlenecks"]["tasks"]
+        assert tasks[0]["name"] == "expensive"
+        assert tasks[0]["count"] == 2
+
+
+@pytest.fixture(scope="module")
+def tracesim_events():
+    from repro.perf.analyze import _tracesim_events
+
+    return _tracesim_events(ranks=4, resolution=12, rays_per_cell=2)
+
+
+class TestAnalyzeTracesim:
+    def test_critical_path_bounds_simulated_makespan(self, tracesim_events):
+        events, sim_report = tracesim_events
+        report = analyze_events(events, source="tracesim")
+        cp = report["speedup_bound"]["critical_path_s"]
+        assert cp <= sim_report.makespan * (1 + 1e-6)
+        assert report["speedup_bound"]["bound_holds"]
+
+    def test_attribution_sums_within_tolerance(self, tracesim_events):
+        events, _ = tracesim_events
+        report = analyze_events(events, source="tracesim")
+        att = report["attribution"]
+        assert att["buckets_sum_ok"]
+        assert att["max_residual_frac"] <= ATTRIBUTION_TOLERANCE
+        for row in att["per_rank"]:
+            total = row["compute_s"] + row["comm_wait_s"] + row["idle_s"]
+            assert total == pytest.approx(att["wall_s"], rel=1e-6)
+
+    def test_flow_edges_recovered(self, tracesim_events):
+        events, sim_report = tracesim_events
+        report = analyze_events(events, source="tracesim")
+        assert report["flow_edges"] > 0
+        assert report["ranks"] == len(sim_report.ranks)
+
+
+class TestAnalyzeProfilePipeline:
+    """The acceptance-criteria path: profile -> merge -> analyze."""
+
+    @pytest.fixture(scope="class")
+    def merged_trace(self, tmp_path_factory):
+        from repro.perf.profile import run_profile
+
+        tmp = tmp_path_factory.mktemp("analyze_profile")
+        run_profile(
+            steps=1,
+            resolution=12,
+            rays_per_cell=2,
+            num_ranks=2,
+            trace_path=str(tmp / "trace.json"),
+            metrics_path=str(tmp / "metrics.json"),
+            merge=True,
+            rank_trace_dir=str(tmp),
+        )
+        return tmp / "trace.json"
+
+    def test_merged_trace_analysis(self, merged_trace):
+        report = analyze_trace(merged_trace)
+        assert report["ranks"] == 2
+        assert report["flow_edges"] > 0
+        assert report["attribution"]["buckets_sum_ok"]
+        assert report["speedup_bound"]["bound_holds"]
+        # comm wait is attributed, not folded into compute
+        assert any(
+            row["comm_wait_s"] > 0 for row in report["attribution"]["per_rank"]
+        )
+
+    def test_unreadable_trace_raises(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        with pytest.raises(PerfError):
+            analyze_trace(bad)
+        notalist = tmp_path / "obj.json"
+        notalist.write_text("{}")
+        with pytest.raises(PerfError):
+            analyze_trace(notalist)
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+class TestAnalyzeCli:
+    def test_requires_exactly_one_mode(self, capsys):
+        assert cmd_analyze([]) == 2
+        assert cmd_analyze(["t.json", "--tracesim"]) == 2
+
+    def test_tracesim_mode_writes_report(self, tmp_path, capsys):
+        out = tmp_path / "analysis_report.json"
+        rc = cmd_analyze(
+            [
+                "--tracesim", "--ranks", "2", "--resolution", "8",
+                "--rays-per-cell", "2", "--out", str(out),
+            ]
+        )
+        assert rc == 0
+        report = json.loads(out.read_text())
+        assert report["attribution"]["buckets_sum_ok"]
+        assert report["speedup_bound"]["bound_holds"]
+        assert "simulated_makespan_s" in report
+        assert (
+            report["speedup_bound"]["critical_path_s"]
+            <= report["simulated_makespan_s"] * (1 + 1e-6)
+        )
+        assert "critical path" in capsys.readouterr().out
+
+    def test_trace_file_mode(self, tmp_path):
+        trace = tmp_path / "trace.json"
+        trace.write_text(json.dumps([
+            span("a", 0, 0, 10), span("b", 1, 20, 10),
+        ]))
+        out = tmp_path / "report.json"
+        assert cmd_analyze([str(trace), "--out", str(out)]) == 0
+        assert json.loads(out.read_text())["spans"] == 2
+
+    def test_main_dispatch(self, tmp_path, monkeypatch):
+        from repro.__main__ import main
+
+        monkeypatch.chdir(tmp_path)
+        rc = main(
+            [
+                "analyze", "--tracesim", "--ranks", "2", "--resolution", "8",
+                "--rays-per-cell", "2",
+            ]
+        )
+        assert rc == 0
+        assert (tmp_path / "analysis_report.json").exists()

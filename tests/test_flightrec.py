@@ -9,6 +9,7 @@ import numpy as np
 import pytest
 
 from repro.dw import cc
+from repro.perf import tracectx
 from repro.perf.flightrec import (
     FlightRecorder,
     get_flight_recorder,
@@ -62,6 +63,38 @@ class TestRing:
             t.join()
         assert rec.recorded_total == 2000
         assert len(rec) == 2000
+
+
+class TestCausalJoin:
+    """record() stamps the ambient TraceContext trace_id, so a
+    postmortem ring joins against merged traces."""
+
+    def test_record_captures_ambient_trace_id(self):
+        rec = FlightRecorder(capacity=8)
+        ctx = tracectx.new_trace()
+        with tracectx.use(ctx):
+            rec.record("task", "inside")
+        rec.record("task", "outside")
+        inside, outside = rec.entries()
+        assert inside["trace_id"] == ctx.trace_id
+        assert "trace_id" not in outside
+
+    def test_explicit_trace_id_wins(self):
+        rec = FlightRecorder(capacity=8)
+        with tracectx.use(tracectx.new_trace()):
+            rec.record("comm", "recv", trace_id="sender-trace")
+        (entry,) = rec.entries()
+        # a recv entry carrying the *sender's* id must keep it
+        assert entry["trace_id"] == "sender-trace"
+
+    def test_trace_id_survives_dump(self, tmp_path):
+        rec = FlightRecorder(capacity=8, rank=0)
+        ctx = tracectx.new_trace()
+        with tracectx.use(ctx):
+            rec.record("task", "work")
+        path = rec.dump(tmp_path, reason="test")
+        payload = json.loads(path.read_text())
+        assert payload["entries"][0]["trace_id"] == ctx.trace_id
 
 
 class TestSinkAdapter:

@@ -244,6 +244,25 @@ class TestRankStats:
         assert reg.value("sched.t.max") == 3.0
         assert reg.value("sched.t.mean") == 2.0
 
+    # imbalance guard regressions: zero mean, negative mean, one rank
+    def test_imbalance_all_zero_is_balanced(self):
+        out = reduce_rank_stats({0: {"idle": 0.0}, 1: {"idle": 0.0}})
+        assert out["idle"].imbalance == 1.0
+
+    def test_imbalance_zero_mean_positive_max_reports_worst_case(self):
+        # one rank did +2, the other -2: mean 0, the old code divided
+        out = reduce_rank_stats({0: {"drift": 2.0}, 1: {"drift": -2.0}})
+        assert out["drift"].imbalance == 2.0  # == ranks, the worst case
+
+    def test_imbalance_negative_mean_never_negative(self):
+        out = reduce_rank_stats({0: {"drift": -1.0}, 1: {"drift": -3.0}})
+        assert out["drift"].imbalance >= 1.0
+
+    def test_imbalance_single_rank_is_balanced(self):
+        out = reduce_rank_stats({0: {"t": 5.0}})
+        assert out["t"].imbalance == 1.0
+        assert out["t"].as_dict()["imbalance"] == 1.0
+
 
 # ----------------------------------------------------------------------
 # tracesim -> Chrome trace round trip

@@ -183,3 +183,88 @@ class TestMergeUnits:
     def test_validate_flags_missing_keys(self):
         problems = validate_chrome_trace([{"name": "x", "ph": "X"}])
         assert problems
+
+
+class TestMergeEdgeCases:
+    """Degraded inputs the merge must survive: a receiver that died
+    before finishing its flows, duplicate message ids, and zero-byte
+    per-rank files."""
+
+    def _span(self, name, tid, ts=0.0):
+        return {
+            "name": name, "ph": "X", "ts": ts, "dur": 5.0,
+            "pid": 0, "tid": tid, "cat": "task", "args": {},
+        }
+
+    def _flow(self, fid, ph, tid, ts=1.0):
+        return {
+            "name": "msg", "ph": ph, "ts": ts, "pid": 0, "tid": tid,
+            "cat": "flow", "id": fid, "args": {},
+        }
+
+    def test_unpaired_send_receiver_died(self, tmp_path):
+        # rank 0 sent two messages; rank 1 only ever received one
+        # (died before the second) — the dangling start is dropped
+        # and reported as an unmatched *start*
+        rank0 = [self._span("t", 0), self._flow("a", "s", 0), self._flow("b", "s", 0)]
+        rank1 = [self._span("r", 1), self._flow("a", "f", 1, ts=3.0)]
+        (tmp_path / "trace_rank0.json").write_text(json.dumps(rank0))
+        (tmp_path / "trace_rank1.json").write_text(json.dumps(rank1))
+        events, stats = merge_traces(
+            sorted(tmp_path.glob("trace_rank*.json")),
+            out_path=tmp_path / "merged.json",
+        )
+        assert stats["flow_pairs"] == 1
+        assert stats["unmatched_flow_starts"] == 1
+        assert stats["unmatched_flow_finishes"] == 0
+        assert stats["unmatched_flow_events"] == 1
+        assert validate_chrome_trace(events) == []
+
+    def test_unpaired_finish_reported(self, tmp_path):
+        rank0 = [self._span("r", 0), self._flow("ghost", "f", 0)]
+        (tmp_path / "trace_rank0.json").write_text(json.dumps(rank0))
+        _, stats = merge_traces([tmp_path / "trace_rank0.json"])
+        assert stats["unmatched_flow_finishes"] == 1
+        assert stats["flow_pairs"] == 0
+
+    def test_duplicate_message_ids_pair_positionally(self, tmp_path):
+        # the same flow id used twice on each side (id reuse across
+        # timesteps): both pairs survive, nothing is dropped
+        rank0 = [self._span("t", 0)] + [self._flow("dup", "s", 0, ts=t) for t in (1.0, 2.0)]
+        rank1 = [self._span("r", 1)] + [self._flow("dup", "f", 1, ts=t) for t in (3.0, 4.0)]
+        (tmp_path / "trace_rank0.json").write_text(json.dumps(rank0))
+        (tmp_path / "trace_rank1.json").write_text(json.dumps(rank1))
+        events, stats = merge_traces(sorted(tmp_path.glob("trace_rank*.json")))
+        assert stats["flow_pairs"] == 2
+        assert stats["unmatched_flow_events"] == 0
+        assert validate_chrome_trace(events) == []
+
+    def test_empty_per_rank_file_degrades_gracefully(self, tmp_path):
+        # rank 1 crashed before writing anything: zero-byte file
+        (tmp_path / "trace_rank0.json").write_text(
+            json.dumps([self._span("t", 0)])
+        )
+        (tmp_path / "trace_rank1.json").write_text("")
+        events, stats = merge_traces(
+            sorted(tmp_path.glob("trace_rank*.json")),
+            out_path=tmp_path / "merged.json",
+        )
+        assert stats["files"] == 2
+        assert stats["empty_files"] == 1
+        # the dead rank still gets its process_name lane in the merge
+        lanes = {e["pid"] for e in events if e["ph"] == "M"}
+        assert lanes == {0, 1}
+        assert validate_chrome_trace(events) == []
+
+    def test_whitespace_only_file_counts_as_empty(self, tmp_path):
+        (tmp_path / "trace_rank0.json").write_text("  \n")
+        _, stats = merge_traces([tmp_path / "trace_rank0.json"])
+        assert stats["empty_files"] == 1
+        assert stats["events"] == 1  # just the process_name metadata
+
+    def test_garbage_file_still_raises(self, tmp_path):
+        from repro.util.errors import PerfError
+
+        (tmp_path / "trace_rank0.json").write_text("{truncated")
+        with pytest.raises(PerfError):
+            merge_traces([tmp_path / "trace_rank0.json"])

@@ -1,0 +1,321 @@
+"""Tests for the embedded time-series store: append/ring-retention/
+restart survival, the query API (range scans, rate with counter-reset
+clamping, aligned downsampling), the snapshot collector's registry
+flattening and cadence, scheduler/controller/serve wiring, and the
+status --history rendering."""
+
+import json
+
+import pytest
+
+from repro.perf.metrics import MetricsRegistry
+from repro.perf.tsdb import (
+    SnapshotCollector,
+    TimeSeriesStore,
+    flatten_registry,
+    flatten_status,
+    format_history,
+    get_collector,
+    set_collector,
+    sparkline,
+)
+from repro.util.errors import PerfError
+
+
+@pytest.fixture
+def store(tmp_path):
+    return TimeSeriesStore(tmp_path, rank=0, retention=8)
+
+
+# ----------------------------------------------------------------------
+# store basics
+# ----------------------------------------------------------------------
+class TestStore:
+    def test_append_and_scan(self, store):
+        for i in range(5):
+            store.append({"x": float(i)}, t=100.0 + i)
+        assert store.series("x") == [(100.0 + i, float(i)) for i in range(5)]
+        assert store.series("x", t0=102.0, t1=103.0) == [
+            (102.0, 2.0), (103.0, 3.0),
+        ]
+        assert store.names() == ["x"]
+        assert store.latest()["x"] == 4.0
+
+    def test_bad_retention_rejected(self, tmp_path):
+        with pytest.raises(PerfError):
+            TimeSeriesStore(tmp_path, retention=0)
+
+    def test_ring_retention_compacts(self, store):
+        # retention=8, compaction at 16 lines
+        for i in range(20):
+            store.append({"x": float(i)}, t=float(i))
+        samples = store.samples()
+        assert len(samples) <= 16
+        # the newest samples always survive
+        assert samples[-1]["x"] == 19.0
+        lines = store.path.read_text().splitlines()
+        assert len(lines) == len(samples)
+
+    def test_compact_is_explicit_too(self, store):
+        for i in range(10):
+            store.append({"x": float(i)}, t=float(i))
+        kept = store.compact()
+        assert kept == 8
+        assert [r["x"] for r in store.samples()] == [float(i) for i in range(2, 10)]
+
+    def test_survives_restart(self, tmp_path):
+        first = TimeSeriesStore(tmp_path, rank=3, retention=32)
+        for i in range(4):
+            first.append({"x": float(i)}, t=float(i))
+        # a new process: fresh store object, same directory
+        second = TimeSeriesStore(tmp_path, rank=3, retention=32)
+        assert [r["x"] for r in second.samples()] == [0.0, 1.0, 2.0, 3.0]
+        second.append({"x": 4.0}, t=4.0)
+        assert len(second.samples()) == 5
+
+    def test_torn_final_line_tolerated(self, tmp_path):
+        store = TimeSeriesStore(tmp_path, retention=32)
+        store.append({"x": 1.0}, t=1.0)
+        store.append({"x": 2.0}, t=2.0)
+        # simulate a crash mid-append: a half-written trailing line
+        with store.path.open("a") as fh:
+            fh.write('{"t": 3.0, "x":')
+        reopened = TimeSeriesStore(tmp_path, retention=32)
+        assert [r["x"] for r in reopened.samples()] == [1.0, 2.0]
+        assert reopened.dropped_lines == 1
+        # and appending continues cleanly after the torn line
+        reopened.append({"x": 4.0}, t=4.0)
+        assert reopened.samples()[-1]["x"] == 4.0
+
+
+class TestQueries:
+    def test_rate_of_monotone_counter(self, store):
+        for i, total in enumerate([0.0, 10.0, 30.0, 60.0]):
+            store.append({"rays": total}, t=float(i))
+        assert store.rate("rays") == pytest.approx(20.0)
+
+    def test_rate_clamps_counter_reset(self, store):
+        # restart between t=1 and t=2 resets the counter to zero;
+        # the negative delta must not produce a negative rate
+        for t, total in [(0.0, 0.0), (1.0, 100.0), (2.0, 5.0), (3.0, 25.0)]:
+            store.append({"rays": total}, t=t)
+        # deltas 100, clamp(-95)->0, 20 over 3 seconds
+        assert store.rate("rays") == pytest.approx(120.0 / 3.0)
+
+    def test_rate_needs_two_points(self, store):
+        assert store.rate("missing") is None
+        store.append({"x": 1.0}, t=0.0)
+        assert store.rate("x") is None
+
+    def test_downsample_aligned_buckets(self, store):
+        for t, v in [(0.5, 1.0), (1.5, 3.0), (10.2, 5.0), (10.9, 7.0)]:
+            store.append({"x": v}, t=t)
+        assert store.downsample("x", 10.0) == [(0.0, 2.0), (10.0, 6.0)]
+        assert store.downsample("x", 10.0, agg="max") == [(0.0, 3.0), (10.0, 7.0)]
+        assert store.downsample("x", 10.0, agg="last") == [(0.0, 3.0), (10.0, 7.0)]
+        assert store.downsample("x", 10.0, agg="min") == [(0.0, 1.0), (10.0, 5.0)]
+
+    def test_downsample_validates(self, store):
+        with pytest.raises(PerfError):
+            store.downsample("x", 0.0)
+        with pytest.raises(PerfError):
+            store.downsample("x", 1.0, agg="median")
+
+
+# ----------------------------------------------------------------------
+# flattening + collector
+# ----------------------------------------------------------------------
+class TestFlatten:
+    def test_registry_flattening(self):
+        reg = MetricsRegistry()
+        reg.counter("rays", kernel="trace").inc(42)
+        reg.gauge("queue").set(3)
+        h = reg.histogram("lat_s")
+        for v in (0.1, 0.2, 0.3):
+            h.observe(v)
+        fields = flatten_registry(reg)
+        assert fields["rays{kernel=trace}"] == 42.0
+        assert fields["queue"] == 3.0
+        assert fields["lat_s.count"] == 3.0
+        assert "lat_s.p95" in fields and "lat_s.mean" in fields
+
+    def test_status_flattening(self):
+        snapshot = {
+            "uptime_s": 5.0,
+            "queue_depth": 2,
+            "degraded": True,
+            "endpoints": {
+                "solve": {"requests": 4, "errors": 1, "error_rate": 0.25,
+                          "p50_s": 0.1, "p95_s": 0.2, "p99_s": None},
+            },
+        }
+        fields = flatten_status(snapshot)
+        assert fields["slo.queue_depth"] == 2.0
+        assert fields["slo.degraded"] == 1.0
+        assert fields["slo.solve.p95_s"] == 0.2
+        assert "slo.solve.p99_s" not in fields  # None stays out
+
+
+class TestCollector:
+    def test_sample_captures_registry_and_extra(self, store):
+        reg = MetricsRegistry()
+        reg.counter("n").inc(7)
+        coll = SnapshotCollector(
+            store, registry=reg, extra=lambda: {"q": 3, "flag": True}
+        )
+        rec = coll.sample(step=2)
+        assert rec["n"] == 7.0
+        assert rec["q"] == 3.0
+        assert rec["flag"] == 1.0
+        assert rec["step"] == 2.0
+        assert coll.samples_taken == 1
+
+    def test_cadence_suppresses_rapid_samples(self, store):
+        reg = MetricsRegistry()
+        coll = SnapshotCollector(store, registry=reg, interval_s=3600.0)
+        assert coll.maybe_sample() is not None
+        assert coll.maybe_sample() is None
+        assert coll.samples_taken == 1
+
+    def test_zero_interval_always_samples(self, store):
+        coll = SnapshotCollector(store, registry=MetricsRegistry())
+        coll.maybe_sample()
+        coll.maybe_sample()
+        assert coll.samples_taken == 2
+
+    def test_default_collector_install(self, store):
+        coll = SnapshotCollector(store, registry=MetricsRegistry())
+        previous = set_collector(coll)
+        try:
+            assert get_collector() is coll
+        finally:
+            set_collector(previous)
+
+
+# ----------------------------------------------------------------------
+# runtime wiring
+# ----------------------------------------------------------------------
+class TestRuntimeWiring:
+    def test_distributed_run_samples_collector(self, tmp_path):
+        from repro.perf.profile import run_profile
+
+        store = TimeSeriesStore(tmp_path / "tsdb", retention=64)
+        coll = SnapshotCollector(store, registry=None, interval_s=0.0)
+        previous = set_collector(coll)
+        try:
+            run_profile(
+                steps=2,
+                resolution=12,
+                rays_per_cell=2,
+                num_ranks=2,
+                trace_path=str(tmp_path / "trace.json"),
+                metrics_path=str(tmp_path / "metrics.json"),
+            )
+        finally:
+            set_collector(previous)
+        # sampled by the scheduler after each of the 2 executes
+        assert coll.samples_taken >= 2
+        names = store.names()
+        assert any(n.startswith("scheduler.") for n in names)
+
+    def test_controller_explicit_collector(self, tmp_path):
+        import numpy as np
+
+        from repro.dw import cc
+        from repro.grid import Box, Grid, decompose_level
+        from repro.runtime import Computes, SimulationController, Task, TaskGraph
+
+        phi = cc("phi")
+        grid = Grid()
+        level = grid.add_level(Box.cube(8), (1.0 / 8,) * 3)
+        decompose_level(level, (4, 4, 4))
+
+        def noop(ctx):
+            ctx.compute(phi, np.zeros(ctx.patch.box.shape))
+
+        graph = TaskGraph(grid)
+        graph.add_task(Task("noop", noop, computes=[Computes(phi)]), 0)
+        compiled = graph.compile()
+        store = TimeSeriesStore(tmp_path, retention=64)
+        coll = SnapshotCollector(store, registry=MetricsRegistry())
+        ctrl = SimulationController(compiled, collector=coll)
+        ctrl.run(3, dt=0.1)
+        steps = [v for _, v in store.series("step")]
+        assert steps == [1.0, 2.0, 3.0]
+        assert store.series("sim_time")[-1][1] == pytest.approx(0.3)
+
+
+# ----------------------------------------------------------------------
+# rendering
+# ----------------------------------------------------------------------
+class TestRendering:
+    def test_sparkline_shape(self):
+        assert sparkline([]) == ""
+        assert sparkline([1.0, 1.0, 1.0]) == "▁▁▁"
+        line = sparkline([0.0, 5.0, 10.0])
+        assert len(line) == 3
+        assert line[0] == "▁" and line[-1] == "█"
+        assert len(sparkline(list(range(100)), width=10)) == 10
+
+    def test_format_history(self, store):
+        for i in range(6):
+            store.append(
+                {"slo.solve.p95_s": 0.1 * i, "slo.queue_depth": float(i % 3)},
+                t=float(i),
+            )
+        text = format_history(store)
+        assert "6 samples" in text
+        assert "slo.solve.p95_s" in text
+        assert "slo.queue_depth" in text
+
+    def test_format_history_empty(self, store):
+        assert "no tsdb samples" in format_history(store)
+
+
+class TestStatusHistoryCli:
+    def test_status_history_renders(self, tmp_path, capsys):
+        from repro.service.cli import cmd_status
+
+        spool = tmp_path / "spool"
+        store = TimeSeriesStore(spool / "tsdb", rank=0, retention=32)
+        for i in range(4):
+            store.append({"slo.solve.p95_s": 0.1 + 0.01 * i}, t=float(i))
+        (spool / "status.json").write_text(json.dumps({
+            "uptime_s": 1.0, "queue_depth": 0, "degraded": False,
+            "breaches": [], "policy": {}, "endpoints": {},
+        }))
+        rc = cmd_status(["--spool", str(spool), "--history"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "history:" in out
+        assert "slo.solve.p95_s" in out
+
+    def test_status_without_history_flag_stays_quiet(self, tmp_path, capsys):
+        from repro.service.cli import cmd_status
+
+        spool = tmp_path / "spool"
+        spool.mkdir()
+        (spool / "status.json").write_text(json.dumps({
+            "uptime_s": 1.0, "queue_depth": 0, "degraded": False,
+            "breaches": [], "policy": {}, "endpoints": {},
+        }))
+        rc = cmd_status(["--spool", str(spool)])
+        assert rc == 0
+        assert "history:" not in capsys.readouterr().out
+
+    def test_watch_implies_history_when_tsdb_present(self, tmp_path, capsys):
+        from repro.service.cli import cmd_status
+
+        spool = tmp_path / "spool"
+        store = TimeSeriesStore(spool / "tsdb", rank=0, retention=32)
+        store.append({"slo.queue_depth": 1.0}, t=0.0)
+        (spool / "status.json").write_text(json.dumps({
+            "uptime_s": 1.0, "queue_depth": 1, "degraded": False,
+            "breaches": [], "policy": {}, "endpoints": {},
+        }))
+        rc = cmd_status(
+            ["--spool", str(spool), "--watch", "--max-refreshes", "1",
+             "--interval", "0.01"]
+        )
+        assert rc == 0
+        assert "history:" in capsys.readouterr().out

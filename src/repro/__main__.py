@@ -34,6 +34,11 @@ correctness tooling — the CI gate. See :mod:`repro.check.cli`.
 ``python -m repro resilience [checkpoint|restore|drill]`` exercises
 checkpoint/restart and the kill-and-recover drill. See
 :mod:`repro.resilience.cli`.
+
+``python -m repro fabric [up|route|status|down|drill]`` runs the
+multi-shard service fabric: scene-affinity routing across N serve
+shards, work stealing, heartbeat-based failure recovery, and
+SLO-driven autoscaling. See :mod:`repro.fabric.cli`.
 """
 
 from __future__ import annotations
@@ -185,6 +190,10 @@ def main(argv=None) -> int:
         from repro.resilience.cli import run_resilience
 
         return run_resilience(argv[1:])
+    if argv and argv[0] == "fabric":
+        from repro.fabric.cli import cmd_fabric
+
+        return cmd_fabric(argv[1:])
     return _run_ups(argv)
 
 

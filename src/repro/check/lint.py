@@ -55,9 +55,10 @@ NP_GLOBAL_RANDOM_FNS = {
 }
 
 #: path fragments where blocking without a timeout is a finding
-#: (resilience drains comm fabrics and restores mid-failure — it gets
-#: the same no-untimed-blocking discipline as the layers it touches)
-BLOCKING_SCOPE = ("comm", "service", "memory", "resilience")
+#: (resilience drains comm fabrics and restores mid-failure, and the
+#: fabric babysits shard processes — both get the same
+#: no-untimed-blocking discipline as the layers they touch)
+BLOCKING_SCOPE = ("comm", "service", "memory", "resilience", "fabric")
 
 #: path fragments where metric series must carry labels
 METRIC_LABEL_SCOPE = ("comm", "memory", "dw")

@@ -1,0 +1,136 @@
+"""SLO-driven fleet sizing from queue-depth + burn-rate history.
+
+The autoscaler is deliberately a *pure decision function over stored
+telemetry*: each fabric tick appends one fleet-wide sample (total
+backlog, per-routable-shard backlog, worst SLO burn, degraded count)
+to a :class:`~repro.perf.tsdb.TimeSeriesStore`, and :meth:`decide`
+reads windows of that history back. Nothing is decided from a single
+instantaneous reading — a one-tick queue spike (a client's burst
+submit) must not buy a shard, and one idle tick must not kill one.
+
+Scaling rules, in priority order:
+
+* **grow** when the per-shard backlog has stayed above
+  ``backlog_high`` for ``sustain_s``, or the worst shard's error-budget
+  burn has stayed above ``burn_high`` (the queue is eating the latency
+  SLO, or errors are eating the budget — either way one more shard);
+* **shrink** when the fleet-wide per-shard backlog has stayed below
+  ``backlog_low`` for ``idle_retire_s`` and nothing is degraded;
+* **hold** otherwise, and always within ``cooldown_s`` of the last
+  action — resizing churns caches (HRW moves ~1/N of the keyspace),
+  so decisions must be spaced out enough to observe their own effect.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.perf.tsdb import TimeSeriesStore
+
+
+@dataclass
+class AutoscalePolicy:
+    """The knobs of the sizing loop (all durations in seconds)."""
+
+    min_shards: int = 1        #: never drain below this
+    max_shards: int = 4        #: never grow above this
+    backlog_high: float = 4.0  #: sustained per-shard backlog that buys a shard
+    backlog_low: float = 0.5   #: sustained per-shard backlog that frees one
+    burn_high: float = 1.0     #: sustained SLO burn that buys a shard
+    sustain_s: float = 2.0     #: how long "high" must hold before growing
+    idle_retire_s: float = 6.0 #: how long "low" must hold before shrinking
+    cooldown_s: float = 5.0    #: minimum spacing between actions
+    min_samples: int = 3       #: no verdicts from fewer points than this
+
+
+class Autoscaler:
+    """Observe fleet telemetry into a tsdb; decide sizes from it."""
+
+    def __init__(
+        self,
+        store: TimeSeriesStore,
+        policy: Optional[AutoscalePolicy] = None,
+    ) -> None:
+        self.store = store
+        self.policy = policy if policy is not None else AutoscalePolicy()
+        self.last_action_t: Optional[float] = None
+        self.decisions = 0
+
+    # ------------------------------------------------------------------
+    def observe(
+        self,
+        now: float,
+        shards: int,
+        backlog: int,
+        worst_burn: float,
+        degraded: int,
+    ) -> dict:
+        """Record one fleet sample (explicit timestamp: testable)."""
+        shards = max(1, int(shards))
+        return self.store.append(
+            {
+                "fabric.shards": float(shards),
+                "fabric.backlog": float(backlog),
+                "fabric.backlog_per_shard": float(backlog) / shards,
+                "fabric.worst_burn": float(worst_burn),
+                "fabric.degraded": float(degraded),
+            },
+            t=now,
+        )
+
+    # ------------------------------------------------------------------
+    def _window(self, name: str, now: float, span_s: float):
+        return [v for _, v in self.store.series(name, t0=now - span_s, t1=now)]
+
+    def _sustained(self, name: str, now: float, span_s: float, above: float) -> bool:
+        """True when every sample of the last ``span_s`` exceeds
+        ``above`` — and there are enough of them to mean anything."""
+        window = self._window(name, now, span_s)
+        if len(window) < self.policy.min_samples:
+            return False
+        return min(window) > above
+
+    def _sustained_below(self, name: str, now: float, span_s: float, below: float) -> bool:
+        window = self._window(name, now, span_s)
+        if len(window) < self.policy.min_samples:
+            return False
+        return max(window) < below
+
+    def decide(self, now: float, live: int) -> Tuple[int, Optional[str]]:
+        """The desired routable-shard count and the reason to change it
+        (``(live, None)`` means hold)."""
+        p = self.policy
+        if self.last_action_t is not None and now - self.last_action_t < p.cooldown_s:
+            return live, None
+        if live < p.min_shards:
+            self.last_action_t = now
+            return p.min_shards, f"below floor of {p.min_shards}"
+        if live < p.max_shards:
+            if self._sustained("fabric.backlog_per_shard", now, p.sustain_s,
+                               p.backlog_high):
+                self.last_action_t = now
+                self.decisions += 1
+                return live + 1, (
+                    f"backlog/shard > {p.backlog_high} for {p.sustain_s}s"
+                )
+            if self._sustained("fabric.worst_burn", now, p.sustain_s, p.burn_high):
+                self.last_action_t = now
+                self.decisions += 1
+                return live + 1, (
+                    f"SLO burn > {p.burn_high}x for {p.sustain_s}s"
+                )
+        if live > p.min_shards:
+            idle = self._sustained_below(
+                "fabric.backlog_per_shard", now, p.idle_retire_s, p.backlog_low
+            )
+            calm = self._sustained_below(
+                "fabric.degraded", now, p.idle_retire_s, 0.5
+            )
+            if idle and calm:
+                self.last_action_t = now
+                self.decisions += 1
+                return live - 1, (
+                    f"backlog/shard < {p.backlog_low} for {p.idle_retire_s}s"
+                )
+        return live, None

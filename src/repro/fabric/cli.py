@@ -1,0 +1,227 @@
+"""``python -m repro fabric [up|route|status|down|drill]``.
+
+* ``up``     — spawn the fleet and run the control loop in the
+  foreground (route, steal, collect, supervise, autoscale) until
+  ``fabric down`` is issued from another terminal, an idle timeout
+  elapses, or a tick budget runs out;
+* ``route``  — router-only mode over already-running shards: adopt the
+  shard directories found under ``ROOT/shards/`` without spawning or
+  supervising processes;
+* ``status`` — one-shot fleet dashboard (same renderer as
+  ``repro status --fabric ROOT``; that command adds ``--watch``);
+* ``down``   — signal a running ``fabric up`` loop to drain and exit
+  by creating ``ROOT/fabric.stop``;
+* ``drill``  — the kill-one-shard acceptance drill: mixed load, a
+  SIGKILL mid-claim, and a machine-checkable report proving zero lost
+  requests and bit-identical answers.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro.util.errors import ReproError
+
+
+def _add_root(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--root", required=True,
+        help="fabric root directory (itself a spool: clients submit "
+        "with 'repro submit --spool ROOT')",
+    )
+
+
+def cmd_fabric(argv) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro fabric",
+        description="Multi-shard service fabric: scene-affinity "
+        "routing, work stealing, failure recovery, autoscaling.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_up = sub.add_parser("up", help="spawn shards and run the control loop")
+    _add_root(p_up)
+    p_up.add_argument("--shards", type=int, default=2, help="initial fleet size")
+    p_up.add_argument(
+        "--workers", type=int, default=1, help="service workers per shard"
+    )
+    p_up.add_argument(
+        "--tick", type=float, default=0.1, help="control-loop period (seconds)"
+    )
+    p_up.add_argument(
+        "--heartbeat-timeout", type=float, default=5.0,
+        help="declare a shard dead after this much heartbeat silence",
+    )
+    p_up.add_argument(
+        "--no-autoscale", action="store_true",
+        help="hold the fleet at --shards (no SLO-driven resizing)",
+    )
+    p_up.add_argument(
+        "--min-shards", type=int, default=1, help="autoscaler floor"
+    )
+    p_up.add_argument(
+        "--max-shards", type=int, default=4, help="autoscaler ceiling"
+    )
+    p_up.add_argument(
+        "--max-ticks", type=int, default=None,
+        help="exit after N control passes (default: run until 'down')",
+    )
+    p_up.add_argument(
+        "--idle-timeout", type=float, default=None,
+        help="exit after this many seconds with an empty fleet backlog",
+    )
+
+    p_route = sub.add_parser(
+        "route", help="route-only loop over externally-managed shards"
+    )
+    _add_root(p_route)
+    p_route.add_argument("--max-ticks", type=int, default=None)
+    p_route.add_argument("--idle-timeout", type=float, default=None)
+    p_route.add_argument("--tick", type=float, default=0.1)
+
+    p_status = sub.add_parser("status", help="one-shot fleet dashboard")
+    _add_root(p_status)
+    p_status.add_argument(
+        "--json", action="store_true", help="emit the raw aggregate document"
+    )
+
+    p_down = sub.add_parser("down", help="stop a running 'fabric up' loop")
+    _add_root(p_down)
+    p_down.add_argument(
+        "--wait", type=float, default=0.0,
+        help="wait up to this long for every shard to report exit",
+    )
+
+    p_drill = sub.add_parser(
+        "drill", help="kill-one-shard zero-loss acceptance drill"
+    )
+    _add_root(p_drill)
+    p_drill.add_argument("--shards", type=int, default=2)
+    p_drill.add_argument(
+        "--repeats", type=int, default=2, help="tickets per scene geometry"
+    )
+    p_drill.add_argument(
+        "--no-kill", action="store_true",
+        help="run the same load without the SIGKILL (baseline pass)",
+    )
+    p_drill.add_argument("--timeout", type=float, default=300.0)
+    p_drill.add_argument(
+        "--report", default=None,
+        help="write the drill report JSON here "
+        "(default: ROOT/fabric_drill_report.json)",
+    )
+
+    args = parser.parse_args(argv)
+    try:
+        return _dispatch(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+def _dispatch(args) -> int:
+    from repro.fabric.fabric import (
+        Fabric,
+        FabricConfig,
+        aggregate_status,
+        format_fleet,
+        run_drill,
+    )
+
+    root = Path(args.root)
+
+    if args.command == "up":
+        from repro.fabric.autoscaler import AutoscalePolicy
+
+        policy = AutoscalePolicy(
+            min_shards=args.min_shards, max_shards=args.max_shards
+        )
+        config = FabricConfig(
+            shards=args.shards,
+            workers_per_shard=args.workers,
+            tick_s=args.tick,
+            heartbeat_timeout_s=args.heartbeat_timeout,
+            autoscale=not args.no_autoscale,
+            policy=policy,
+        )
+        fabric = Fabric(root, config)
+        ids = fabric.up()
+        print(f"fabric up at {root}: shard(s) {', '.join(ids)} "
+              f"(autoscale {'on' if config.autoscale else 'off'})")
+        return fabric.run(
+            max_ticks=args.max_ticks, idle_timeout_s=args.idle_timeout
+        )
+
+    if args.command == "route":
+        config = FabricConfig(shards=0, autoscale=False, tick_s=args.tick)
+        fabric = Fabric(root, config)
+        ids = fabric.attach()
+        if not ids:
+            print(f"error: no shard directories under {root / 'shards'}",
+                  file=sys.stderr)
+            return 1
+        print(f"routing over externally-managed shard(s): {', '.join(ids)}")
+        while True:
+            fabric.tick()
+            if fabric.stop_path.exists():
+                break
+            if args.max_ticks is not None and fabric.ticks >= args.max_ticks:
+                break
+            time.sleep(config.tick_s)
+        return 0
+
+    if args.command == "status":
+        doc = aggregate_status(root)
+        if args.json:
+            print(json.dumps(doc, indent=2))
+        else:
+            print(format_fleet(doc))
+        return 0 if doc["state"] == "ok" else 3
+
+    if args.command == "down":
+        stop = root / "fabric.stop"
+        stop.parent.mkdir(parents=True, exist_ok=True)
+        stop.touch()
+        print(f"stop requested: {stop}")
+        if args.wait > 0:
+            deadline = time.monotonic() + args.wait
+            while time.monotonic() < deadline:
+                doc = aggregate_status(root)
+                live = [
+                    sid for sid, s in doc["shards"].items()
+                    if s.get("state") not in ("exited", "unknown")
+                ]
+                if not live:
+                    print("fleet down")
+                    return 0
+                time.sleep(0.2)
+            print("warning: shards still running after --wait",
+                  file=sys.stderr)
+            return 1
+        return 0
+
+    if args.command == "drill":
+        report_path = args.report or str(root / "fabric_drill_report.json")
+        report = run_drill(
+            root,
+            shards=args.shards,
+            repeats=args.repeats,
+            kill=not args.no_kill,
+            timeout_s=args.timeout,
+            report_path=report_path,
+        )
+        print(json.dumps(
+            {k: report[k] for k in (
+                "requests", "killed", "kill_state", "lost", "errors",
+                "byte_identical", "states_observed", "final_state",
+                "elapsed_s", "ok",
+            )}, indent=2,
+        ))
+        print(f"report: {report_path}")
+        return 0 if report["ok"] else 1
+
+    raise ReproError(f"unknown fabric command {args.command!r}")

@@ -1,0 +1,46 @@
+"""Rendezvous (highest-random-weight) hashing for scene placement.
+
+The router must answer "which shard owns this scene?" such that
+
+* every router instance answers identically (pure function of the key
+  and the live shard set — no shared state to synchronize);
+* resizing the fleet moves as few scenes as possible: removing a shard
+  remaps only *its* scenes (each to the shard that was already second
+  choice), and adding a shard steals only ~1/N of every other shard's
+  keyspace. A modulo ring would reshuffle almost everything and throw
+  away every shard's warm result cache and prepared scenes on each
+  autoscaler action.
+
+HRW gives exactly that: score every (shard, key) pair with a stable
+hash and pick the highest. SHA-256 keeps scores identical across
+processes and Python versions (``hash()`` is salted per process).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import List, Sequence
+
+from repro.util.errors import ReproError
+
+
+def _score(shard_id: str, key: str) -> int:
+    digest = hashlib.sha256(f"{shard_id}|{key}".encode()).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+def rendezvous_rank(key: str, shard_ids: Sequence[str]) -> List[str]:
+    """All shards ordered by preference for ``key`` (best first).
+
+    The tail of the list is the failover order: when the winner dies,
+    the key's new home is the next entry — the same shard every router
+    instance would independently pick.
+    """
+    if not shard_ids:
+        raise ReproError("rendezvous over an empty shard set")
+    return sorted(shard_ids, key=lambda s: (-_score(s, key), s))
+
+
+def rendezvous_shard(key: str, shard_ids: Sequence[str]) -> str:
+    """The shard that owns ``key`` in the current fleet."""
+    return rendezvous_rank(key, shard_ids)[0]

@@ -15,12 +15,20 @@ Two transports share one implementation:
   problem.ups`` drops requests into the inbox and waits for the
   results, giving a cross-process serve/submit pair with no network
   dependency.
+
+Multiple serve processes may share one spool: each claims requests by
+atomically renaming them into its own ``claimed/<shard-id>/``
+directory (see :mod:`repro.service.spool`), so a request is solved by
+exactly one shard no matter how many poll the inbox. The claimed file
+survives until the result is published, which is what lets the fabric
+supervisor re-home a killed shard's accepted work with zero loss.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import time
 import uuid
@@ -29,6 +37,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro.perf import tracectx
 from repro.perf.metrics import MetricsRegistry, set_metrics
 from repro.perf.tracer import SpanTracer, set_tracer
 from repro.perf.tsdb import (
@@ -38,8 +47,16 @@ from repro.perf.tsdb import (
     format_history,
 )
 from repro.service.service import RadiationService, ServiceClient, ServiceConfig
+from repro.service.spool import (
+    claim_request,
+    extract_ctx,
+    read_result_meta,
+    release_claims,
+    write_request,
+    write_result,
+)
 from repro.ups import parse_ups
-from repro.util.atomic import atomic_savez, atomic_write_text
+from repro.util.atomic import atomic_write_text
 from repro.util.errors import ReproError, ServiceError
 
 
@@ -201,20 +218,20 @@ def _submit_spool(args, names) -> int:
             print(f"error: {exc}", file=sys.stderr)
             return 1
         ticket = f"{i:03d}-{path.stem}-{uuid.uuid4().hex[:8]}"
-        tmp = inbox / f".{ticket}.tmp"
-        tmp.write_text(text)
-        tmp.replace(inbox / f"{ticket}.ups")
+        # the request carries the submitter's trace context in-band, so
+        # router, shard, and worker spans all join this client's trace
+        write_request(inbox, ticket, text, ctx=tracectx.child_or_new())
         tickets.append((path.name, ticket))
     deadline = time.monotonic() + args.timeout
     failures = 0
     for name, ticket in tickets:
-        meta_path = outbox / f"{ticket}.json"
-        while not meta_path.exists():
+        meta = read_result_meta(outbox, ticket)
+        while meta is None:
             if time.monotonic() > deadline:
                 print(f"error: no result for {name} ({ticket})", file=sys.stderr)
                 return 1
             time.sleep(0.05)
-        meta = json.loads(meta_path.read_text())
+            meta = read_result_meta(outbox, ticket)
         if meta.get("error"):
             print(f"{name:<28} FAILED: {meta['error']}")
             failures += 1
@@ -253,19 +270,34 @@ def cmd_serve(argv) -> int:
         "--tsdb-retention", type=int, default=2048,
         help="samples retained per rank in the spool tsdb",
     )
+    parser.add_argument(
+        "--shard-id", default="shard0",
+        help="this consumer's identity; claims land in "
+        "claimed/<shard-id>/ so multiple shards may share one inbox "
+        "(give each a distinct id)",
+    )
+    parser.add_argument(
+        "--stop-file", default=None,
+        help="exit gracefully (drain outstanding, claim nothing new) "
+        "once this file exists (default: <spool>/serve.stop)",
+    )
     _service_args(parser)
     args = parser.parse_args(argv)
 
     spool = Path(args.spool)
     inbox, outbox = spool / "inbox", spool / "outbox"
+    claim_dir = spool / "claimed" / args.shard_id
     inbox.mkdir(parents=True, exist_ok=True)
     outbox.mkdir(parents=True, exist_ok=True)
+    claim_dir.mkdir(parents=True, exist_ok=True)
+    stop_file = Path(args.stop_file) if args.stop_file else spool / "serve.stop"
     metrics, tracer = _install_observability(args)
 
     served = 0
-    outstanding = []  # (ticket, handle)
+    outstanding = []  # (ticket, handle, claimed_path)
     last_request = time.monotonic()
-    print(f"serving from {spool} (idle timeout {args.idle_timeout}s)")
+    print(f"serving from {spool} as {args.shard_id} "
+          f"(idle timeout {args.idle_timeout}s)")
     with RadiationService(_build_config(args), metrics=metrics, tracer=tracer) as svc:
         client = ServiceClient(svc)
         # metrics history: one collector sampling the registry plus the
@@ -282,6 +314,13 @@ def cmd_serve(argv) -> int:
                 interval_s=args.tsdb_interval,
                 extra=lambda: flatten_status(svc.slo.snapshot()),
             )
+        # warm restart, part 1: requests this shard claimed but never
+        # answered before a crash go back to the inbox (to be
+        # re-claimed below, possibly by a sibling shard)
+        reclaimed = release_claims(claim_dir, inbox)
+        if reclaimed:
+            print(f"warm restart: {reclaimed} claimed request(s) "
+                  "released back to the inbox")
         if svc.journal is not None:
             recovered = svc.recover_journal()
             if recovered["cache_preloaded"] or recovered["replayed"]:
@@ -292,21 +331,39 @@ def cmd_serve(argv) -> int:
                 )
             for handle in recovered["handles"]:
                 handle.result(timeout=args.idle_timeout + 300.0)
+        stopping = False
         while True:
             claimed = 0
-            budget_left = args.max_requests is None or served < args.max_requests
+            stopping = stopping or stop_file.exists()
+            budget_left = not stopping and (
+                args.max_requests is None or served < args.max_requests
+            )
             if budget_left:
                 for path in sorted(inbox.glob("*.ups")):
-                    text = path.read_text()
-                    path.unlink()  # claim
-                    ticket = path.stem
+                    # atomic claim: exactly one shard wins the rename,
+                    # so a shared inbox can never be double-solved
+                    claimed_path = claim_request(path, claim_dir)
+                    if claimed_path is None:
+                        metrics.counter("service.spool.claim_races").inc()
+                        continue
                     try:
-                        handle = client.submit(text)
+                        raw = claimed_path.read_text()
+                    except OSError:
+                        continue  # pragma: no cover — claimed file vanished
+                    metrics.counter("service.spool.claimed").inc()
+                    ticket = claimed_path.stem
+                    text, ctx = extract_ctx(raw)
+                    try:
+                        # enter the submitter's trace so the request's
+                        # queue/batcher/worker spans share its trace_id
+                        with tracectx.use(ctx):
+                            handle = client.submit(text)
                     except (ReproError, OSError) as exc:
-                        _write_result(outbox, ticket, error=str(exc))
+                        write_result(outbox, ticket, error=str(exc))
+                        _settle_claim(claimed_path)
                         print(f"{ticket}: rejected ({exc})")
                         continue
-                    outstanding.append((ticket, handle))
+                    outstanding.append((ticket, handle, claimed_path))
                     claimed += 1
                     served += 1
                     if args.max_requests is not None and served >= args.max_requests:
@@ -314,33 +371,43 @@ def cmd_serve(argv) -> int:
             if claimed:
                 last_request = time.monotonic()
             still_waiting = []
-            for ticket, handle in outstanding:
+            for ticket, handle, claimed_path in outstanding:
                 if not handle.done():
-                    still_waiting.append((ticket, handle))
+                    still_waiting.append((ticket, handle, claimed_path))
                     continue
                 try:
                     result = handle.result(timeout=0)
                 except ServiceError as exc:
-                    _write_result(outbox, ticket, error=str(exc))
+                    write_result(outbox, ticket, error=str(exc))
+                    _settle_claim(claimed_path)
                     print(f"{ticket}: FAILED ({exc})")
                     continue
-                _write_result(outbox, ticket, result=result)
+                write_result(outbox, ticket, result=result)
+                _settle_claim(claimed_path)
                 print(_result_line(ticket, result))
             outstanding = still_waiting
             done_budget = args.max_requests is not None and served >= args.max_requests
-            # live SLO snapshot: atomically republished every pass so
-            # `python -m repro status --spool DIR` always reads a
-            # complete, current document
-            svc.slo.write(spool / "status.json")
+            # live status snapshot: the SLO document plus shard
+            # identity and a heartbeat timestamp, atomically
+            # republished every pass — the fabric supervisor reads
+            # heartbeat staleness from here to detect shard death
+            _publish_status(
+                spool, svc, args.shard_id, served, len(outstanding),
+                inbox, claim_dir,
+            )
             if collector is not None:
                 collector.maybe_sample(served=served, outstanding=len(outstanding))
             if not outstanding and (
-                done_budget
+                stopping
+                or done_budget
                 or time.monotonic() - last_request > args.idle_timeout
             ):
                 break
             time.sleep(0.05)
-        svc.slo.write(spool / "status.json")
+        _publish_status(
+            spool, svc, args.shard_id, served, len(outstanding),
+            inbox, claim_dir, exited=True,
+        )
         if collector is not None:
             collector.sample(served=served, outstanding=len(outstanding))
         stats = svc.stats()
@@ -373,6 +440,11 @@ def cmd_status(argv) -> int:
         "--file", default=None, help="explicit status.json path"
     )
     parser.add_argument(
+        "--fabric", default=None,
+        help="fabric root directory: aggregate every shard's "
+        "status.json (the worst shard's verdict drives the exit code)",
+    )
+    parser.add_argument(
         "--watch", action="store_true", help="refresh continuously"
     )
     parser.add_argument(
@@ -392,9 +464,13 @@ def cmd_status(argv) -> int:
         help="sparkline width (samples shown per series)",
     )
     args = parser.parse_args(argv)
-    if (args.spool is None) == (args.file is None):
-        print("error: give exactly one of --spool or --file", file=sys.stderr)
+    given = [o for o in (args.spool, args.file, args.fabric) if o is not None]
+    if len(given) != 1:
+        print("error: give exactly one of --spool, --file, or --fabric",
+              file=sys.stderr)
         return 2
+    if args.fabric is not None:
+        return _status_fabric(args)
     path = Path(args.file) if args.file else Path(args.spool) / "status.json"
     tsdb_dir = Path(args.spool) / "tsdb" if args.spool else None
 
@@ -436,19 +512,60 @@ def cmd_status(argv) -> int:
         print()
 
 
-def _write_result(outbox: Path, ticket: str, result=None, error=None) -> None:
-    """npz first, JSON sidecar last — the sidecar's existence is the
-    submitter's completion signal, and both publish atomically."""
-    if result is not None:
-        atomic_savez(outbox / f"{ticket}.npz", divq=result.divq)
-        meta = {
-            "fingerprint": result.fingerprint,
-            "cache_hit": result.cache_hit,
-            "coalesced": result.coalesced,
-            "rays_traced": result.rays_traced,
-            "latency_s": result.latency_s,
-            "error": None,
-        }
-    else:
-        meta = {"error": error}
-    atomic_write_text(outbox / f"{ticket}.json", json.dumps(meta))
+def _status_fabric(args) -> int:
+    """Fleet-wide dashboard: aggregate every shard's status.json under
+    a fabric root. Exit 3 when the worst shard is degraded (or dead),
+    mirroring the single-spool contract."""
+    from repro.fabric.fabric import aggregate_status, format_fleet
+
+    refreshes = 0
+    while True:
+        doc = aggregate_status(Path(args.fabric))
+        print(format_fleet(doc))
+        refreshes += 1
+        done = not args.watch or (
+            args.max_refreshes is not None and refreshes >= args.max_refreshes
+        )
+        if done:
+            return 0 if doc["state"] == "ok" else 3
+        try:
+            time.sleep(args.interval)
+        except KeyboardInterrupt:
+            return 0
+        print()
+
+
+def _settle_claim(claimed_path: Path) -> None:
+    """Drop a claimed request file once its result is published — from
+    here on the outbox, not the claim, is the record of the request."""
+    try:
+        claimed_path.unlink()
+    except OSError:
+        pass
+
+
+def _publish_status(
+    spool: Path,
+    svc: RadiationService,
+    shard_id: str,
+    served: int,
+    outstanding: int,
+    inbox: Path,
+    claim_dir: Path,
+    exited: bool = False,
+) -> None:
+    """Atomically publish the shard's status.json: the SLO snapshot
+    plus shard identity, queue depths, and a wall-clock heartbeat."""
+    doc = svc.slo.snapshot()
+    doc["heartbeat_t"] = time.time()
+    doc["shard"] = {
+        "shard_id": shard_id,
+        "pid": os.getpid(),
+        "served": served,
+        "outstanding": outstanding,
+        "inbox_depth": sum(1 for _ in inbox.glob("*.ups")),
+        "claimed_depth": sum(1 for _ in claim_dir.glob("*.ups")),
+        "exited": exited,
+        "stats": svc.stats(),
+    }
+    atomic_write_text(spool / "status.json", json.dumps(doc, indent=2) + "\n")

@@ -1,0 +1,181 @@
+"""The file-spool wire protocol, shared by serve, submit, and the fabric.
+
+A spool directory is the no-network transport of this repo: requests
+are ``inbox/<ticket>.ups`` files, results are ``outbox/<ticket>.npz``
+plus a ``<ticket>.json`` sidecar whose existence is the completion
+signal. This module is the single home of that protocol so the serve
+loop, the submit client, and the fabric router all speak exactly the
+same format:
+
+* **Atomic publication** — requests and results appear via tmp-file +
+  rename, so a reader never sees a partial file.
+* **Atomic claiming** — consumers take ownership of a request by
+  renaming it into their own ``claimed/<shard-id>/`` directory. POSIX
+  rename succeeds for exactly one claimant, so two shards polling one
+  inbox can never double-solve a request; the claimed file survives
+  until the result is published, which is what lets a supervisor
+  re-home a dead shard's accepted-but-unfinished work with zero loss.
+* **In-band trace context** — the submitter's
+  :class:`~repro.perf.tracectx.TraceContext` rides as a leading XML
+  comment inside the request file itself (``<!-- repro:ctx {...} -->``),
+  so one trace_id spans client, router, shard, and worker without a
+  sidecar file that could race the claim rename.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from pathlib import Path
+from typing import Optional, Tuple
+
+from repro.perf import tracectx
+from repro.util.atomic import atomic_write_text
+
+#: leading-comment carrier of the submitter's trace context; XML
+#: parsers skip comments before the root element, so parse_ups never
+#: sees it
+_CTX_RE = re.compile(r"^\s*<!--\s*repro:ctx\s+(\{.*?\})\s*-->\s*", re.DOTALL)
+
+
+def embed_ctx(text: str, ctx: Optional[tracectx.TraceContext]) -> str:
+    """Prefix UPS text with an in-band trace-context comment."""
+    if ctx is None:
+        return text
+    return f"<!-- repro:ctx {json.dumps(ctx.as_dict())} -->\n{text}"
+
+
+def extract_ctx(text: str) -> Tuple[str, Optional[tracectx.TraceContext]]:
+    """Split request text into (UPS body, carried context or None).
+
+    A malformed context comment is dropped rather than failing the
+    request — tracing is observability, never a correctness gate.
+    """
+    match = _CTX_RE.match(text)
+    if match is None:
+        return text, None
+    body = text[match.end():]
+    try:
+        ctx = tracectx.TraceContext.from_dict(json.loads(match.group(1)))
+    except (ValueError, KeyError, TypeError):
+        return body, None
+    return body, ctx
+
+
+# ----------------------------------------------------------------------
+# request side
+# ----------------------------------------------------------------------
+def write_request(
+    inbox: Path,
+    ticket: str,
+    text: str,
+    ctx: Optional[tracectx.TraceContext] = None,
+) -> Path:
+    """Publish one request atomically; returns the inbox path."""
+    inbox.mkdir(parents=True, exist_ok=True)
+    target = inbox / f"{ticket}.ups"
+    atomic_write_text(target, embed_ctx(text, ctx))
+    return target
+
+
+def claim_request(path: Path, claim_dir: Path) -> Optional[Path]:
+    """Atomically claim an inbox request by renaming it into
+    ``claim_dir``; returns the claimed path, or None when another
+    consumer won the race (or the file vanished)."""
+    target = claim_dir / path.name
+    try:
+        path.rename(target)
+    except OSError:
+        return None
+    return target
+
+
+def release_claims(claim_dir: Path, inbox: Path) -> int:
+    """Move every claimed-but-unfinished request back into an inbox —
+    the warm-restart sweep (same shard id restarting) and the
+    supervisor's re-home path both use this. Returns the count moved."""
+    moved = 0
+    if not claim_dir.is_dir():
+        return moved
+    inbox.mkdir(parents=True, exist_ok=True)
+    for path in sorted(claim_dir.glob("*.ups")):
+        try:
+            path.rename(inbox / path.name)
+        except OSError:
+            continue  # concurrent sweep got it first
+        moved += 1
+    return moved
+
+
+def move_requests(src_inbox: Path, dst_inbox: Path, limit: Optional[int] = None):
+    """Re-route unclaimed requests between inboxes by atomic rename
+    (the router's work-stealing move). A request the source shard
+    claims mid-steal simply wins its rename race and stays put.
+    Returns the list of moved tickets."""
+    moved = []
+    if not src_inbox.is_dir():
+        return moved
+    dst_inbox.mkdir(parents=True, exist_ok=True)
+    for path in sorted(src_inbox.glob("*.ups")):
+        if limit is not None and len(moved) >= limit:
+            break
+        try:
+            path.rename(dst_inbox / path.name)
+        except OSError:
+            continue
+        moved.append(path.stem)
+    return moved
+
+
+# ----------------------------------------------------------------------
+# result side
+# ----------------------------------------------------------------------
+def write_result(outbox: Path, ticket: str, result=None, error=None) -> None:
+    """npz first, JSON sidecar last — the sidecar's existence is the
+    submitter's completion signal, and both publish atomically."""
+    from repro.util.atomic import atomic_savez
+
+    if result is not None:
+        atomic_savez(outbox / f"{ticket}.npz", divq=result.divq)
+        meta = {
+            "fingerprint": result.fingerprint,
+            "cache_hit": result.cache_hit,
+            "coalesced": result.coalesced,
+            "rays_traced": result.rays_traced,
+            "latency_s": result.latency_s,
+            "worker": result.worker,
+            "error": None,
+        }
+    else:
+        meta = {"error": error}
+    atomic_write_text(outbox / f"{ticket}.json", json.dumps(meta))
+
+
+def read_result_meta(outbox: Path, ticket: str) -> Optional[dict]:
+    """The result sidecar for a ticket, or None while it's pending."""
+    path = outbox / f"{ticket}.json"
+    try:
+        return json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError):
+        return None
+
+
+def forward_results(src_outbox: Path, dst_outbox: Path) -> int:
+    """Relay completed results between outboxes (shard outbox to the
+    fabric's front outbox). The payload moves before its sidecar so the
+    destination never signals completion for a missing payload.
+    Returns the number of results forwarded."""
+    forwarded = 0
+    if not src_outbox.is_dir():
+        return forwarded
+    dst_outbox.mkdir(parents=True, exist_ok=True)
+    for sidecar in sorted(src_outbox.glob("*.json")):
+        npz = sidecar.with_suffix(".npz")
+        try:
+            if npz.exists():
+                npz.rename(dst_outbox / npz.name)
+            sidecar.rename(dst_outbox / sidecar.name)
+        except OSError:
+            continue
+        forwarded += 1
+    return forwarded

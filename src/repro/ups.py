@@ -331,6 +331,39 @@ def spec_from_dict(doc: dict) -> ProblemSpec:
     return spec
 
 
+def spec_to_ups(spec: ProblemSpec) -> str:
+    """Emit a spec as UPS XML that :func:`parse_ups` round-trips.
+
+    The fabric layer uses this to materialize journaled or
+    programmatically-built specs back into spool request files — the
+    wire format of the file-spool transport is UPS text, so anything
+    that re-homes or regenerates requests needs the inverse of
+    :func:`parse_ups`.
+    """
+    g, r, s = spec.grid, spec.rmcrt, spec.scheduler
+    lines = ["<Uintah_specification>", "  <Grid>"]
+    lines.append(f"    <resolution> {g.resolution} </resolution>")
+    lines.append(f"    <levels> {g.levels} </levels>")
+    lines.append(f"    <refinement_ratio> {g.refinement_ratio} </refinement_ratio>")
+    if g.patch_size is not None:
+        lines.append(f"    <patch_size> {g.patch_size} </patch_size>")
+    lines.append("  </Grid>")
+    lines.append("  <RMCRT>")
+    lines.append(f"    <nDivQRays> {r.n_divq_rays} </nDivQRays>")
+    lines.append(f"    <Threshold> {r.threshold!r} </Threshold>")
+    lines.append(f"    <halo> {r.halo} </halo>")
+    lines.append(f"    <allowReflect> {str(r.allow_reflect).lower()} </allowReflect>")
+    lines.append(f"    <CCRays> {str(r.cc_rays).lower()} </CCRays>")
+    lines.append(f"    <randomSeed> {r.random_seed} </randomSeed>")
+    lines.append("  </RMCRT>")
+    lines.append(
+        f'  <Scheduler type="{s.type}" ranks="{s.ranks}" '
+        f'pool="{s.pool}" threads="{s.threads}"/>'
+    )
+    lines.append("</Uintah_specification>")
+    return "\n".join(lines) + "\n"
+
+
 def spec_fingerprint(spec: ProblemSpec) -> str:
     """Full content address of a solve: scene + RMCRT params + seed."""
     r = spec.rmcrt

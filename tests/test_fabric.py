@@ -1,0 +1,463 @@
+"""repro.fabric: hashring, spool protocol, router, supervisor,
+autoscaler, aggregation, and the kill-one-shard drill."""
+
+import json
+import time
+
+import numpy as np
+import pytest
+
+from repro.fabric.autoscaler import AutoscalePolicy, Autoscaler
+from repro.fabric.fabric import aggregate_status, format_fleet, run_drill
+from repro.fabric.hashring import rendezvous_rank, rendezvous_shard
+from repro.fabric.router import Router
+from repro.fabric.shard import ShardHandle
+from repro.fabric.supervisor import Fleet, FleetSupervisor
+from repro.perf import tracectx
+from repro.perf.tsdb import TimeSeriesStore
+from repro.service.spool import (
+    claim_request,
+    embed_ctx,
+    extract_ctx,
+    forward_results,
+    move_requests,
+    read_result_meta,
+    release_claims,
+    write_request,
+    write_result,
+)
+from repro.ups import (
+    GridSpec,
+    ProblemSpec,
+    RMCRTSpec,
+    parse_ups,
+    scene_fingerprint,
+    spec_fingerprint,
+    spec_to_ups,
+)
+from repro.util.errors import ReproError
+
+
+def spec_for(resolution, seed=0, levels=1, **kw):
+    return ProblemSpec(
+        grid=GridSpec(resolution=resolution, levels=levels, **kw),
+        rmcrt=RMCRTSpec(n_divq_rays=1, random_seed=seed),
+    )
+
+
+# ----------------------------------------------------------------------
+# rendezvous hashing
+# ----------------------------------------------------------------------
+class TestHashring:
+    def test_deterministic_and_total(self):
+        ids = [f"shard{i}" for i in range(5)]
+        keys = [f"scene-{i}" for i in range(200)]
+        first = {k: rendezvous_shard(k, ids) for k in keys}
+        # same answer on every call and for any presentation order
+        assert first == {k: rendezvous_shard(k, list(reversed(ids))) for k in keys}
+        # and every shard owns a reasonable slice of the keyspace
+        owned = {s: sum(1 for v in first.values() if v == s) for s in ids}
+        assert all(owned[s] > 0 for s in ids)
+
+    def test_removal_only_remaps_the_dead_shards_keys(self):
+        ids = [f"shard{i}" for i in range(4)]
+        keys = [f"scene-{i}" for i in range(300)]
+        before = {k: rendezvous_shard(k, ids) for k in keys}
+        survivors = [s for s in ids if s != "shard2"]
+        after = {k: rendezvous_shard(k, survivors) for k in keys}
+        for k in keys:
+            if before[k] != "shard2":
+                assert after[k] == before[k]  # unaffected keys stay put
+            else:
+                # orphaned keys land on their original second choice
+                assert after[k] == rendezvous_rank(k, ids)[1]
+
+    def test_growth_steals_a_slice_not_the_world(self):
+        ids = ["shard0", "shard1", "shard2"]
+        keys = [f"scene-{i}" for i in range(300)]
+        before = {k: rendezvous_shard(k, ids) for k in keys}
+        after = {k: rendezvous_shard(k, ids + ["shard3"]) for k in keys}
+        moved = sum(1 for k in keys if before[k] != after[k])
+        assert all(after[k] == "shard3" for k in keys if before[k] != after[k])
+        assert 0 < moved < len(keys) // 2  # ~1/4 expected, never a reshuffle
+
+    def test_empty_fleet_raises(self):
+        with pytest.raises(ReproError, match="empty shard set"):
+            rendezvous_shard("x", [])
+
+
+# ----------------------------------------------------------------------
+# spool wire protocol
+# ----------------------------------------------------------------------
+class TestSpoolProtocol:
+    def test_ctx_rides_in_band_and_parses_clean(self):
+        ctx = tracectx.new_trace()
+        text = spec_to_ups(spec_for(8))
+        carried = embed_ctx(text, ctx)
+        body, got = extract_ctx(carried)
+        assert got == ctx
+        # the comment is transparent to the UPS parser on both forms
+        assert spec_fingerprint(parse_ups(carried)) == spec_fingerprint(
+            parse_ups(body)
+        )
+
+    def test_malformed_ctx_is_dropped_not_fatal(self):
+        body, got = extract_ctx("<!-- repro:ctx {broken json} -->\n<x/>")
+        assert got is None and body == "<x/>"
+
+    def test_claim_has_exactly_one_winner(self, tmp_path):
+        inbox = tmp_path / "inbox"
+        path = write_request(inbox, "t1", "<x/>")
+        a, b = tmp_path / "claimed" / "a", tmp_path / "claimed" / "b"
+        a.mkdir(parents=True)
+        b.mkdir(parents=True)
+        won = claim_request(path, a)
+        lost = claim_request(path, b)
+        assert won is not None and won.read_text() == "<x/>"
+        assert lost is None
+        assert not path.exists()
+
+    def test_release_claims_returns_work_to_inbox(self, tmp_path):
+        inbox = tmp_path / "inbox"
+        claim = tmp_path / "claimed" / "s0"
+        claim.mkdir(parents=True)
+        for i in range(3):
+            (claim / f"t{i}.ups").write_text("<x/>")
+        assert release_claims(claim, inbox) == 3
+        assert sorted(p.name for p in inbox.glob("*.ups")) == [
+            "t0.ups", "t1.ups", "t2.ups",
+        ]
+
+    def test_move_requests_respects_limit(self, tmp_path):
+        src, dst = tmp_path / "a", tmp_path / "b"
+        src.mkdir()
+        for i in range(5):
+            (src / f"t{i}.ups").write_text("<x/>")
+        moved = move_requests(src, dst, limit=2)
+        assert len(moved) == 2
+        assert sum(1 for _ in src.glob("*.ups")) == 3
+        assert sum(1 for _ in dst.glob("*.ups")) == 2
+
+    def test_result_roundtrip_and_forwarding(self, tmp_path):
+        out_a, out_b = tmp_path / "a", tmp_path / "b"
+        out_a.mkdir()
+        write_result(out_a, "t9", error="boom")
+        assert read_result_meta(out_a, "t9")["error"] == "boom"
+        assert forward_results(out_a, out_b) == 1
+        assert read_result_meta(out_b, "t9")["error"] == "boom"
+        assert read_result_meta(out_a, "t9") is None
+
+
+class TestSpecToUps:
+    def test_roundtrips_every_field(self):
+        specs = [
+            spec_for(8, seed=3),
+            spec_for(12, seed=5, levels=2, refinement_ratio=2, patch_size=6),
+            ProblemSpec(
+                grid=GridSpec(resolution=16, levels=2, refinement_ratio=2,
+                              patch_size=8),
+                rmcrt=RMCRTSpec(n_divq_rays=7, threshold=1e-4, halo=2,
+                                allow_reflect=True, cc_rays=True,
+                                random_seed=42),
+            ),
+        ]
+        for spec in specs:
+            back = parse_ups(spec_to_ups(spec))
+            assert back == spec
+            assert spec_fingerprint(back) == spec_fingerprint(spec)
+
+
+# ----------------------------------------------------------------------
+# router over a processless fleet (pure directory protocol)
+# ----------------------------------------------------------------------
+def make_fleet(tmp_path, n=2):
+    fleet = Fleet()
+    for i in range(n):
+        shard = ShardHandle(f"shard{i}", tmp_path / "shards" / f"shard{i}")
+        shard.paths.ensure()
+        fleet.add(shard)
+    return fleet
+
+
+class TestRouter:
+    def test_routes_by_scene_affinity(self, tmp_path):
+        fleet = make_fleet(tmp_path)
+        router = Router(tmp_path, fleet)
+        specs = [spec_for(r, seed=s) for r in (8, 9, 10, 11) for s in (0, 1)]
+        for i, spec in enumerate(specs):
+            write_request(router.inbox, f"t{i}", spec_to_ups(spec))
+        assert router.route_once() == len(specs)
+        ids = fleet.routable()
+        for i, spec in enumerate(specs):
+            home = rendezvous_shard(scene_fingerprint(spec), ids)
+            assert (fleet.shards[home].paths.inbox / f"t{i}.ups").exists()
+        # same scene always lands on the same shard regardless of seed
+        homes = {scene_fingerprint(s): rendezvous_shard(scene_fingerprint(s), ids)
+                 for s in specs}
+        assert len(homes) == 4
+
+    def test_unparsable_request_is_answered_not_shipped(self, tmp_path):
+        fleet = make_fleet(tmp_path)
+        router = Router(tmp_path, fleet)
+        write_request(router.inbox, "bad", "this is not xml")
+        assert router.route_once() == 0
+        meta = read_result_meta(router.outbox, "bad")
+        assert meta is not None and meta["error"]
+        assert router.rejected == 1
+
+    def test_steal_moves_half_the_gap_to_the_idlest(self, tmp_path):
+        fleet = make_fleet(tmp_path)
+        busy = fleet.shards["shard0"]
+        for i in range(6):
+            (busy.paths.inbox / f"t{i}.ups").write_text("<x/>")
+        router = Router(tmp_path, fleet)
+        moved = router.steal_once(spread=2)
+        assert len(moved) == 3  # half of the 6-0 gap
+        assert fleet.shards["shard1"].paths.inbox_depth() == 3
+
+    def test_no_steal_within_spread(self, tmp_path):
+        fleet = make_fleet(tmp_path)
+        (fleet.shards["shard0"].paths.inbox / "t0.ups").write_text("<x/>")
+        router = Router(tmp_path, fleet)
+        assert router.steal_once(spread=2) == []
+
+    def test_collect_relays_results_to_front_outbox(self, tmp_path):
+        fleet = make_fleet(tmp_path)
+        router = Router(tmp_path, fleet)
+        write_result(fleet.shards["shard1"].paths.outbox, "t7", error="x")
+        assert router.collect_once() == 1
+        assert read_result_meta(router.outbox, "t7") is not None
+
+
+# ----------------------------------------------------------------------
+# supervisor: death detection and zero-loss re-homing (no processes)
+# ----------------------------------------------------------------------
+class TestSupervisor:
+    def test_stale_heartbeat_detects_death(self, tmp_path):
+        fleet = make_fleet(tmp_path, n=1)
+        sup = FleetSupervisor(fleet, tmp_path / "shards", heartbeat_timeout_s=5.0)
+        shard = fleet.shards["shard0"]
+        now = time.time()
+        shard.paths.status.write_text(json.dumps({"heartbeat_t": now - 60}))
+        assert sup.dead_shards(now) == ["shard0"]
+        # a fresh heartbeat clears the verdict
+        shard.paths.status.write_text(json.dumps({"heartbeat_t": now}))
+        assert sup.dead_shards(now) == []
+
+    def test_fresh_spawn_grace_overrides_stale_status(self, tmp_path):
+        fleet = make_fleet(tmp_path, n=1)
+        sup = FleetSupervisor(fleet, tmp_path / "shards", heartbeat_timeout_s=5.0)
+        shard = fleet.shards["shard0"]
+        now = time.time()
+        # predecessor's stale file is still on disk, but the shard was
+        # just (re)spawned — it must not be culled before its first beat
+        shard.paths.status.write_text(json.dumps({"heartbeat_t": now - 60}))
+        shard.spawned_at = now - 1.0
+        assert sup.dead_shards(now) == []
+
+    def test_rehome_moves_claims_inbox_journal_and_results(self, tmp_path):
+        fleet = make_fleet(tmp_path, n=2)
+        front_out = tmp_path / "outbox"
+        sup = FleetSupervisor(
+            fleet, tmp_path / "shards", front_outbox=front_out
+        )
+        dead = fleet.shards["shard0"]
+        claim = dead.paths.claim_dir("shard0")
+        claim.mkdir(parents=True)
+        (claim / "c1.ups").write_text("<x/>")
+        (dead.paths.inbox / "q1.ups").write_text("<x/>")
+        (dead.paths.journal / "ab12.json").write_text("{}")
+        write_result(dead.paths.outbox, "done1", error=None)
+        record = sup._rehome(dead, reason="died")
+        survivor = fleet.shards["shard1"]
+        assert record["claims_released"] == 1
+        assert record["requests_rehomed"] == 2  # the claim + the queued one
+        assert record["journal_rehomed"] == 1
+        assert record["target"] == "shard1"
+        assert survivor.paths.inbox_depth() == 2
+        assert (survivor.paths.journal / "ab12.json").exists()
+        assert read_result_meta(front_out, "done1") is not None
+        assert dead.paths.inbox_depth() == 0
+
+    def test_rehome_without_survivors_stays_in_place(self, tmp_path):
+        fleet = make_fleet(tmp_path, n=1)
+        sup = FleetSupervisor(fleet, tmp_path / "shards")
+        lone = fleet.shards["shard0"]
+        claim = lone.paths.claim_dir("shard0")
+        claim.mkdir(parents=True)
+        (claim / "c1.ups").write_text("<x/>")
+        record = sup._rehome(lone, reason="died")
+        # no survivor: the claim went back to its own inbox for the
+        # respawned incarnation's warm-restart sweep
+        assert record["target"] is None
+        assert record["claims_released"] == 1
+        assert lone.paths.inbox_depth() == 1
+
+    def test_next_id_never_reuses(self, tmp_path):
+        fleet = make_fleet(tmp_path, n=2)
+        fleet._next_index = 0
+        assert fleet.next_id() == "shard2"
+        assert fleet.next_id() == "shard3"
+
+
+# ----------------------------------------------------------------------
+# autoscaler (explicit clock, pure decisions over tsdb history)
+# ----------------------------------------------------------------------
+def make_autoscaler(tmp_path, **kw):
+    policy = AutoscalePolicy(
+        min_shards=1, max_shards=4, backlog_high=4.0, backlog_low=0.5,
+        burn_high=1.0, sustain_s=2.0, idle_retire_s=4.0, cooldown_s=5.0,
+        min_samples=3, **kw,
+    )
+    return Autoscaler(TimeSeriesStore(tmp_path / "tsdb", rank=0), policy)
+
+
+class TestAutoscaler:
+    def test_sustained_backlog_buys_a_shard(self, tmp_path):
+        a = make_autoscaler(tmp_path)
+        t = 1000.0
+        for i in range(5):
+            a.observe(t + i * 0.5, shards=1, backlog=10, worst_burn=0.0,
+                      degraded=0)
+        desired, reason = a.decide(t + 2.0, live=1)
+        assert desired == 2 and "backlog" in reason
+
+    def test_one_spike_does_not_scale(self, tmp_path):
+        a = make_autoscaler(tmp_path)
+        t = 1000.0
+        for i, backlog in enumerate([0, 0, 20, 0, 0]):
+            a.observe(t + i * 0.5, shards=1, backlog=backlog, worst_burn=0.0,
+                      degraded=0)
+        desired, reason = a.decide(t + 2.0, live=1)
+        assert desired == 1 and reason is None
+
+    def test_sustained_burn_buys_a_shard(self, tmp_path):
+        a = make_autoscaler(tmp_path)
+        t = 1000.0
+        for i in range(5):
+            a.observe(t + i * 0.5, shards=2, backlog=0, worst_burn=2.5,
+                      degraded=1)
+        desired, reason = a.decide(t + 2.0, live=2)
+        assert desired == 3 and "burn" in reason
+
+    def test_sustained_idle_retires_a_shard(self, tmp_path):
+        a = make_autoscaler(tmp_path)
+        t = 1000.0
+        for i in range(10):
+            a.observe(t + i * 0.5, shards=3, backlog=0, worst_burn=0.0,
+                      degraded=0)
+        desired, reason = a.decide(t + 4.5, live=3)
+        assert desired == 2 and "backlog" in reason
+
+    def test_idle_but_degraded_holds(self, tmp_path):
+        a = make_autoscaler(tmp_path)
+        t = 1000.0
+        for i in range(10):
+            a.observe(t + i * 0.5, shards=2, backlog=0, worst_burn=0.0,
+                      degraded=1)
+        desired, reason = a.decide(t + 4.5, live=2)
+        assert desired == 2 and reason is None
+
+    def test_cooldown_spaces_actions(self, tmp_path):
+        a = make_autoscaler(tmp_path)
+        t = 1000.0
+        for i in range(20):
+            a.observe(t + i * 0.5, shards=1, backlog=10, worst_burn=0.0,
+                      degraded=0)
+        desired, _ = a.decide(t + 3.0, live=1)
+        assert desired == 2
+        desired, reason = a.decide(t + 4.0, live=2)  # inside cooldown
+        assert desired == 2 and reason is None
+        desired, _ = a.decide(t + 9.0, live=2)  # cooldown elapsed, still hot
+        assert desired == 3
+
+    def test_ceiling_and_floor(self, tmp_path):
+        a = make_autoscaler(tmp_path)
+        t = 1000.0
+        for i in range(5):
+            a.observe(t + i * 0.5, shards=4, backlog=100, worst_burn=5.0,
+                      degraded=4)
+        desired, reason = a.decide(t + 2.0, live=4)
+        assert desired == 4 and reason is None  # at max_shards
+        desired, reason = a.decide(t + 2.0, live=0)
+        assert desired == 1  # floor
+
+
+# ----------------------------------------------------------------------
+# fleet status aggregation
+# ----------------------------------------------------------------------
+def shard_status(heartbeat_age=0.0, degraded=False, exited=False, served=3):
+    return {
+        "degraded": degraded,
+        "breaches": ["p99 too slow"] if degraded else [],
+        "queue_depth": 0,
+        "heartbeat_t": time.time() - heartbeat_age,
+        "endpoints": {"solve": {"requests": served, "p99_s": 0.05}},
+        "shard": {"shard_id": "x", "served": served, "inbox_depth": 0,
+                  "claimed_depth": 0, "exited": exited},
+    }
+
+
+class TestAggregateStatus:
+    def write(self, tmp_path, sid, doc):
+        d = tmp_path / "shards" / sid
+        d.mkdir(parents=True, exist_ok=True)
+        (d / "status.json").write_text(json.dumps(doc))
+
+    def test_healthy_fleet_is_ok(self, tmp_path):
+        self.write(tmp_path, "shard0", shard_status())
+        self.write(tmp_path, "shard1", shard_status())
+        doc = aggregate_status(tmp_path)
+        assert doc["state"] == "ok"
+        assert doc["shards"]["shard0"]["state"] == "ok"
+
+    def test_worst_shard_drives_the_verdict(self, tmp_path):
+        self.write(tmp_path, "shard0", shard_status())
+        self.write(tmp_path, "shard1", shard_status(degraded=True))
+        doc = aggregate_status(tmp_path)
+        assert doc["state"] == "degraded"
+        assert doc["shards"]["shard1"]["state"] == "degraded"
+
+    def test_stale_heartbeat_without_exit_is_dead(self, tmp_path):
+        self.write(tmp_path, "shard0", shard_status(heartbeat_age=120.0))
+        doc = aggregate_status(tmp_path)
+        assert doc["shards"]["shard0"]["state"] == "dead"
+        assert doc["state"] == "degraded"
+
+    def test_clean_exit_is_not_a_death(self, tmp_path):
+        self.write(
+            tmp_path, "shard0", shard_status(heartbeat_age=120.0, exited=True)
+        )
+        doc = aggregate_status(tmp_path)
+        assert doc["shards"]["shard0"]["state"] == "exited"
+        assert doc["state"] == "ok"
+
+    def test_format_fleet_renders_every_shard(self, tmp_path):
+        self.write(tmp_path, "shard0", shard_status())
+        self.write(tmp_path, "shard1", shard_status(degraded=True))
+        text = format_fleet(aggregate_status(tmp_path))
+        assert "shard0" in text and "shard1" in text
+        assert "DEGRADED" in text and "BREACH" in text
+
+
+# ----------------------------------------------------------------------
+# the full-system drill (spawns real serve subprocesses)
+# ----------------------------------------------------------------------
+class TestDrill:
+    def test_kill_one_shard_loses_nothing_and_answers_exactly(self, tmp_path):
+        report = run_drill(
+            tmp_path / "fab", shards=2, repeats=1, kill=True, timeout_s=240.0
+        )
+        assert report["lost"] == 0
+        assert report["errors"] == 0
+        assert report["byte_identical"], report["mismatched"]
+        assert report["recoveries"], "the SIGKILL was never noticed"
+        rec = report["recoveries"][0]
+        assert rec["shard"] == report["killed"] and rec["respawned"]
+        # the fleet visibly degraded and then came back
+        assert {"recovering", "degraded"} & set(report["states_observed"])
+        assert report["final_state"] == "ok"
+        assert report["ok"]
+        # the drill report round-trips through the status aggregator
+        doc = aggregate_status(tmp_path / "fab")
+        assert set(doc["shards"]) == {"shard0", "shard1"}

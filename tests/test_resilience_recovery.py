@@ -1,4 +1,5 @@
-"""Recovery edge cases: damaged checkpoints, drills, double deaths."""
+"""Recovery edge cases: damaged checkpoints, drills, double deaths,
+and journal recovery under a torn service fleet."""
 
 import json
 
@@ -171,3 +172,114 @@ class TestDrill:
         # orchestrator ignores the death rather than deadlocking
         assert report.final_step == 3
         assert not report.recoveries
+
+
+class TestTornFleetJournal:
+    """Service-journal recovery when a fabric shard dies: entries
+    re-homed by the supervisor must replay on the survivor (or on the
+    respawned shard) and settle — zero accepted solves lost."""
+
+    @staticmethod
+    def spec(seed):
+        from repro.ups import GridSpec, ProblemSpec, RMCRTSpec
+
+        return ProblemSpec(
+            grid=GridSpec(resolution=8, levels=1),
+            rmcrt=RMCRTSpec(n_divq_rays=1, random_seed=seed),
+        )
+
+    @staticmethod
+    def make_fleet(tmp_path, n):
+        from repro.fabric.shard import ShardHandle
+        from repro.fabric.supervisor import Fleet, FleetSupervisor
+
+        fleet = Fleet()
+        for i in range(n):
+            shard = ShardHandle(f"shard{i}", tmp_path / "shards" / f"shard{i}")
+            shard.paths.ensure()
+            fleet.add(shard)
+        return fleet, FleetSupervisor(fleet, tmp_path / "shards")
+
+    def test_rehomed_journal_replays_on_survivor(self, tmp_path):
+        from repro.service.journal import RequestJournal
+        from repro.service.service import RadiationService, ServiceConfig
+        from repro.ups import run_ups, spec_fingerprint
+
+        fleet, sup = self.make_fleet(tmp_path, 2)
+        dead, survivor = fleet.shards["shard0"], fleet.shards["shard1"]
+        spec = self.spec(seed=7)
+        fp = spec_fingerprint(spec)
+        RequestJournal(dead.paths.journal).record(fp, spec)
+
+        record = sup._rehome(dead, reason="died")
+        assert record["journal_rehomed"] == 1
+        assert (survivor.paths.journal / f"{fp}.json").exists()
+
+        config = ServiceConfig(
+            workers=1, journal_dir=str(survivor.paths.journal),
+            cache_dir=str(survivor.paths.cache),
+        )
+        with RadiationService(config) as svc:
+            recovered = svc.recover_journal()
+            assert recovered["replayed"] == 1
+            results = [h.result(timeout=120) for h in recovered["handles"]]
+            np.testing.assert_array_equal(results[0].divq, run_ups(spec).divq)
+            # settling the replay must clear the re-homed entry too
+            assert len(svc.journal) == 0
+
+    def test_chained_deaths_accumulate_on_final_survivor(self, tmp_path):
+        """shard0 dies into shard1, then shard1 dies into shard2: the
+        last survivor replays *both* inherited journals."""
+        from repro.service.journal import RequestJournal
+        from repro.service.service import RadiationService, ServiceConfig
+        from repro.ups import spec_fingerprint
+
+        fleet, sup = self.make_fleet(tmp_path, 3)
+        s0, s1, s2 = (fleet.shards[f"shard{i}"] for i in range(3))
+        spec_a, spec_b = self.spec(seed=1), self.spec(seed=2)
+        RequestJournal(s0.paths.journal).record(spec_fingerprint(spec_a), spec_a)
+        RequestJournal(s1.paths.journal).record(spec_fingerprint(spec_b), spec_b)
+
+        sup._rehome(s0, reason="died")
+        fleet.remove("shard0")
+        rec = sup._rehome(s1, reason="died")
+        assert rec["target"] == "shard2"
+        assert len(list(s2.paths.journal.glob("*.json"))) == 2
+
+        config = ServiceConfig(
+            workers=1, journal_dir=str(s2.paths.journal),
+            cache_dir=str(s2.paths.cache),
+        )
+        with RadiationService(config) as svc:
+            recovered = svc.recover_journal()
+            assert recovered["replayed"] == 2
+            for handle in recovered["handles"]:
+                handle.result(timeout=120)
+            assert len(svc.journal) == 0
+
+    def test_claimed_request_outlives_journal_rehoming(self, tmp_path):
+        """The zero-loss invariant: a request that was claimed *and*
+        journaled when the shard died appears exactly once on the
+        survivor — as an inbox file — and its journal entry rides
+        along rather than duplicating the work."""
+        from repro.service.journal import RequestJournal
+        from repro.service.spool import embed_ctx
+        from repro.ups import spec_fingerprint, spec_to_ups
+
+        fleet, sup = self.make_fleet(tmp_path, 2)
+        dead, survivor = fleet.shards["shard0"], fleet.shards["shard1"]
+        spec = self.spec(seed=3)
+        claim = dead.paths.claim_dir("shard0")
+        claim.mkdir(parents=True)
+        (claim / "t0.ups").write_text(embed_ctx(spec_to_ups(spec), None))
+        RequestJournal(dead.paths.journal).record(spec_fingerprint(spec), spec)
+
+        record = sup._rehome(dead, reason="died")
+        assert record["claims_released"] == 1
+        assert record["requests_rehomed"] == 1
+        assert record["journal_rehomed"] == 1
+        assert survivor.paths.inbox_depth() == 1
+        # one spool file, one journal entry — not two solves
+        assert len(list(survivor.paths.journal.glob("*.json"))) == 1
+        assert dead.paths.inbox_depth() == 0
+        assert dead.paths.claimed_depth() == 0

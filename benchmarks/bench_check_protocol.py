@@ -1,0 +1,59 @@
+"""E18 — what exhaustive protocol verification costs.
+
+The spool model checker is a CI gate, so its wall time is a budget:
+this measures breadth-first state-space enumeration throughput
+(states/sec) and the explored-space size for the 2-shard and 3-shard
+claim/re-home models, both with a crash point after every transition.
+Results land in ``BENCH_check_protocol.json``; the committed baseline
+feeds the perf-gate job so a checker slowdown (a state encoding that
+stops hashing cheaply, a successor function that allocates too much)
+fails the build before it doubles CI time.
+"""
+
+import pytest
+
+from repro.check.protocol import SpoolModel, check_model
+from repro.perf import write_bench_artifact
+
+#: model configs: both exhaustive, crash + steal interleavings on
+CONFIGS = {
+    "2-shard": dict(tickets=3, shards=2, crash_budget=1, steal_budget=1),
+    "3-shard": dict(tickets=3, shards=3, crash_budget=1, steal_budget=1),
+}
+
+
+@pytest.fixture(scope="module")
+def artifact_rows():
+    rows = []
+    yield rows
+    write_bench_artifact(
+        "check_protocol",
+        params={name: cfg for name, cfg in CONFIGS.items()},
+        rows=rows,
+    )
+
+
+@pytest.mark.parametrize("model_name", sorted(CONFIGS))
+def test_model_check_throughput(benchmark, artifact_rows, model_name):
+    cfg = CONFIGS[model_name]
+
+    def run():
+        return check_model(SpoolModel(**cfg))
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert result.ok, result.render()
+    mean = benchmark.stats.stats.mean
+    rate = result.states / mean
+    print(f"\n{model_name}: {result.states:,} states, "
+          f"{result.transitions:,} transitions in {mean * 1e3:.0f} ms "
+          f"({rate:,.0f} states/s)")
+    artifact_rows.append({
+        "model": model_name,
+        "states_per_s": rate,
+        # workload descriptors, stored as floats so they inform but
+        # never gate (the perf gate keys rows on `model` alone)
+        "peak_states": float(result.states),
+        "transitions": float(result.transitions),
+        "quiescent_states": float(result.terminals),
+        "mean_s": mean,
+    })

@@ -28,8 +28,9 @@ and writes ``analysis_report.json``. See :mod:`repro.perf.analyze`.
 artifacts against the committed baselines in ``benchmarks/baselines/``
 and fails on regression. See :mod:`repro.perf.baseline`.
 
-``python -m repro check [lint|graph|races|leaks|all]`` runs the
-correctness tooling — the CI gate. See :mod:`repro.check.cli`.
+``python -m repro check [lint|graph|races|leaks|fs|protocol|all]``
+runs the correctness tooling — the CI gate (``--list-rules``
+enumerates every rule). See :mod:`repro.check.cli`.
 
 ``python -m repro resilience [checkpoint|restore|drill]`` exercises
 checkpoint/restart and the kill-and-recover drill. See

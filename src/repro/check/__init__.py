@@ -1,19 +1,39 @@
-"""Correctness tooling: lint, graph validation, race + leak detection.
+"""Correctness tooling: lint, graph, races, leaks, fs, protocol.
 
-Four analyzers, one finding format, one CLI (``python -m repro check``):
+Six analyzers, one finding format, one CLI (``python -m repro check``):
 
 * :mod:`repro.check.lint` — repo-specific AST rules,
 * :mod:`repro.check.graph` — static task-graph validation,
 * :mod:`repro.check.races` — Eraser-style lockset + vector-clock race
   detection over the comm pools, scheduler, and service workers,
 * :mod:`repro.check.leaks` — allocator double-free/use-after-retire/
-  leak checking.
+  leak checking,
+* :mod:`repro.check.fs` — crash-consistency analysis of the
+  write-then-rename discipline (interprocedural filesystem-effect
+  summaries over service/fabric/resilience/util),
+* :mod:`repro.check.protocol` — explicit-state model checking of the
+  spool claim/re-home protocol (exhaustive interleavings with crash
+  points, minimal counterexample traces).
+
+``repro check --list-rules`` enumerates every rule across all six.
 """
 
 from repro.check.findings import CheckFinding, CheckReport
+from repro.check.fs import (
+    check_paths as fs_check_paths,
+    check_source as fs_check_source,
+    run_fs_fixture,
+)
 from repro.check.graph import validate_compiled, validate_taskgraph
 from repro.check.leaks import CheckedAllocator, run_leak_fixture
 from repro.check.lint import lint_paths, lint_source
+from repro.check.protocol import (
+    ProtocolResult,
+    SpoolModel,
+    check_model,
+    run_protocol_fixture,
+    verify_protocol,
+)
 from repro.check.races import (
     RaceDetector,
     TrackedLock,
@@ -29,17 +49,25 @@ __all__ = [
     "CheckFinding",
     "CheckReport",
     "CheckedAllocator",
+    "ProtocolResult",
     "RaceDetector",
+    "SpoolModel",
     "TrackedLock",
     "TrackedQueue",
+    "check_model",
     "drive_pool_contended",
+    "fs_check_paths",
+    "fs_check_source",
     "instrument_comm_pool",
     "instrument_datawarehouse",
     "instrument_worker_pool",
     "lint_paths",
     "lint_source",
     "patch_locks",
+    "run_fs_fixture",
     "run_leak_fixture",
+    "run_protocol_fixture",
     "validate_compiled",
     "validate_taskgraph",
+    "verify_protocol",
 ]

@@ -3,18 +3,26 @@
 Subcommands run one analyzer each; ``all`` runs the suite and is the
 CI gate (exit 1 on any non-suppressed finding):
 
-* ``lint``  — AST project linter over ``src/repro``
-* ``graph`` — static validation of the three-level RMCRT task graph
-* ``races`` — lockset/vector-clock drive of the comm pools
-* ``leaks`` — allocator lifetime check over the RMCRT small-object
+* ``lint``     — AST project linter over ``src/repro``
+* ``graph``    — static validation of the three-level RMCRT task graph
+* ``races``    — lockset/vector-clock drive of the comm pools
+* ``leaks``    — allocator lifetime check over the RMCRT small-object
   workload
+* ``fs``       — crash-consistency analysis of the write-then-rename
+  discipline over service/fabric/resilience/util
+* ``protocol`` — exhaustive model check of the spool claim/re-home
+  protocol (plus its no-journal variant) with crash points after
+  every transition
 
 ``--seeded-defects`` switches every analyzer onto its seeded-defect
 fixture (the legacy racy pool, a deliberately broken task graph, the
-double-free/use-after-retire/leak scenarios) — the self-test that the
-detectors still detect; there the expected exit code is non-zero.
-``--json PATH`` additionally writes the structured report (the CI
-artifact).
+double-free/use-after-retire/leak scenarios, non-atomic/misordered
+filesystem publication, the early-settle / journal-before-claim /
+copy-claim protocol variants) — the self-test that the detectors
+still detect; there the expected exit code is non-zero. ``--json
+PATH`` additionally writes the structured report (the CI artifact).
+``--list-rules`` enumerates every rule across all analyzers with
+severity and description instead of running anything.
 """
 
 from __future__ import annotations
@@ -166,12 +174,111 @@ def run_leaks(seeded_defects: bool = False) -> CheckReport:
     return report
 
 
+def run_fs(paths=None, seeded_defects: bool = False) -> CheckReport:
+    from repro.check import fs
+
+    report = CheckReport()
+    if seeded_defects:
+        meta = {}
+        for fixture in sorted(fs.SEEDED_FIXTURES):
+            findings = fs.run_fs_fixture(fixture)
+            report.extend(findings, check="fs")
+            meta[fixture] = {"findings": len(findings)}
+        report.meta["fs"] = meta
+        return report
+    targets = ([Path(p) for p in paths] if paths
+               else fs.default_scope(REPO_ROOT))
+    findings, suppressed, stats = fs.check_paths(targets, root=REPO_ROOT)
+    report.suppressed = suppressed
+    report.extend(findings, check="fs")
+    report.meta["fs"] = stats
+    return report
+
+
+def run_protocol(seeded_defects: bool = False) -> CheckReport:
+    import time
+
+    from repro.check import protocol
+
+    report = CheckReport()
+    meta = {}
+    if seeded_defects:
+        for defect in sorted(protocol.DEFECT_RULES):
+            result = protocol.run_protocol_fixture(defect)
+            if not result.ok:
+                report.findings.append(result.to_finding(f"spool+{defect}"))
+            meta[defect] = {
+                "states": result.states,
+                "transitions": result.transitions,
+                "trace_steps": len(result.trace),
+                "rule": result.rule,
+            }
+        report.meta["protocol"] = meta
+        return report
+    t0 = time.perf_counter()
+    for name, result in protocol.verify_protocol():
+        if not result.ok:
+            report.findings.append(result.to_finding(name))
+        meta[name] = {
+            "states": result.states,
+            "transitions": result.transitions,
+            "quiescent": result.terminals,
+            "clean": result.ok,
+        }
+    meta["wall_s"] = round(time.perf_counter() - t0, 3)
+    report.meta["protocol"] = meta
+    return report
+
+
 CHECKS = {
     "lint": lambda ns: run_lint(ns.paths),
     "graph": lambda ns: run_graph(ns.seeded_defects),
     "races": lambda ns: run_races(ns.seeded_defects),
     "leaks": lambda ns: run_leaks(ns.seeded_defects),
+    "fs": lambda ns: run_fs(ns.paths, ns.seeded_defects),
+    "protocol": lambda ns: run_protocol(ns.seeded_defects),
 }
+
+
+def collect_rules() -> list:
+    """Every rule across all analyzers: (check, rule, severity,
+    description) in a stable order."""
+    from repro.check import fs, graph, leaks, lint, protocol, races
+
+    catalogs = [
+        ("lint", lint.RULES),
+        ("graph", graph.RULES),
+        ("races", races.RULES),
+        ("leaks", leaks.RULES),
+        ("fs", fs.RULES),
+        ("protocol", protocol.RULES),
+    ]
+    out = []
+    for check, rules in catalogs:
+        for rule in sorted(rules):
+            severity, description = rules[rule]
+            out.append({
+                "check": check,
+                "rule": rule,
+                "severity": severity,
+                "description": description,
+            })
+    return out
+
+
+def render_rules(rows: list) -> str:
+    width = max(len(r["rule"]) for r in rows)
+    lines = []
+    current = None
+    for r in rows:
+        if r["check"] != current:
+            current = r["check"]
+            lines.append(f"== {current} ==")
+        lines.append(
+            f"  {r['rule']:<{width}}  {r['severity']:<7}  "
+            f"{r['description']}"
+        )
+    return "\n".join(lines)
 
 
 def run_check(argv=None) -> int:
@@ -205,7 +312,29 @@ def run_check(argv=None) -> int:
         help="run the analyzers against their seeded-defect fixtures "
         "(detector self-test; expected to fail)",
     )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="enumerate every rule across all analyzers (with --json, "
+        "write the catalog as JSON) and exit",
+    )
     ns = parser.parse_args(argv)
+
+    if ns.list_rules:
+        rows = collect_rules()
+        print(render_rules(rows))
+        if ns.json:
+            import json
+
+            from repro.util.atomic import atomic_write_text
+
+            atomic_write_text(
+                Path(ns.json),
+                json.dumps({"rules": rows}, indent=2, sort_keys=True)
+                + "\n",
+            )
+            print(f"rule catalog written to {ns.json}")
+        return 0
 
     names = sorted(CHECKS) if ns.subcommand == "all" else [ns.subcommand]
     report = CheckReport()

@@ -1,0 +1,854 @@
+"""Crash-consistency static analysis: the write-then-rename discipline.
+
+Every durable artifact in this repo — spool requests and results,
+claim files, journals, checkpoints, status heartbeats — relies on one
+publication discipline: write a hidden sibling temp file, then
+``os.replace`` it into place, so a reader races only against *absent*
+or *complete* files. The kill drills exercise a handful of crash
+interleavings dynamically; this pass proves the discipline statically,
+over every function in the persistence-bearing packages (``service/``,
+``fabric/``, ``resilience/``, ``util/``).
+
+The analyzer extracts a per-function **filesystem-effect summary** —
+an ordered list of write / append / atomic-publish / rename / unlink /
+fsync / mkdir / exists effects, each tagged with an inferred **path
+role** (tmp, payload ``.npz``, sidecar ``.json``, claim, commit
+marker, final) — then expands call sites through those summaries
+(seeded by :data:`repro.util.atomic.FS_EFFECTS`, the sanctioned
+publication primitives) and checks ordering rules over the expanded
+sequences:
+
+======================== ======== =======================================
+rule                     severity what it flags
+======================== ======== =======================================
+fs-non-atomic-publish    error    a direct write (``open(.., "w")``,
+                                  ``write_text``, ``np.savez``...) to a
+                                  non-temp path outside ``util/atomic.py``
+fs-sidecar-before-payload error   the ``.json`` completion sidecar
+                                  published (or relayed) before its
+                                  ``.npz`` payload
+fs-cross-dir-rename      warning  a publish rename whose temp source
+                                  lives under ``tempfile``/``/tmp`` —
+                                  ``os.replace`` across mounts raises
+                                  EXDEV (or silently copies)
+fs-tmp-leak              warning  a temp file written with no
+                                  exception-path cleanup before its
+                                  rename (a crash strands the temp)
+fs-unlink-before-publish error    a claim file or commit marker
+                                  unlinked before any result is
+                                  published (breaks re-home zero-loss)
+======================== ======== =======================================
+
+The pass is a *linear* abstraction: effects inside one function are
+ordered by source line (branches and loops are flattened), call
+effects are spliced in at the call site, and path roles come from
+suffix/name heuristics plus local variable provenance. That makes it
+deliberately conservative where it matters (only ``tempfile``-rooted
+sources trigger the cross-mount rule) and syntactic where that is
+safe (every ``.write_text`` to a non-temp path is a finding unless the
+file is the sanctioned atomic home). Deliberate violations carry an
+inline ``# repro: allow(<rule>)``, same as the linter.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.check.findings import (
+    CheckFinding,
+    is_suppressed,
+    parse_suppressions,
+)
+from repro.util.atomic import FS_EFFECTS
+
+#: rule catalog: name -> (severity, one-line description)
+RULES = {
+    "fs-non-atomic-publish": (
+        "error",
+        "direct write to a final/sidecar/payload path outside util.atomic "
+        "(readers can observe a torn file)",
+    ),
+    "fs-sidecar-before-payload": (
+        "error",
+        "completion sidecar published or relayed before its payload "
+        "(completion signal can lie)",
+    ),
+    "fs-cross-dir-rename": (
+        "warning",
+        "publish rename sourced from tempfile//tmp — os.replace across "
+        "mounts raises EXDEV",
+    ),
+    "fs-tmp-leak": (
+        "warning",
+        "temp file written with no exception-path cleanup before its "
+        "rename (crash strands the temp)",
+    ),
+    "fs-unlink-before-publish": (
+        "error",
+        "claim file or commit marker unlinked before a result is "
+        "published (breaks zero-loss re-home)",
+    ),
+}
+
+#: directories (under src/repro) whose persistence code is in scope
+SCOPE_DIRS = ("service", "fabric", "resilience", "util")
+
+#: the sanctioned home of raw write-then-rename (exempt from
+#: fs-non-atomic-publish and fs-cross-dir-rename on its own internals)
+ATOMIC_HOME = ("util/atomic.py",)
+
+#: roles considered a *publication target* (vs. scratch space)
+PUBLISH_ROLES = ("payload", "sidecar", "marker", "final", "claim")
+
+#: ``np`` savers that write straight to a path (unless handed a buffer)
+NP_SAVERS = {"save", "savez", "savez_compressed", "savetxt"}
+
+#: max call-splice depth when expanding summaries (cycle-safe anyway)
+MAX_SPLICE_DEPTH = 4
+
+
+# ----------------------------------------------------------------------
+# effect model
+# ----------------------------------------------------------------------
+@dataclass
+class Effect:
+    """One filesystem side effect at one source location."""
+
+    kind: str        #: write|append|atomic_publish|rename|unlink|fsync|mkdir|exists
+    role: str        #: tmp|buffer|payload|sidecar|claim|marker|final
+    file: str
+    line: int
+    protected: bool = False  #: inside a try with temp-file cleanup
+    src_role: str = ""       #: rename only: source path role
+    src_base: str = ""       #: rename only: source provenance root
+    dst_base: str = ""       #: rename only: target provenance root
+    detail: str = ""
+
+    def is_publish(self) -> bool:
+        """Does this effect make content visible at a non-temp path?"""
+        if self.kind in ("write", "atomic_publish") and self.role in PUBLISH_ROLES:
+            return True
+        if self.kind == "rename" and self.role in PUBLISH_ROLES:
+            return True
+        return False
+
+
+@dataclass
+class FuncSummary:
+    """Per-function effect summary plus unresolved callee references."""
+
+    qualname: str
+    file: str
+    line: int
+    effects: List[Effect] = field(default_factory=list)
+    calls: List[Tuple[str, int]] = field(default_factory=list)  # (name, line)
+    returns_tmp: bool = False  #: returns a sibling ".tmp" path of arg0
+
+
+# ----------------------------------------------------------------------
+# path-role inference
+# ----------------------------------------------------------------------
+def role_from_text(text: str) -> Optional[str]:
+    """Role implied by a (partial) path string, or None."""
+    low = text.lower()
+    if ".tmp" in low or low.startswith("/tmp"):
+        return "tmp"
+    if "claim" in low:
+        return "claim"
+    if "manifest" in low or "marker" in low or "commit" in low:
+        return "marker"
+    if low.endswith(".json"):
+        return "sidecar"
+    if low.endswith(".npz") or low.endswith(".npy"):
+        return "payload"
+    return None
+
+
+def _name_hint(identifier: str) -> Optional[str]:
+    low = identifier.lower()
+    if "tmp" in low or "temp" in low:
+        return "tmp"
+    if "buf" in low:
+        return "buffer"
+    if "claim" in low:
+        return "claim"
+    if "manifest" in low or "marker" in low:
+        return "marker"
+    if "sidecar" in low:
+        return "sidecar"
+    if "npz" in low or "payload" in low:
+        return "payload"
+    return None
+
+
+def _const_text(node: ast.AST) -> str:
+    """Concatenated constant fragments of a string/f-string/path expr."""
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    if isinstance(node, ast.JoinedStr):
+        return "".join(
+            v.value for v in node.values
+            if isinstance(v, ast.Constant) and isinstance(v.value, str)
+        )
+    if isinstance(node, ast.BinOp) and isinstance(node.op, (ast.Div, ast.Add, ast.Mod)):
+        return _const_text(node.left) + "\x00" + _const_text(node.right)
+    if isinstance(node, ast.Call):
+        # Path("literal"), f"{x}.json".format()...: look at the args
+        return "\x00".join(_const_text(a) for a in node.args)
+    return ""
+
+
+def _root_name(node: ast.AST) -> str:
+    """Leftmost identifier a path expression hangs off (provenance)."""
+    while True:
+        if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Div):
+            node = node.left
+        elif isinstance(node, ast.Attribute):
+            node = node.value
+        elif isinstance(node, ast.Call):
+            chain = _call_chain(node)
+            if chain and chain[0] in ("tempfile",):
+                return "tempfile"
+            if chain and chain[-1] in ("mkstemp", "mkdtemp", "gettempdir",
+                                       "NamedTemporaryFile", "TemporaryDirectory"):
+                return "tempfile"
+            node = node.func
+        elif isinstance(node, ast.Subscript):
+            node = node.value
+        elif isinstance(node, ast.Name):
+            return node.id
+        elif isinstance(node, ast.Constant) and isinstance(node.value, str):
+            if node.value.startswith("/tmp"):
+                return "tempfile"
+            return f"<{node.value}>"
+        else:
+            return ""
+
+
+def _call_chain(node: ast.Call) -> Optional[Tuple[str, ...]]:
+    parts: List[str] = []
+    func = node.func
+    while isinstance(func, ast.Attribute):
+        parts.append(func.attr)
+        func = func.value
+    if isinstance(func, ast.Name):
+        parts.append(func.id)
+        return tuple(reversed(parts))
+    if isinstance(func, ast.Call):
+        # chained off a call receiver: Path(x).write_text(...)
+        inner = _call_chain(func)
+        tail = tuple(reversed(parts))
+        return (inner + tail) if inner else (tail or None)
+    return tuple(reversed(parts)) or None
+
+
+class _PathEnv:
+    """Local variable provenance: name -> (role, base)."""
+
+    def __init__(self) -> None:
+        self.vars: Dict[str, Tuple[str, str]] = {}
+
+    def infer(self, node: ast.AST) -> Tuple[str, str]:
+        """(role, base) of a path expression; role defaults to final."""
+        # constant fragments override everything — a literal ".tmp" or
+        # ".json" in the expression is the strongest signal
+        text = _const_text(node)
+        role = role_from_text(text) if text else None
+        base = _root_name(node)
+        if base == "tempfile":
+            role = role or "tmp"
+        if role is None and isinstance(node, ast.Name):
+            known = self.vars.get(node.id)
+            if known is not None:
+                kr, kb = known
+                if kr.startswith("call:"):
+                    # a path minted by a helper: its name is the only
+                    # signal (``_tmp_path`` → tmp, ``chunk_path`` → final)
+                    kr = _name_hint(kr[len("call:"):]) or "final"
+                return (kr, kb)
+            role = _name_hint(node.id)
+        if role is None:
+            # fall back to the provenance variable's record or its name
+            if base in self.vars:
+                known = self.vars[base]
+                role = known[0] if known[0] != "final" else None
+                base = known[1] or base
+            if role is None and base:
+                role = _name_hint(base)
+        return (role or "final", base)
+
+    def assign(self, name: str, role: str, base: str) -> None:
+        self.vars[name] = (role, base)
+
+
+# ----------------------------------------------------------------------
+# extraction
+# ----------------------------------------------------------------------
+class _FuncExtractor:
+    """Walk one function body in source order, collecting effects."""
+
+    def __init__(self, path: str, qualname: str, node: ast.AST,
+                 local_names: Set[str]) -> None:
+        self.path = path
+        self.summary = FuncSummary(qualname=qualname, file=path,
+                                   line=getattr(node, "lineno", 0))
+        self.env = _PathEnv()
+        self.local_names = local_names
+        self._protect_depth = 0
+        args = getattr(node, "args", None)
+        if args is not None:
+            for arg in list(args.args) + list(args.kwonlyargs):
+                hint = _name_hint(arg.arg)
+                if hint:
+                    self.env.assign(arg.arg, hint, arg.arg)
+
+    # -- statement walk -------------------------------------------------
+    def walk_body(self, body: Sequence[ast.stmt]) -> None:
+        for stmt in body:
+            self.walk_stmt(stmt)
+
+    def walk_stmt(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef)):
+            return  # nested defs get their own summaries
+        if isinstance(stmt, ast.Try):
+            cleanup = self._try_has_cleanup(stmt)
+            if cleanup:
+                self._protect_depth += 1
+            self.walk_body(stmt.body)
+            if cleanup:
+                self._protect_depth -= 1
+            for handler in stmt.handlers:
+                self.walk_body(handler.body)
+            self.walk_body(stmt.orelse)
+            self.walk_body(stmt.finalbody)
+            return
+        if isinstance(stmt, (ast.If,)):
+            self._scan_expr(stmt.test)
+            self.walk_body(stmt.body)
+            self.walk_body(stmt.orelse)
+            return
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            self._scan_expr(stmt.iter)
+            self.walk_body(stmt.body)
+            self.walk_body(stmt.orelse)
+            return
+        if isinstance(stmt, ast.While):
+            self._scan_expr(stmt.test)
+            self.walk_body(stmt.body)
+            self.walk_body(stmt.orelse)
+            return
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                self._scan_expr(item.context_expr)
+                if (item.optional_vars is not None
+                        and isinstance(item.optional_vars, ast.Name)
+                        and isinstance(item.context_expr, ast.Call)):
+                    self._track_assign(item.optional_vars.id,
+                                       item.context_expr)
+            self.walk_body(stmt.body)
+            return
+        if isinstance(stmt, ast.Assign):
+            self._scan_expr(stmt.value)
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    self._track_assign(target.id, stmt.value)
+                elif isinstance(target, (ast.Tuple, ast.List)):
+                    # fd, staged = tempfile.mkstemp(): provenance flows
+                    # to every unpacked name
+                    if (isinstance(stmt.value, ast.Call)
+                            and _root_name(stmt.value) == "tempfile"):
+                        for elt in target.elts:
+                            if isinstance(elt, ast.Name):
+                                self.env.assign(elt.id, "tmp", "tempfile")
+            return
+        if isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            self._scan_expr(stmt.value)
+            if isinstance(stmt.target, ast.Name):
+                self._track_assign(stmt.target.id, stmt.value)
+            return
+        if isinstance(stmt, ast.Return) and stmt.value is not None:
+            self._scan_expr(stmt.value)
+            text = _const_text(stmt.value)
+            if text and ".tmp" in text:
+                self.summary.returns_tmp = True
+            return
+        if isinstance(stmt, ast.Expr):
+            self._scan_expr(stmt.value)
+            return
+        for child in ast.iter_child_nodes(stmt):
+            if isinstance(child, ast.expr):
+                self._scan_expr(child)
+
+    def _track_assign(self, name: str, value: ast.AST) -> None:
+        if isinstance(value, ast.Call):
+            chain = _call_chain(value)
+            if chain and chain[-1] == "BytesIO":
+                self.env.assign(name, "buffer", name)
+                return
+            if chain and (chain[0] == "tempfile"
+                          or chain[-1] in ("mkstemp", "mkdtemp",
+                                           "gettempdir")):
+                self.env.assign(name, "tmp", "tempfile")
+                return
+            # a local helper known to mint sibling temp paths
+            if chain and chain[-1] in self.local_names:
+                # resolved later; record provisional provenance from arg0
+                base = _root_name(value.args[0]) if value.args else ""
+                self.env.assign(name, "call:" + chain[-1], base)
+                return
+        role, base = self.env.infer(value)
+        if role != "final" or base:
+            self.env.assign(name, role, base)
+
+    def _try_has_cleanup(self, node: ast.Try) -> bool:
+        """Does this try's handler/finally unlink a temp file?"""
+        for body in [h.body for h in node.handlers] + [node.finalbody]:
+            for stmt in body:
+                for sub in ast.walk(stmt):
+                    if isinstance(sub, ast.Call):
+                        chain = _call_chain(sub)
+                        if not chain:
+                            continue
+                        if chain[-1] in ("unlink", "remove"):
+                            return True
+        return False
+
+    # -- expression scan ------------------------------------------------
+    def _scan_expr(self, node: ast.AST) -> None:
+        calls = [n for n in ast.walk(node) if isinstance(n, ast.Call)]
+        calls.sort(key=lambda c: (getattr(c, "lineno", 0),
+                                  getattr(c, "col_offset", 0)))
+        for call in calls:
+            self._classify_call(call)
+
+    def _add(self, kind: str, role: str, line: int, **kw) -> None:
+        self.summary.effects.append(Effect(
+            kind=kind, role=role, file=self.path, line=line,
+            protected=self._protect_depth > 0, **kw,
+        ))
+
+    def _classify_call(self, node: ast.Call) -> None:
+        chain = _call_chain(node)
+        if chain is None:
+            return
+        name = chain[-1]
+        line = getattr(node, "lineno", 0)
+
+        # sanctioned atomic publication primitives (and registrations)
+        if name in FS_EFFECTS:
+            info = FS_EFFECTS[name]
+            idx = info.get("path_arg", 0)
+            role, base = ("final", "")
+            if len(node.args) > idx:
+                role, base = self.env.infer(node.args[idx])
+            self._add(info.get("effect", "atomic_publish"), role, line,
+                      dst_base=base, detail=name)
+            return
+
+        # open(path, mode)
+        if name == "open":
+            mode = "r"
+            if len(chain) >= 2 and chain[-2] not in ("os", "io", "gzip", "np"):
+                # Path.open(...) — path is the receiver
+                target: Optional[ast.AST] = node.func.value  # type: ignore[union-attr]
+                if node.args and isinstance(node.args[0], ast.Constant):
+                    mode = str(node.args[0].value)
+            else:
+                target = node.args[0] if node.args else None
+                if len(node.args) > 1 and isinstance(node.args[1], ast.Constant):
+                    mode = str(node.args[1].value)
+            for kw in node.keywords:
+                if kw.arg == "mode" and isinstance(kw.value, ast.Constant):
+                    mode = str(kw.value.value)
+            if target is None:
+                return
+            role, base = self.env.infer(target)
+            if any(m in mode for m in ("w", "x", "+")):
+                self._add("write", role, line, dst_base=base, detail="open")
+            elif "a" in mode:
+                self._add("append", role, line, dst_base=base, detail="open")
+            return
+
+        # Path.write_text / write_bytes
+        if name in ("write_text", "write_bytes") and isinstance(
+                node.func, ast.Attribute):
+            role, base = self.env.infer(node.func.value)
+            if role == "buffer":
+                return
+            self._add("write", role, line, dst_base=base, detail=name)
+            return
+
+        # numpy savers: np.save(path_or_buf, ...)
+        if name in NP_SAVERS and len(chain) >= 2 and chain[0] in ("np", "numpy"):
+            if node.args:
+                role, base = self.env.infer(node.args[0])
+                if role != "buffer":
+                    self._add("write", role, line, dst_base=base,
+                              detail=f"np.{name}")
+            return
+
+        # renames
+        if name in ("rename", "replace") and isinstance(node.func, ast.Attribute):
+            recv = node.func.value
+            if isinstance(recv, ast.Name) and recv.id == "os":
+                if len(node.args) >= 2:
+                    src_role, src_base = self.env.infer(node.args[0])
+                    dst_role, dst_base = self.env.infer(node.args[1])
+                    self._add("rename", dst_role, line, src_role=src_role,
+                              src_base=src_base, dst_base=dst_base,
+                              detail=f"os.{name}")
+                return
+            # Path.rename(target) / Path.replace(target)
+            src_role, src_base = self.env.infer(recv)
+            dst_role, dst_base = ("final", "")
+            if node.args:
+                dst_role, dst_base = self.env.infer(node.args[0])
+            self._add("rename", dst_role, line, src_role=src_role,
+                      src_base=src_base, dst_base=dst_base, detail=name)
+            return
+
+        # unlink / remove
+        if name in ("unlink", "remove") and isinstance(node.func, ast.Attribute):
+            recv = node.func.value
+            if isinstance(recv, ast.Name) and recv.id == "os":
+                if node.args:
+                    role, base = self.env.infer(node.args[0])
+                    self._add("unlink", role, line, dst_base=base)
+                return
+            role, base = self.env.infer(recv)
+            self._add("unlink", role, line, dst_base=base)
+            return
+
+        if name == "fsync":
+            self._add("fsync", "final", line)
+            return
+        if name in ("mkdir", "makedirs"):
+            self._add("mkdir", "final", line)
+            return
+        if name == "exists" and isinstance(node.func, ast.Attribute):
+            role, base = self.env.infer(node.func.value)
+            self._add("exists", role, line, dst_base=base)
+            return
+
+        # an unresolved reference to another scanned function
+        if name in self.local_names:
+            self.summary.calls.append((name, line))
+
+
+# ----------------------------------------------------------------------
+# project analysis
+# ----------------------------------------------------------------------
+def _iter_functions(tree: ast.Module):
+    """(qualname, node) for every function, including methods."""
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node.name, node
+        elif isinstance(node, ast.ClassDef):
+            for sub in node.body:
+                if isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    yield f"{node.name}.{sub.name}", sub
+
+
+def summarize_source(source: str, path: str,
+                     known_names: Optional[Set[str]] = None
+                     ) -> List[FuncSummary]:
+    """Effect summaries for every function in one source text."""
+    tree = ast.parse(source, filename=path)
+    local = {name.split(".")[-1] for name, _ in _iter_functions(tree)}
+    names = local | (known_names or set())
+    out: List[FuncSummary] = []
+    for qualname, node in _iter_functions(tree):
+        ex = _FuncExtractor(path, qualname, node, names)
+        ex.walk_body(node.body)
+        out.append(ex.summary)
+    return out
+
+
+def expand_effects(summary: FuncSummary,
+                   by_name: Dict[str, FuncSummary],
+                   depth: int = MAX_SPLICE_DEPTH,
+                   seen: Optional[Set[str]] = None) -> List[Effect]:
+    """The function's effect sequence with callee summaries spliced in
+    at their call sites (attributed to the call line, so findings and
+    suppressions stay local to the caller)."""
+    seen = set(seen or ())
+    merged: List[Tuple[int, int, Effect]] = []
+    for order, eff in enumerate(summary.effects):
+        merged.append((eff.line, order, eff))
+    if depth > 0:
+        for name, line in summary.calls:
+            callee = by_name.get(name)
+            if callee is None or callee.qualname in seen:
+                continue
+            sub = expand_effects(
+                callee, by_name, depth - 1, seen | {summary.qualname}
+            )
+            for order, eff in enumerate(sub):
+                spliced = Effect(
+                    kind=eff.kind, role=eff.role, file=summary.file,
+                    line=line, protected=eff.protected,
+                    src_role=eff.src_role, src_base=eff.src_base,
+                    dst_base=eff.dst_base,
+                    detail=f"{name}()",
+                )
+                merged.append((line, 1000 + order, spliced))
+    merged.sort(key=lambda t: (t[0], t[1]))
+    return [eff for _, _, eff in merged]
+
+
+def _finding(rule: str, message: str, file: str, line: int) -> CheckFinding:
+    severity = RULES[rule][0]
+    return CheckFinding(rule=rule, severity=severity, message=message,
+                        file=file, line=line, check="fs")
+
+
+def check_function(summary: FuncSummary,
+                   by_name: Dict[str, FuncSummary],
+                   exempt_atomic_home: bool = False) -> List[CheckFinding]:
+    """Run every crash-consistency rule over one function."""
+    findings: List[CheckFinding] = []
+    local = summary.effects
+    expanded = expand_effects(summary, by_name)
+
+    # fs-non-atomic-publish: raw writes must target scratch space only
+    if not exempt_atomic_home:
+        for eff in local:
+            if eff.kind == "write" and eff.role in PUBLISH_ROLES:
+                findings.append(_finding(
+                    "fs-non-atomic-publish",
+                    f"{summary.qualname}() writes a {eff.role} path "
+                    f"directly ({eff.detail}); publish via util.atomic "
+                    f"so readers never see a torn file",
+                    eff.file, eff.line,
+                ))
+
+    # fs-sidecar-before-payload: ordered publication of result pairs
+    payload_lines = [i for i, e in enumerate(expanded)
+                     if e.is_publish() and e.role == "payload"]
+    sidecar_lines = [i for i, e in enumerate(expanded)
+                     if e.is_publish() and e.role == "sidecar"]
+    if payload_lines and sidecar_lines:
+        if min(sidecar_lines) < min(payload_lines):
+            eff = expanded[min(sidecar_lines)]
+            findings.append(_finding(
+                "fs-sidecar-before-payload",
+                f"{summary.qualname}() publishes the completion sidecar "
+                f"before its payload; a crash in between signals a "
+                f"result that does not exist",
+                eff.file, eff.line,
+            ))
+
+    # fs-cross-dir-rename: publish renames must not cross mounts
+    if not exempt_atomic_home:
+        for eff in local:
+            if eff.kind != "rename":
+                continue
+            if eff.src_base == "tempfile" and eff.dst_base != "tempfile":
+                findings.append(_finding(
+                    "fs-cross-dir-rename",
+                    f"{summary.qualname}() renames from a tempfile/"
+                    f"system-tmp source into {eff.dst_base or 'a target'} "
+                    f"directory; os.replace across mounts raises EXDEV — "
+                    f"stage the temp next to its target",
+                    eff.file, eff.line,
+                ))
+
+    # fs-tmp-leak: the write→rename window needs exception cleanup
+    tmp_writes = [e for e in local
+                  if e.kind == "write" and e.role == "tmp"]
+    tmp_renames = [e for e in local
+                   if e.kind == "rename" and e.src_role == "tmp"]
+    if tmp_writes and tmp_renames:
+        for eff in tmp_writes:
+            if not eff.protected:
+                findings.append(_finding(
+                    "fs-tmp-leak",
+                    f"{summary.qualname}() writes a temp file and renames "
+                    f"it with no exception-path cleanup; a failure between "
+                    f"the two strands the temp on disk",
+                    eff.file, eff.line,
+                ))
+
+    # fs-unlink-before-publish: claims/markers outlive the result
+    publish_before = False
+    for eff in expanded:
+        if eff.is_publish():
+            publish_before = True
+        if eff.kind == "unlink" and eff.role in ("claim", "marker"):
+            if not publish_before and any(
+                    later.is_publish() for later in
+                    expanded[expanded.index(eff) + 1:]):
+                findings.append(_finding(
+                    "fs-unlink-before-publish",
+                    f"{summary.qualname}() unlinks a {eff.role} before "
+                    f"publishing any result; a crash in between loses the "
+                    f"request's only durable trace",
+                    eff.file, eff.line,
+                ))
+    return findings
+
+
+# ----------------------------------------------------------------------
+# tree driver
+# ----------------------------------------------------------------------
+def default_scope(root: Path) -> List[Path]:
+    base = root / "src" / "repro"
+    return [base / d for d in SCOPE_DIRS]
+
+
+def iter_scope_files(paths: Iterable[Path]) -> List[Path]:
+    out: List[Path] = []
+    for p in paths:
+        p = Path(p)
+        if p.is_dir():
+            out.extend(f for f in sorted(p.rglob("*.py"))
+                       if "__pycache__" not in f.parts)
+        elif p.suffix == ".py":
+            out.append(p)
+    return out
+
+
+def check_paths(paths: Iterable[Path],
+                root: Optional[Path] = None
+                ) -> Tuple[List[CheckFinding], int, dict]:
+    """Analyze every file under *paths*.
+
+    Returns (findings, suppressed_count, stats). Findings carry paths
+    relative to *root* when given; suppressions are honored per file.
+    """
+    files = iter_scope_files(paths)
+    sources: Dict[str, str] = {}
+    rels: Dict[str, str] = {}
+    for f in files:
+        rel = str(f)
+        if root is not None:
+            try:
+                rel = str(f.relative_to(root))
+            except ValueError:
+                rel = str(f)
+        rel = rel.replace("\\", "/")
+        sources[rel] = f.read_text(encoding="utf-8")
+        rels[rel] = rel
+
+    # pass 1: names of every scanned function (for call resolution)
+    known_names: Set[str] = set(FS_EFFECTS)
+    parsed: Dict[str, ast.Module] = {}
+    for rel, src in sources.items():
+        try:
+            tree = ast.parse(src, filename=rel)
+        except SyntaxError:
+            continue
+        parsed[rel] = tree
+        for qualname, _ in _iter_functions(tree):
+            known_names.add(qualname.split(".")[-1])
+
+    # pass 2: summaries
+    all_summaries: List[FuncSummary] = []
+    for rel in sorted(parsed):
+        all_summaries.extend(summarize_source(sources[rel], rel, known_names))
+    by_name: Dict[str, FuncSummary] = {}
+    for s in all_summaries:
+        by_name.setdefault(s.qualname.split(".")[-1], s)
+
+    # pass 3: rules + suppressions
+    findings: List[CheckFinding] = []
+    suppressed = 0
+    suppressions = {rel: parse_suppressions(src)
+                    for rel, src in sources.items()}
+    for s in all_summaries:
+        exempt = any(s.file.endswith(home) for home in ATOMIC_HOME)
+        for f in check_function(s, by_name, exempt_atomic_home=exempt):
+            if is_suppressed(f, suppressions.get(f.file, {})):
+                suppressed += 1
+            else:
+                findings.append(f)
+    stats = {
+        "files_scanned": len(sources),
+        "functions": len(all_summaries),
+        "effects": sum(len(s.effects) for s in all_summaries),
+    }
+    return findings, suppressed, stats
+
+
+def check_source(source: str, path: str = "<string>"
+                 ) -> Tuple[List[CheckFinding], int]:
+    """Analyze one source text (unit tests and seeded fixtures)."""
+    summaries = summarize_source(source, path, set(FS_EFFECTS))
+    by_name: Dict[str, FuncSummary] = {}
+    for s in summaries:
+        by_name.setdefault(s.qualname.split(".")[-1], s)
+    suppressions = parse_suppressions(source)
+    findings: List[CheckFinding] = []
+    suppressed = 0
+    for s in summaries:
+        for f in check_function(s, by_name):
+            if is_suppressed(f, suppressions):
+                suppressed += 1
+            else:
+                findings.append(f)
+    return findings, suppressed
+
+
+# ----------------------------------------------------------------------
+# seeded-defect fixtures (the detector's self-test)
+# ----------------------------------------------------------------------
+SEEDED_FIXTURES: Dict[str, str] = {
+    # a result published by direct write — a reader can see half a file
+    "non-atomic-publish": (
+        "def publish_result(outbox, ticket, meta_text):\n"
+        "    target = outbox / f\"{ticket}.json\"\n"
+        "    target.write_text(meta_text)\n"
+    ),
+    # completion signal before content: the submitter reads a ghost
+    "sidecar-before-payload": (
+        "from repro.util.atomic import atomic_savez, atomic_write_text\n"
+        "def publish_result(outbox, ticket, divq, meta_text):\n"
+        "    atomic_write_text(outbox / f\"{ticket}.json\", meta_text)\n"
+        "    atomic_savez(outbox / f\"{ticket}.npz\", divq=divq)\n"
+    ),
+    # staging in the system temp dir: os.replace may cross a mount
+    "cross-dir-rename": (
+        "import os, tempfile\n"
+        "def publish_result(outbox, ticket, data):\n"
+        "    fd, staged = tempfile.mkstemp()\n"
+        "    os.write(fd, data)\n"
+        "    os.close(fd)\n"
+        "    os.replace(staged, outbox / f\"{ticket}.npz\")\n"
+    ),
+    # no cleanup between temp write and rename: a crash strands it
+    "tmp-leak": (
+        "import os\n"
+        "def publish_result(target, data, checksum):\n"
+        "    tmp = target.parent / f\".{target.name}.tmp\"\n"
+        "    tmp.write_bytes(data)\n"
+        "    verify(tmp, checksum)\n"
+        "    os.replace(tmp, target)\n"
+    ),
+    # claim dropped before the result exists: a crash loses the request
+    "unlink-before-publish": (
+        "from repro.util.atomic import atomic_write_text\n"
+        "def settle(outbox, ticket, claimed_path, meta_text):\n"
+        "    claimed_path.unlink()\n"
+        "    atomic_write_text(outbox / f\"{ticket}.json\", meta_text)\n"
+    ),
+}
+
+#: the rule each fixture must trip (fixture name -> rule name)
+FIXTURE_RULES = {
+    "non-atomic-publish": "fs-non-atomic-publish",
+    "sidecar-before-payload": "fs-sidecar-before-payload",
+    "cross-dir-rename": "fs-cross-dir-rename",
+    "tmp-leak": "fs-tmp-leak",
+    "unlink-before-publish": "fs-unlink-before-publish",
+}
+
+
+def run_fs_fixture(name: str) -> List[CheckFinding]:
+    """Analyze one seeded-defect fixture; its rule must fire."""
+    source = SEEDED_FIXTURES[name]
+    findings, _ = check_source(source, path=f"<seeded:{name}>")
+    return findings

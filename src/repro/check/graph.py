@@ -27,6 +27,31 @@ from typing import Dict, List, Set, Tuple
 from repro.check.findings import CheckFinding
 from repro.dw.label import VarKind
 
+#: rule catalog: name -> (severity, one-line description)
+RULES = {
+    "graph-empty": (
+        "error",
+        "task graph has no tasks",
+    ),
+    "graph-dangling-consumer": (
+        "error",
+        "a task requires a variable no task computes",
+    ),
+    "graph-write-write": (
+        "error",
+        "two tasks compute the same variable with no ordering between "
+        "them",
+    ),
+    "graph-ghost-orphan": (
+        "error",
+        "a ghost-exchange message with no producing or consuming task",
+    ),
+    "graph-ghost-region": (
+        "error",
+        "a ghost region not covered by any exchange message",
+    ),
+}
+
 
 def _finding(rule: str, message: str, severity: str = "error") -> CheckFinding:
     return CheckFinding(

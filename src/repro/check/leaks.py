@@ -33,6 +33,26 @@ import sys
 
 from repro.check.findings import CheckFinding
 
+#: rule catalog: name -> (severity, one-line description)
+RULES = {
+    "alloc-double-free": (
+        "error",
+        "an address freed twice without an intervening allocation",
+    ),
+    "alloc-invalid-free": (
+        "error",
+        "free of an address this allocator never handed out",
+    ),
+    "alloc-use-after-retire": (
+        "error",
+        "an address touched after its buffer was freed or retired",
+    ),
+    "alloc-leak": (
+        "error",
+        "an address still live at allocator teardown",
+    ),
+}
+
 #: CheckedAllocator's own frames, skipped when attributing call sites
 _SHIM_FNS = {"malloc", "free", "touch", "check_teardown", "_report", "_site"}
 

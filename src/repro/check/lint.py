@@ -17,8 +17,8 @@ bare-except         error     ``except:`` with no exception type
 overbroad-except    warning   ``except BaseException``, or ``except Exception``
                               whose body only ``pass``es
 blocking-call       warning   ``.get()`` / ``.acquire()`` / ``.wait()`` with no
-                              timeout in comm, service, memory, and resilience
-                              code
+                              timeout in comm, service, memory, resilience,
+                              fabric, and check code (plus ``perf/tsdb.py``)
 mutable-default     error     ``def f(x=[])`` and friends
 unlabeled-metric    warning   ``counter()/gauge()/histogram()`` with no label
                               kwargs in multi-instance components (comm, memory,
@@ -40,6 +40,43 @@ from repro.check.findings import (
     parse_suppressions,
 )
 
+#: rule catalog: name -> (severity, one-line description)
+RULES = {
+    "unseeded-rng": (
+        "error",
+        "global-state random.* / legacy np.random.*, or default_rng()/"
+        "Random() with no seed, outside util/rng.py",
+    ),
+    "bare-except": (
+        "error",
+        "except: with no exception type (catches SystemExit/"
+        "KeyboardInterrupt)",
+    ),
+    "overbroad-except": (
+        "warning",
+        "except BaseException, or except Exception whose body only "
+        "passes",
+    ),
+    "blocking-call": (
+        "warning",
+        ".get()/.acquire()/.wait() with no timeout in comm, service, "
+        "memory, resilience, fabric, check, or perf/tsdb.py",
+    ),
+    "mutable-default": (
+        "error",
+        "mutable default argument shared across calls",
+    ),
+    "unlabeled-metric": (
+        "warning",
+        "counter()/gauge()/histogram() with no label kwargs in a "
+        "multi-instance component",
+    ),
+    "syntax-error": (
+        "error",
+        "source file does not parse",
+    ),
+}
+
 #: module-level functions on ``random`` that mutate the hidden global state
 GLOBAL_RANDOM_FNS = {
     "random", "seed", "randint", "randrange", "uniform", "shuffle",
@@ -55,10 +92,16 @@ NP_GLOBAL_RANDOM_FNS = {
 }
 
 #: path fragments where blocking without a timeout is a finding
-#: (resilience drains comm fabrics and restores mid-failure, and the
-#: fabric babysits shard processes — both get the same
-#: no-untimed-blocking discipline as the layers they touch)
-BLOCKING_SCOPE = ("comm", "service", "memory", "resilience", "fabric")
+#: (resilience drains comm fabrics and restores mid-failure, the
+#: fabric babysits shard processes, and the checkers themselves drive
+#: threads/locks — all get the same no-untimed-blocking discipline as
+#: the layers they touch)
+BLOCKING_SCOPE = ("comm", "service", "memory", "resilience", "fabric",
+                  "check")
+
+#: individual files under the same discipline whose parent package is
+#: not (tsdb's collector thread runs inside the serve loop)
+BLOCKING_SCOPE_FILES = ("perf/tsdb.py",)
 
 #: path fragments where metric series must carry labels
 METRIC_LABEL_SCOPE = ("comm", "memory", "dw")
@@ -92,9 +135,14 @@ def _is_mutable_literal(node: ast.AST) -> bool:
 
 
 class _RuleVisitor(ast.NodeVisitor):
-    def __init__(self, path: str, scope_parts: Set[str]) -> None:
+    def __init__(self, path: str, scope_parts: Set[str],
+                 blocking_in_scope: Optional[bool] = None) -> None:
         self.path = path
         self.scope = scope_parts
+        if blocking_in_scope is None:
+            blocking_in_scope = bool(
+                scope_parts.intersection(BLOCKING_SCOPE))
+        self.blocking_in_scope = blocking_in_scope
         self.findings: List[CheckFinding] = []
 
     def _add(self, rule: str, severity: str, message: str, node: ast.AST) -> None:
@@ -148,7 +196,7 @@ class _RuleVisitor(ast.NodeVisitor):
 
     # -- blocking-call --------------------------------------------------
     def _check_blocking(self, node: ast.Call) -> None:
-        if not self.scope.intersection(BLOCKING_SCOPE):
+        if not self.blocking_in_scope:
             return
         if not isinstance(node.func, ast.Attribute):
             return
@@ -271,7 +319,10 @@ def lint_source(
             )
         ], 0
     scope_parts = set(Path(norm).parts)
-    visitor = _RuleVisitor(norm, scope_parts)
+    blocking_in_scope = bool(
+        scope_parts.intersection(BLOCKING_SCOPE)
+    ) or any(norm.endswith(f) for f in BLOCKING_SCOPE_FILES)
+    visitor = _RuleVisitor(norm, scope_parts, blocking_in_scope)
     visitor.visit(tree)
     suppressions = parse_suppressions(source)
     kept: List[CheckFinding] = []

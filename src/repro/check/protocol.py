@@ -1,0 +1,561 @@
+"""Explicit-state model checking of the spool claim/re-home protocol.
+
+The fabric's zero-loss story (PR 7) rests on a small distributed
+protocol: the router moves request tickets from a front spool into
+per-shard inboxes (with bounded work stealing), a shard takes
+ownership by atomically renaming the ticket into its ``claimed/``
+directory, journals the request spec, solves, publishes the result,
+forgets the journal entry, and only then settles (unlinks) the claim;
+a supervisor detects dead shards and re-homes their claims, inbox
+backlog, and journal entries onto the surviving HRW owner. The kill
+drills sample a handful of interleavings of that protocol; this
+module enumerates *all* of them, with a crash point after every
+transition, over a small abstract model.
+
+**The abstraction.** Tickets and shards are small integers. The only
+filesystem primitive is the atomic rename: every transition moves a
+ticket between abstract locations (``front``, ``inbox(i)``, claimed,
+published) in one indivisible step, exactly as ``os.replace`` does on
+the real spool. The result cache is a global set of solved
+fingerprints (the content-addressed store: respawn-under-same-id keeps
+a shard's cache, and re-homed journal replay warms the survivor's).
+The journal is spec-level — replaying an entry recomputes and caches
+the *solve*, but cannot reconstruct the ticket, so it can never
+publish; the claim file is the only ticket-level durable trace. That
+asymmetry is the load-bearing design fact this checker verifies: the
+``no_journal`` variant must still be zero-loss (the claim alone
+carries the request through a crash), while ``early_settle`` — drop
+the claim before the result is published — must lose a request.
+
+**Processes and transitions** (guards in parentheses):
+
+* router  — ``route t`` (t at front); ``steal s<i> t`` (t in another
+  inbox, budget left)
+* shard i — ``claim`` (t in inbox(i)); ``journal`` (holds claim, not
+  journaled); ``solve`` (claimed + journaled; computes unless cached,
+  then publishes); ``forget`` (journaled, published); ``settle``
+  (claimed, published, journal forgotten)
+* crash   — ``crash s<i>`` (budget left); the shard simply stops —
+  its claims, journal entries, and inbox stay on disk for the
+  supervisor
+* supervisor — ``recover s<i>`` (i dead): release claims back to the
+  inbox, re-home inbox backlog to the surviving HRW owner, replay
+  unpublished journal entries (warm the cache), drop published ones,
+  respawn i
+
+**Invariants**, checked at every reachable state:
+
+========================================= =================================
+rule                                      meaning
+========================================= =================================
+protocol-double-claim                     no two shards hold the same
+                                          ticket's claim
+protocol-double-solve                     each ticket computed at most
+                                          once and published at most
+                                          once, crashes included
+protocol-journal-outlives-claim           an alive shard never holds a
+                                          journal entry for an
+                                          unpublished ticket it has no
+                                          claim on
+protocol-lost-request                     at quiescence (nothing enabled,
+                                          fleet alive) every ticket has
+                                          been published
+========================================= =================================
+
+Search is breadth-first over canonical state tuples, so the reported
+counterexample trace is *minimal in steps*; state tuples contain only
+ints/bools, so exploration order — and therefore the rendered trace —
+is byte-identical across runs and processes.
+
+**Defect knobs** (``defect=`` on :class:`SpoolModel`) re-introduce the
+bugs the protocol's ordering exists to prevent; each must produce a
+violation (the checker's self-test):
+
+* ``early_settle``        — settle no longer waits for publication
+  (models ``_settle_claim`` before ``write_result``) → lost request
+* ``journal_before_claim`` — journal while the ticket is still in the
+  inbox, before the claim rename → journal-outlives-claim
+* ``copy_claim``          — claim by copy-then-delete instead of one
+  rename → double claim via a steal in the window
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.check.findings import CheckFinding
+
+#: rule catalog: name -> (severity, one-line description)
+RULES = {
+    "protocol-double-claim": (
+        "error",
+        "two shards hold the same ticket's claim (claim rename not "
+        "exactly-one-winner)",
+    ),
+    "protocol-double-solve": (
+        "error",
+        "a ticket computed twice or published twice (exactly-once "
+        "broken)",
+    ),
+    "protocol-journal-outlives-claim": (
+        "error",
+        "an alive shard holds a journal entry for an unpublished ticket "
+        "it has no claim on (claim must outlive journal)",
+    ),
+    "protocol-lost-request": (
+        "error",
+        "a quiescent fleet left a ticket unpublished (request stranded "
+        "or lost)",
+    ),
+}
+
+#: defect knobs and the rule each must trip (the inversion self-test)
+DEFECT_RULES = {
+    "early_settle": "protocol-lost-request",
+    "journal_before_claim": "protocol-journal-outlives-claim",
+    "copy_claim": "protocol-double-claim",
+}
+
+# location encoding in ``locs``: FRONT, inbox(i) = 1 + i, GONE
+FRONT = 0
+GONE = -1
+
+
+def _inbox(i: int) -> int:
+    return 1 + i
+
+
+class SpoolModel:
+    """The claim/re-home protocol over T tickets and S shards.
+
+    States are canonical tuples ``(locs, claims, journal, solves,
+    publishes, cache, alive, crashes_left, steals_left)`` —
+    per-ticket claim/journal holders are sorted tuples of shard ids so
+    equal states always hash equal.
+    """
+
+    def __init__(self, tickets: int = 2, shards: int = 2,
+                 crash_budget: int = 1, steal_budget: int = 1,
+                 defect: Optional[str] = None) -> None:
+        if defect is not None and defect not in DEFECT_RULES and \
+                defect != "no_journal":
+            raise ValueError(f"unknown defect {defect!r}")
+        self.tickets = int(tickets)
+        self.shards = int(shards)
+        self.crash_budget = int(crash_budget)
+        self.steal_budget = int(steal_budget)
+        self.defect = defect
+
+    # -- helpers --------------------------------------------------------
+    def owner(self, t: int) -> int:
+        """The ticket's HRW home shard (abstracted to t mod S)."""
+        return t % self.shards
+
+    def survivor(self, t: int, alive: Tuple[bool, ...]) -> Optional[int]:
+        """The surviving HRW owner: first alive shard scanning from
+        the home position (deterministic, stable under fleet resize)."""
+        for k in range(self.shards):
+            i = (self.owner(t) + k) % self.shards
+            if alive[i]:
+                return i
+        return None
+
+    def initial(self) -> tuple:
+        T, S = self.tickets, self.shards
+        return (
+            (FRONT,) * T,            # locs
+            ((),) * T,               # claims: sorted holder ids per ticket
+            ((),) * T,               # journal: sorted holder ids per ticket
+            (0,) * T,                # solves (computes)
+            (0,) * T,                # publishes
+            (False,) * T,            # cache
+            (True,) * S,             # alive
+            self.crash_budget,
+            self.steal_budget,
+        )
+
+    # -- transition relation -------------------------------------------
+    def successors(self, state: tuple) -> List[Tuple[str, tuple]]:
+        (locs, claims, journal, solves, publishes, cache, alive,
+         crashes_left, steals_left) = state
+        T, S = self.tickets, self.shards
+        defect = self.defect
+        out: List[Tuple[str, tuple]] = []
+
+        def repl(seq, idx, value):
+            return seq[:idx] + (value,) + seq[idx + 1:]
+
+        def add_holder(holders, t, i):
+            return repl(holders, t, tuple(sorted(holders[t] + (i,))))
+
+        def drop_holder(holders, t, i):
+            return repl(holders, t,
+                        tuple(h for h in holders[t] if h != i))
+
+        # router: route front tickets to their home inbox
+        for t in range(T):
+            if locs[t] == FRONT:
+                out.append((
+                    f"route t{t} -> s{self.owner(t)}",
+                    (repl(locs, t, _inbox(self.owner(t))), claims, journal,
+                     solves, publishes, cache, alive,
+                     crashes_left, steals_left),
+                ))
+
+        # shards: claim / journal / solve / forget / settle
+        for i in range(S):
+            if not alive[i]:
+                continue
+            for t in range(T):
+                in_my_inbox = locs[t] == _inbox(i)
+                holds_claim = i in claims[t]
+                holds_journal = i in journal[t]
+
+                # claim: one atomic rename inbox -> claimed/<i>/ ...
+                if defect != "copy_claim":
+                    if in_my_inbox:
+                        out.append((
+                            f"claim s{i} t{t}",
+                            (repl(locs, t, GONE), add_holder(claims, t, i),
+                             journal, solves, publishes, cache, alive,
+                             crashes_left, steals_left),
+                        ))
+                else:
+                    # ... or the seeded defect: copy, then delete, as
+                    # two steps — the window a second claimer fits in
+                    if in_my_inbox and not holds_claim:
+                        out.append((
+                            f"claim-copy s{i} t{t}",
+                            (locs, add_holder(claims, t, i), journal,
+                             solves, publishes, cache, alive,
+                             crashes_left, steals_left),
+                        ))
+                    if in_my_inbox and holds_claim:
+                        out.append((
+                            f"claim-erase s{i} t{t}",
+                            (repl(locs, t, GONE), claims, journal, solves,
+                             publishes, cache, alive,
+                             crashes_left, steals_left),
+                        ))
+
+                # journal: record the spec after taking ownership
+                if defect != "no_journal":
+                    if defect == "journal_before_claim":
+                        can_journal = in_my_inbox and not holds_journal
+                    else:
+                        can_journal = holds_claim and not holds_journal
+                    if can_journal:
+                        out.append((
+                            f"journal s{i} t{t}",
+                            (locs, claims, add_holder(journal, t, i),
+                             solves, publishes, cache, alive,
+                             crashes_left, steals_left),
+                        ))
+
+                # solve + publish: compute (unless cached), then one
+                # atomic result publication
+                need_journal = defect != "no_journal"
+                if (holds_claim and publishes[t] == 0
+                        and (holds_journal or not need_journal)):
+                    new_solves = solves if cache[t] else repl(
+                        solves, t, solves[t] + 1)
+                    out.append((
+                        f"solve s{i} t{t}",
+                        (locs, claims, journal, new_solves,
+                         repl(publishes, t, publishes[t] + 1),
+                         repl(cache, t, True), alive,
+                         crashes_left, steals_left),
+                    ))
+
+                # forget: journal entry dropped once the result exists
+                if holds_journal and publishes[t] > 0:
+                    out.append((
+                        f"forget s{i} t{t}",
+                        (locs, claims, drop_holder(journal, t, i), solves,
+                         publishes, cache, alive, crashes_left,
+                         steals_left),
+                    ))
+
+                # settle: the claim is unlinked last
+                if defect == "early_settle":
+                    can_settle = holds_claim and not holds_journal
+                else:
+                    can_settle = (holds_claim and publishes[t] > 0
+                                  and not holds_journal)
+                if can_settle:
+                    out.append((
+                        f"settle s{i} t{t}",
+                        (locs, drop_holder(claims, t, i), journal, solves,
+                         publishes, cache, alive, crashes_left,
+                         steals_left),
+                    ))
+
+        # router: bounded work stealing of unclaimed inbox tickets
+        if steals_left > 0:
+            for i in range(S):
+                if not alive[i]:
+                    continue
+                for t in range(T):
+                    if locs[t] > FRONT and locs[t] != _inbox(i):
+                        out.append((
+                            f"steal s{i} t{t}",
+                            (repl(locs, t, _inbox(i)), claims, journal,
+                             solves, publishes, cache, alive,
+                             crashes_left, steals_left - 1),
+                        ))
+
+        # crash: a crash point after every transition, by construction
+        if crashes_left > 0:
+            for i in range(S):
+                if not alive[i]:
+                    continue
+                out.append((
+                    f"crash s{i}",
+                    (locs, claims, journal, solves, publishes, cache,
+                     repl(alive, i, False), crashes_left - 1,
+                     steals_left),
+                ))
+
+        # supervisor: atomic re-home + replay + respawn
+        for i in range(S):
+            if alive[i]:
+                continue
+            new_locs = list(locs)
+            new_claims = claims
+            new_journal = journal
+            new_solves = list(solves)
+            new_cache = list(cache)
+            # release claims back into the dead shard's inbox
+            for t in range(T):
+                if i in claims[t]:
+                    new_claims = drop_holder(new_claims, t, i)
+                    new_locs[t] = _inbox(i)
+            # re-home the inbox backlog onto the surviving HRW owner
+            for t in range(T):
+                if new_locs[t] == _inbox(i):
+                    s = self.survivor(t, alive)
+                    if s is not None:
+                        new_locs[t] = _inbox(s)
+            # journal entries: published ones are forgotten; the rest
+            # replay on the survivor — the spec recomputes and warms
+            # the cache, but a fingerprint cannot publish a ticket
+            for t in range(T):
+                if i in new_journal[t]:
+                    new_journal = drop_holder(new_journal, t, i)
+                    if publishes[t] == 0 and not new_cache[t]:
+                        new_solves[t] += 1
+                        new_cache[t] = True
+            out.append((
+                f"recover s{i}",
+                (tuple(new_locs), new_claims, new_journal,
+                 tuple(new_solves), publishes, tuple(new_cache),
+                 repl(alive, i, True), crashes_left, steals_left),
+            ))
+
+        return out
+
+    # -- invariants -----------------------------------------------------
+    def violation(self, state: tuple) -> Optional[Tuple[str, str]]:
+        """(rule, message) for the first invariant this state breaks."""
+        (locs, claims, journal, solves, publishes, cache, alive,
+         _crashes_left, _steals_left) = state
+        for t in range(self.tickets):
+            if len(claims[t]) > 1:
+                return (
+                    "protocol-double-claim",
+                    f"ticket t{t} claimed by shards "
+                    f"{list(claims[t])} simultaneously",
+                )
+            if solves[t] > 1:
+                return (
+                    "protocol-double-solve",
+                    f"ticket t{t} computed {solves[t]} times",
+                )
+            if publishes[t] > 1:
+                return (
+                    "protocol-double-solve",
+                    f"ticket t{t} published {publishes[t]} times",
+                )
+            if publishes[t] == 0:
+                for i in journal[t]:
+                    if alive[i] and i not in claims[t]:
+                        return (
+                            "protocol-journal-outlives-claim",
+                            f"alive shard s{i} holds a journal entry for "
+                            f"unpublished ticket t{t} without its claim",
+                        )
+        return None
+
+    def terminal_violation(self, state: tuple) -> Optional[Tuple[str, str]]:
+        """Zero-loss at quiescence: every ticket must be published."""
+        publishes = state[4]
+        for t in range(self.tickets):
+            if publishes[t] == 0:
+                return (
+                    "protocol-lost-request",
+                    f"fleet quiescent but ticket t{t} was never "
+                    f"published (request lost)",
+                )
+        return None
+
+    def config(self) -> dict:
+        return {
+            "tickets": self.tickets,
+            "shards": self.shards,
+            "crash_budget": self.crash_budget,
+            "steal_budget": self.steal_budget,
+            "defect": self.defect,
+        }
+
+
+# ----------------------------------------------------------------------
+# the checker
+# ----------------------------------------------------------------------
+@dataclass
+class ProtocolResult:
+    """Outcome of one exhaustive search."""
+
+    ok: bool
+    rule: str = ""
+    message: str = ""
+    trace: Tuple[str, ...] = ()
+    states: int = 0            #: distinct states explored
+    transitions: int = 0       #: transitions fired (edges)
+    terminals: int = 0         #: quiescent states seen
+    config: dict = field(default_factory=dict)
+
+    def format_trace(self) -> str:
+        """The counterexample as numbered steps (empty when clean)."""
+        if not self.trace:
+            return ""
+        lines = [f"  {n + 1:>2}. {step}" for n, step in
+                 enumerate(self.trace)]
+        lines.append(f"  => {self.rule}: {self.message}")
+        return "\n".join(lines)
+
+    def render(self) -> str:
+        cfg = self.config
+        head = (
+            f"spool protocol model: {cfg.get('tickets')} ticket(s), "
+            f"{cfg.get('shards')} shard(s), crash budget "
+            f"{cfg.get('crash_budget')}, steal budget "
+            f"{cfg.get('steal_budget')}"
+            + (f", defect={cfg.get('defect')}" if cfg.get("defect")
+               else "")
+        )
+        body = (
+            f"{self.states} states, {self.transitions} transitions, "
+            f"{self.terminals} quiescent"
+        )
+        if self.ok:
+            return f"{head}\n  CLEAN: {body}"
+        return (f"{head}\n  VIOLATION after {len(self.trace)} step(s) "
+                f"({body}):\n{self.format_trace()}")
+
+    def to_finding(self, model_name: str) -> CheckFinding:
+        return CheckFinding(
+            rule=self.rule,
+            severity=RULES[self.rule][0],
+            message=(f"{self.message} [{len(self.trace)}-step trace: "
+                     + "; ".join(self.trace) + "]"),
+            file=f"<model:{model_name}>",
+            line=0,
+            check="protocol",
+        )
+
+
+def check_model(model: SpoolModel,
+                max_states: int = 5_000_000) -> ProtocolResult:
+    """Exhaustive BFS over the model's reachable states.
+
+    Breadth-first order makes any counterexample minimal in steps;
+    the all-int state encoding makes exploration order — and the
+    trace — deterministic across runs.
+    """
+    init = model.initial()
+    parent: Dict[tuple, Optional[Tuple[tuple, str]]] = {init: None}
+    queue: deque = deque([init])
+    states = 0
+    transitions = 0
+    terminals = 0
+
+    def trace_to(state: tuple) -> Tuple[str, ...]:
+        steps: List[str] = []
+        cur: Optional[tuple] = state
+        while parent[cur] is not None:
+            prev, label = parent[cur]  # type: ignore[misc]
+            steps.append(label)
+            cur = prev
+        return tuple(reversed(steps))
+
+    while queue:
+        state = queue.popleft()
+        states += 1
+        viol = model.violation(state)
+        if viol is not None:
+            rule, message = viol
+            return ProtocolResult(
+                ok=False, rule=rule, message=message,
+                trace=trace_to(state), states=states,
+                transitions=transitions, terminals=terminals,
+                config=model.config(),
+            )
+        succ = model.successors(state)
+        transitions += len(succ)
+        alive = state[6]
+        if all(alive) and all(lbl.startswith("crash") for lbl, _ in succ):
+            terminals += 1
+            viol = model.terminal_violation(state)
+            if viol is not None:
+                rule, message = viol
+                return ProtocolResult(
+                    ok=False, rule=rule, message=message,
+                    trace=trace_to(state), states=states,
+                    transitions=transitions, terminals=terminals,
+                    config=model.config(),
+                )
+        for label, nxt in succ:
+            if nxt not in parent:
+                if len(parent) >= max_states:
+                    raise RuntimeError(
+                        f"state space exceeded {max_states} states "
+                        f"({model.config()})"
+                    )
+                parent[nxt] = (state, label)
+                queue.append(nxt)
+
+    return ProtocolResult(
+        ok=True, states=states, transitions=transitions,
+        terminals=terminals, config=model.config(),
+    )
+
+
+# ----------------------------------------------------------------------
+# suite entry points (used by the CLI and CI)
+# ----------------------------------------------------------------------
+def verify_protocol(shards: int = 2, tickets: int = 2,
+                    crash_budget: int = 1, steal_budget: int = 1
+                    ) -> List[Tuple[str, ProtocolResult]]:
+    """The clean-tree run: the correct protocol, plus the no-journal
+    variant (which must *also* be zero-loss — the claim file, not the
+    journal, is the request's durable trace)."""
+    out = []
+    for name, defect in (("spool", None), ("spool-no-journal",
+                                           "no_journal")):
+        model = SpoolModel(tickets=tickets, shards=shards,
+                           crash_budget=crash_budget,
+                           steal_budget=steal_budget, defect=defect)
+        out.append((name, check_model(model)))
+    return out
+
+
+def run_protocol_fixture(defect: str, tickets: int = 2, shards: int = 2,
+                         crash_budget: int = 1, steal_budget: int = 1
+                         ) -> ProtocolResult:
+    """Check one seeded-defect variant; its rule must fire."""
+    model = SpoolModel(tickets=tickets, shards=shards,
+                       crash_budget=crash_budget,
+                       steal_budget=steal_budget, defect=defect)
+    return check_model(model)

@@ -37,6 +37,15 @@ from typing import Dict, List, Optional, Set, Tuple
 
 from repro.check.findings import CheckFinding, call_site
 
+#: rule catalog: name -> (severity, one-line description)
+RULES = {
+    "lockset-race": (
+        "error",
+        "conflicting accesses to a shared location with no common lock "
+        "and no happens-before ordering",
+    ),
+}
+
 #: frames from these files are the detector itself, never the subject
 _SHIM_FILES = ("repro/check/races.py", "repro/check/findings.py")
 
@@ -238,10 +247,12 @@ class TrackedLock:
         self._name = name
 
     def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        # the shim must be transparent: it forwards exactly the
+        # caller's blocking/timeout semantics, untimed included
         if timeout == -1:
-            ok = self._inner.acquire(blocking)
+            ok = self._inner.acquire(blocking)  # repro: allow(blocking-call)
         else:
-            ok = self._inner.acquire(blocking, timeout)
+            ok = self._inner.acquire(blocking, timeout)  # repro: allow(blocking-call)
         if ok:
             self._det.on_acquire(id(self._inner), self._name)
         return ok
@@ -254,7 +265,8 @@ class TrackedLock:
         return self._inner.locked()
 
     def __enter__(self) -> bool:
-        return self.acquire()
+        # ``with lock:`` has no timeout channel to forward
+        return self.acquire()  # repro: allow(blocking-call)
 
     def __exit__(self, *exc) -> None:
         self.release()
@@ -447,7 +459,8 @@ def drive_pool_contended(
     barrier = threading.Barrier(num_threads)
 
     def worker() -> None:
-        barrier.wait()
+        # the drive wants maximal overlap: all workers release at once
+        barrier.wait()  # repro: allow(blocking-call)
         while pool.processed < num_messages:
             if pool.process_ready() == 0:
                 time.sleep(0)

@@ -30,6 +30,7 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.util.atomic import atomic_write_text
 from repro.util.errors import ReproError
 
 
@@ -193,7 +194,7 @@ def cmd_drill(argv) -> int:
         "bit_identical_to_gold": identical,
         "max_abs_diff": float(np.abs(recovered - gold).max()),
     }
-    Path(args.report).write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    atomic_write_text(Path(args.report), json.dumps(doc, indent=2, sort_keys=True) + "\n")
 
     print(f"fault plan ({len(plan)} events): {plan.counts()}")
     for rec in report.recoveries:

@@ -447,5 +447,5 @@ class RecoveryOrchestrator:
             data[len(data) // 2] ^= 0xFF
         # deliberately NOT atomic: this models the storage layer
         # damaging a committed file, not a torn writer
-        path.write_bytes(bytes(data))
+        path.write_bytes(bytes(data))  # repro: allow(fs-non-atomic-publish)
         return {"kind": event.kind, "step": newest, "sha256": digest}

@@ -56,7 +56,7 @@ from repro.service.spool import (
     write_result,
 )
 from repro.ups import parse_ups
-from repro.util.atomic import atomic_write_text
+from repro.util.atomic import atomic_savez, atomic_write_text
 from repro.util.errors import ReproError, ServiceError
 
 
@@ -191,7 +191,7 @@ def cmd_submit(argv) -> int:
         for i, (path, result) in enumerate(zip(names, results)):
             print(_result_line(path.name, result))
             if out_dir:
-                np.savez_compressed(
+                atomic_savez(
                     out_dir / f"{i:03d}_{path.stem}.npz", divq=result.divq
                 )
         stats = client.service.stats()

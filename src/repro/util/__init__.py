@@ -8,10 +8,12 @@ of the library.
 from repro.util.timing import Timer, TimerRegistry, format_seconds
 from repro.util.rng import RandomStreams, spawn_stream
 from repro.util.atomic import (
+    FS_EFFECTS,
     atomic_save_array,
     atomic_savez,
     atomic_write_bytes,
     atomic_write_text,
+    register_fs_effect,
 )
 from repro.util.errors import (
     ReproError,
@@ -31,10 +33,12 @@ __all__ = [
     "format_seconds",
     "RandomStreams",
     "spawn_stream",
+    "FS_EFFECTS",
     "atomic_save_array",
     "atomic_savez",
     "atomic_write_bytes",
     "atomic_write_text",
+    "register_fs_effect",
     "ReproError",
     "GridError",
     "SchedulerError",

@@ -18,11 +18,38 @@ from __future__ import annotations
 import io
 import os
 from pathlib import Path
-from typing import Union
+from typing import Dict, Union
 
 import numpy as np
 
 PathLike = Union[str, Path]
+
+#: Effect-annotation registry: function name -> declarative filesystem
+#: effect summary, consumed by the crash-consistency analyzer
+#: (:mod:`repro.check.fs`). Each entry declares that calling the named
+#: function performs an *atomic publication* to the path passed at
+#: positional index ``path_arg`` — the analyzer treats such calls as
+#: safe publications instead of raw writes, which is what lets it
+#: verify interprocedurally that every final-path write in the tree
+#: goes through this module. Out-of-tree helpers that wrap these
+#: primitives can add themselves via :func:`register_fs_effect`.
+FS_EFFECTS: Dict[str, dict] = {
+    "atomic_write_bytes": {"effect": "atomic_publish", "path_arg": 0},
+    "atomic_write_text": {"effect": "atomic_publish", "path_arg": 0},
+    "atomic_savez": {"effect": "atomic_publish", "path_arg": 0},
+    "atomic_save_array": {"effect": "atomic_publish", "path_arg": 0},
+}
+
+
+def register_fs_effect(name: str, effect: str = "atomic_publish",
+                       path_arg: int = 0) -> None:
+    """Declare *name* as an atomicity-preserving filesystem helper.
+
+    ``effect`` is the analyzer-visible effect kind (``atomic_publish``
+    is the only kind with special meaning today); ``path_arg`` the
+    positional index of the published path.
+    """
+    FS_EFFECTS[name] = {"effect": effect, "path_arg": int(path_arg)}
 
 
 def _tmp_path(target: Path) -> Path:
@@ -35,8 +62,18 @@ def atomic_write_bytes(path: PathLike, data: bytes) -> Path:
     """Write ``data`` to ``path`` atomically; returns the final path."""
     target = Path(path)
     tmp = _tmp_path(target)
-    tmp.write_bytes(data)
-    os.replace(tmp, target)
+    try:
+        tmp.write_bytes(data)
+        os.replace(tmp, target)
+    except Exception:
+        # a failed write or rename must not leave the hidden temp file
+        # behind — readers never see it, but leaked temps accumulate
+        # and a re-run would silently overwrite a half-written one
+        try:
+            tmp.unlink()
+        except OSError:
+            pass
+        raise
     return target
 
 

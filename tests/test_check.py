@@ -107,6 +107,18 @@ class TestLintRules:
         findings, _ = lint_source(src, "core/a.py")
         assert findings == []
 
+    def test_blocking_call_check_and_tsdb_scope(self):
+        """The checkers and the tsdb collector live under the same
+        no-untimed-blocking discipline as the layers they drive."""
+        src = "item = q.get()\nlock.acquire()\n"
+        findings, _ = lint_source(src, "check/a.py")
+        assert rules(findings) == ["blocking-call"] * 2
+        findings, _ = lint_source(src, "perf/tsdb.py")
+        assert rules(findings) == ["blocking-call"] * 2
+        # the rest of perf/ stays out of scope
+        findings, _ = lint_source(src, "perf/metrics.py")
+        assert findings == []
+
     def test_blocking_call_with_timeout_clean(self):
         src = ("item = q.get(timeout=0.5)\n"
                "ok = lock.acquire(timeout=1.0)\n"
@@ -144,9 +156,10 @@ class TestLintTree:
         findings, suppressed, scanned = lint_paths([REPRO_SRC])
         assert scanned > 50
         assert findings == [], "\n".join(f.format() for f in findings)
-        # the deliberate keeps: blocking acquires in memory/pool.py and
-        # BaseException propagation in runtime/scheduler.py
-        assert suppressed >= 4
+        # the deliberate keeps: blocking acquires in memory/pool.py,
+        # BaseException propagation in runtime/scheduler.py, and the
+        # transparent lock shim + barrier drive in check/races.py
+        assert suppressed >= 8
 
 
 class TestCheckCLI:
@@ -173,3 +186,37 @@ class TestCheckCLI:
     def test_unknown_subcommand_rejected(self):
         with pytest.raises(SystemExit):
             run_check(["frobnicate"])
+
+
+class TestListRules:
+    def test_text_listing_covers_every_analyzer(self, capsys):
+        assert run_check(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for check in ("lint", "graph", "races", "leaks", "fs",
+                      "protocol"):
+            assert f"== {check} ==" in out
+        assert "fs-non-atomic-publish" in out
+        assert "protocol-lost-request" in out
+
+    def test_json_catalog(self, tmp_path, capsys):
+        out = tmp_path / "rules.json"
+        assert run_check(["--list-rules", "--json", str(out)]) == 0
+        capsys.readouterr()
+        data = json.loads(out.read_text())
+        rows = data["rules"]
+        assert {r["check"] for r in rows} == {
+            "lint", "graph", "races", "leaks", "fs", "protocol"}
+        for row in rows:
+            assert row["severity"] in ("error", "warning")
+            assert row["description"]
+        names = [r["rule"] for r in rows]
+        assert len(names) == len(set(names)), "rule names must be unique"
+
+    def test_catalogs_match_emitted_rules(self):
+        """Every rule an analyzer can emit appears in its catalog."""
+        from repro.check import fs, protocol
+        from repro.check.cli import collect_rules
+
+        listed = {r["rule"] for r in collect_rules()}
+        assert set(fs.FIXTURE_RULES.values()) <= listed
+        assert set(protocol.DEFECT_RULES.values()) <= listed

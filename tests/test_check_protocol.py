@@ -1,0 +1,197 @@
+"""The spool-protocol model checker: clean exhaustive runs, seeded
+inversions, counterexample minimality + replay, determinism."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.check.cli import run_check
+from repro.check.protocol import (
+    DEFECT_RULES,
+    RULES,
+    SpoolModel,
+    check_model,
+    run_protocol_fixture,
+    verify_protocol,
+)
+
+
+def replay(model, trace):
+    """Walk the trace from the initial state; return visited states.
+
+    Asserts each label is actually enabled where the counterexample
+    claims it is — a trace that does not replay is a checker bug.
+    """
+    state = model.initial()
+    states = [state]
+    for label in trace:
+        succ = dict(model.successors(state))
+        assert label in succ, f"step {label!r} not enabled"
+        state = succ[label]
+        states.append(state)
+    return states
+
+
+class TestCleanProtocol:
+    def test_default_model_verifies(self):
+        res = check_model(SpoolModel())
+        assert res.ok, res.render()
+        assert res.states > 500
+        assert res.transitions > res.states
+        assert res.terminals >= 1
+
+    def test_no_journal_variant_is_still_zero_loss(self):
+        """The claim file, not the journal, is the request's durable
+        trace — dropping the journal entirely must not lose requests."""
+        res = check_model(SpoolModel(defect="no_journal"))
+        assert res.ok, res.render()
+
+    def test_three_shard_model_verifies(self):
+        res = check_model(SpoolModel(tickets=3, shards=3))
+        assert res.ok, res.render()
+        assert res.states > 10_000
+
+    def test_crash_points_reach_every_shard(self):
+        """With budget S every shard can die; the protocol still
+        verifies (recover respawns, so a survivor always exists)."""
+        res = check_model(SpoolModel(tickets=2, shards=2,
+                                     crash_budget=2))
+        assert res.ok, res.render()
+
+    def test_verify_protocol_suite(self):
+        results = dict(verify_protocol())
+        assert set(results) == {"spool", "spool-no-journal"}
+        assert all(r.ok for r in results.values())
+
+    def test_unknown_defect_rejected(self):
+        with pytest.raises(ValueError):
+            SpoolModel(defect="telepathy")
+
+
+class TestSeededInversions:
+    @pytest.mark.parametrize("defect", sorted(DEFECT_RULES))
+    def test_defect_trips_its_rule(self, defect):
+        res = run_protocol_fixture(defect)
+        assert not res.ok
+        assert res.rule == DEFECT_RULES[defect], res.render()
+        assert res.trace, "violation must carry a counterexample"
+
+    def test_every_rule_reachable(self):
+        """Three rules via defects; double-solve via direct state."""
+        tripped = {run_protocol_fixture(d).rule for d in DEFECT_RULES}
+        model = SpoolModel(tickets=1, shards=1)
+        bad = list(model.initial())
+        bad[4] = (2,)  # publishes[t0] = 2
+        viol = model.violation(tuple(bad))
+        assert viol is not None and viol[0] == "protocol-double-solve"
+        assert tripped | {viol[0]} == set(RULES)
+
+    def test_journal_before_claim_inversion(self):
+        """The ISSUE's named inversion: removing the claim-before-
+        journal ordering is caught, minimally — route then journal."""
+        res = run_protocol_fixture("journal_before_claim")
+        assert res.rule == "protocol-journal-outlives-claim"
+        assert list(res.trace) == ["route t0 -> s0", "journal s0 t0"]
+
+
+class TestCounterexamples:
+    def test_trace_replays_and_violates_only_at_end(self):
+        model = SpoolModel(defect="copy_claim")
+        res = check_model(model)
+        states = replay(model, res.trace)
+        for s in states[:-1]:
+            assert model.violation(s) is None
+        viol = model.violation(states[-1])
+        assert viol is not None and viol[0] == res.rule
+
+    def test_minimality_single_ticket_early_settle(self):
+        """One ticket: claim then settle-before-publish strands it in
+        exactly three steps; BFS must find exactly that."""
+        res = run_protocol_fixture("early_settle", tickets=1)
+        assert res.rule == "protocol-lost-request"
+        assert list(res.trace) == [
+            "route t0 -> s0", "claim s0 t0", "settle s0 t0"]
+
+    def test_minimality_copy_claim(self):
+        """Copy-then-erase claiming: the shortest double claim is a
+        steal slipped into the copy/erase window — four steps."""
+        res = run_protocol_fixture("copy_claim")
+        assert res.rule == "protocol-double-claim"
+        assert len(res.trace) == 4
+        assert res.trace[0].startswith("route")
+        assert sum(1 for s in res.trace if s.startswith("claim-copy")) == 2
+
+    def test_lost_request_is_terminal_only(self):
+        """The stranded ticket is reported at quiescence, not while
+        work is still possible."""
+        model = SpoolModel(defect="early_settle", tickets=1)
+        res = check_model(model)
+        states = replay(model, res.trace)
+        final = states[-1]
+        succ = model.successors(final)
+        assert all(lbl.startswith("crash") for lbl, _ in succ)
+        assert model.terminal_violation(final) is not None
+
+    def test_render_contains_numbered_trace(self):
+        res = run_protocol_fixture("journal_before_claim")
+        text = res.render()
+        assert "VIOLATION after 2 step(s)" in text
+        assert "1. route t0 -> s0" in text
+        assert "2. journal s0 t0" in text
+        assert "protocol-journal-outlives-claim" in text
+
+
+class TestDeterminism:
+    def test_same_model_same_trace_in_process(self):
+        a = run_protocol_fixture("copy_claim")
+        b = run_protocol_fixture("copy_claim")
+        assert a.render() == b.render()
+        assert a.trace == b.trace
+        assert (a.states, a.transitions) == (b.states, b.transitions)
+
+    def test_byte_identical_across_hash_seeds(self):
+        """The state encoding is all ints, so exploration order — and
+        the rendered counterexample — survives hash randomization."""
+        prog = (
+            "from repro.check.protocol import run_protocol_fixture\n"
+            "r = run_protocol_fixture('early_settle')\n"
+            "print(r.render())\n"
+        )
+        outs = []
+        for seed in ("0", "424242"):
+            env = dict(os.environ)
+            env["PYTHONHASHSEED"] = seed
+            env["PYTHONPATH"] = os.pathsep.join(
+                filter(None, ["src", env.get("PYTHONPATH", "")]))
+            proc = subprocess.run(
+                [sys.executable, "-c", prog],
+                capture_output=True, text=True, env=env, timeout=120,
+                cwd=os.path.dirname(os.path.dirname(
+                    os.path.abspath(__file__))),
+            )
+            assert proc.returncode == 0, proc.stderr
+            outs.append(proc.stdout)
+        assert outs[0] == outs[1]
+        assert "VIOLATION" in outs[0]
+
+    def test_clean_run_stats_are_stable(self):
+        a = check_model(SpoolModel())
+        b = check_model(SpoolModel())
+        assert (a.states, a.transitions, a.terminals) == \
+            (b.states, b.transitions, b.terminals)
+
+
+class TestCLI:
+    def test_protocol_subcommand_clean(self, capsys):
+        assert run_check(["protocol"]) == 0
+        assert "repro check protocol" in capsys.readouterr().out
+
+    def test_protocol_seeded_defects_gate(self, capsys):
+        assert run_check(["protocol", "--seeded-defects"]) == 1
+        out = capsys.readouterr().out
+        assert "protocol-lost-request" in out
+        assert "protocol-double-claim" in out
+        assert "protocol-journal-outlives-claim" in out
+        assert "step trace:" in out  # counterexamples surface in CI logs

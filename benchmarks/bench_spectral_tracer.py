@@ -1,0 +1,146 @@
+"""E19 — spectral tracer throughput and the cost of wavelength sampling.
+
+Real timings of the wavelength-sampled spectral RMCRT path against the
+gray kernel it extends:
+
+* the gray single-level solver (the baseline everything is priced
+  against),
+* the spectral tracer in its gray limit (one band — pure subsystem
+  overhead: band sampling, per-band field indirection, weighting), and
+* genuinely spectral solves (3 bands, power-law kappa, tungsten
+  emissivity on hot walls) for vectorized and scalar backends.
+
+The headline number is the spectral-vs-gray cost factor at equal ray
+budget — how much a run pays for band-resolved physics. Results land
+in ``BENCH_spectral_tracer.json`` and gate in CI against the committed
+baseline.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.single_level import SingleLevelRMCRT
+from repro.perf import write_bench_artifact
+from repro.radiation.spectral.model import SpectralModel
+from repro.radiation.spectral.scenario import SpectralCase
+from repro.radiation.spectral.viewfactor import EnclosureScenario
+
+RAYS = 8
+RESOLUTION = 12
+
+
+@pytest.fixture(scope="module")
+def artifact_rows():
+    """Accumulates one row per sweep point; the artifact is written
+    once, after every test in the module has contributed."""
+    rows = []
+    yield rows
+    write_bench_artifact(
+        "spectral_tracer",
+        params={"rays_per_cell": RAYS, "resolution": RESOLUTION,
+                "bands_swept": [1, 3]},
+        rows=rows,
+    )
+
+
+def make_case(bands, name):
+    if bands == 1:
+        model = SpectralModel.gray_limit()
+    else:
+        model = SpectralModel.build(
+            bands=bands, temperature=1400.0, kappa_exponent=0.8,
+            emissivity="tungsten",
+        )
+    return SpectralCase(
+        name=name, model=model, resolution=RESOLUTION,
+        rays_per_cell=RAYS, wall_temperature=0.0 if bands == 1 else 0.5,
+    )
+
+
+def test_gray_solver_throughput(benchmark, artifact_rows):
+    case = make_case(1, "gray-baseline")
+    grid, props = case.prepare()
+    solver = SingleLevelRMCRT(rays_per_cell=RAYS)
+
+    result = benchmark.pedantic(
+        lambda: solver.solve(grid, props), rounds=3, iterations=1
+    )
+    rate = result.rays_traced / benchmark.stats.stats.mean
+    print(f"\ngray solver: {rate:,.0f} cell-rays/s")
+    artifact_rows.append({
+        "tracer": "gray",
+        "bands": 1,
+        "cell_rays_per_s": rate,
+        "mean_s": benchmark.stats.stats.mean,
+    })
+
+
+@pytest.mark.parametrize("bands", [1, 3])
+def test_spectral_vectorized_throughput(benchmark, artifact_rows, bands):
+    case = make_case(bands, f"spectral-{bands}band")
+    grid, props = case.prepare()
+    tracer = case.tracer(backend="vectorized")
+
+    result = benchmark.pedantic(
+        lambda: tracer.solve(grid, props), rounds=3, iterations=1
+    )
+    rate = result.rays_traced / benchmark.stats.stats.mean
+    print(f"\nspectral vectorized, {bands} band(s): {rate:,.0f} cell-rays/s")
+    artifact_rows.append({
+        "tracer": "spectral-vectorized",
+        "bands": bands,
+        "cell_rays_per_s": rate,
+        "mean_s": benchmark.stats.stats.mean,
+    })
+
+
+def test_spectral_vs_gray_cost(benchmark, artifact_rows):
+    """The E19 headline: band-resolved physics priced as a cost factor
+    over the gray kernel at an identical ray budget."""
+    import time
+
+    case = make_case(3, "spectral-cost")
+    grid, props = case.prepare()
+    tracer = case.tracer(backend="vectorized")
+    gray_case = make_case(1, "gray-cost")
+    gray_grid, gray_props = gray_case.prepare()
+    solver = SingleLevelRMCRT(rays_per_cell=RAYS)
+
+    def compare():
+        t0 = time.perf_counter()
+        solver.solve(gray_grid, gray_props)
+        t_gray = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        tracer.solve(grid, props)
+        t_spectral = time.perf_counter() - t0
+        return t_spectral / t_gray
+
+    cost = benchmark.pedantic(compare, rounds=3, iterations=1)
+    print(f"\nspectral(3-band)/gray cost factor: {cost:.2f}x")
+    artifact_rows.append({
+        "tracer": "spectral_vs_gray",
+        "bands": 3,
+        "cost_factor": cost,
+    })
+    # the spectral estimator reuses the gray march per band group; it
+    # must stay within a small constant of the gray kernel, not blow up
+    assert cost < 10.0
+
+
+def test_enclosure_throughput(benchmark, artifact_rows):
+    case = EnclosureScenario(
+        model=SpectralModel.build(
+            bands=3, temperature=1200.0, emissivity="ceramic",
+        ),
+        samples_per_face=20000,
+    )
+
+    result = benchmark.pedantic(lambda: case.solve(), rounds=3, iterations=1)
+    rate = result.rays_traced / benchmark.stats.stats.mean
+    print(f"\nenclosure view-factor solve: {rate:,.0f} samples/s")
+    artifact_rows.append({
+        "tracer": "enclosure",
+        "bands": 3,
+        "samples_per_s": rate,
+        "mean_s": benchmark.stats.stats.mean,
+    })

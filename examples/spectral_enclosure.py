@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""Spectral enclosure radiation: view factors + banded radiosity.
+
+The optically-thin counterpart of the volume tracers: a unit-cube
+furnace with one hot face (1500 K), one cold face (300 K), and warm
+side walls (900 K), exchanged surface-to-surface through Monte Carlo
+view factors and a per-band radiosity solve with the ceramic
+emissivity table.
+
+Shows the full worked path:
+
+1. MC view factors vs the analytic coaxial-rectangles oracle,
+2. the constraint projection (reciprocity + unit row sums to
+   round-off),
+3. band emissive powers from the Planck fraction function at each
+   face's own temperature,
+4. net face fluxes, their band breakdown, and the energy balance
+   closing to round-off.
+
+Run:  python examples/spectral_enclosure.py
+"""
+
+import numpy as np
+
+from repro.radiation.spectral import (
+    EnclosureScenario,
+    SpectralModel,
+    parallel_plates_view_factor,
+)
+
+FACE_NAMES = ("x- (hot)", "x+ (cold)", "y-", "y+", "z-", "z+")
+
+
+def main() -> None:
+    scenario = EnclosureScenario(
+        dims=(1.0, 1.0, 1.0),
+        face_temperatures=(1500.0, 300.0, 900.0, 900.0, 900.0, 900.0),
+        model=SpectralModel.build(
+            bands=3, temperature=1200.0, emissivity="ceramic",
+            name="enclosure-ceramic",
+        ),
+        samples_per_face=40000,
+    )
+    result = scenario.solve()
+
+    analytic = parallel_plates_view_factor(1.0, 1.0, 1.0)
+    print(f"unit-cube opposite-face view factor:")
+    print(f"  analytic (Modest config 38): {analytic:.6f}")
+    print(f"  MC, constrained:             {result.view_factors[0, 1]:.6f} "
+          f"(err {abs(result.view_factors[0, 1] - analytic):.1e}, "
+          f"{scenario.samples_per_face} rays/face)")
+
+    s = result.areas[:, None] * result.view_factors
+    print(f"  reciprocity residual:        "
+          f"{np.max(np.abs(s - s.T)):.1e} (exact by construction)")
+    print(f"  row-sum residual:            "
+          f"{np.max(np.abs(result.view_factors.sum(axis=1) - 1.0)):.1e}")
+
+    print(f"\n{'face':>10} {'T [K]':>7} {'q [W/m^2]':>12}  band shares")
+    for i, name in enumerate(FACE_NAMES):
+        shares = result.band_flux[i] / result.flux[i]
+        share_s = " ".join(f"{w:5.2f}" for w in shares)
+        print(f"{name:>10} {scenario.face_temperatures[i]:7.0f} "
+              f"{result.flux[i]:12.1f}  [{share_s}]")
+
+    emitted = np.abs(result.face_power).sum()
+    print(f"\nenergy balance: sum_i A_i q_i = {result.energy_balance:+.2e} W "
+          f"(vs {emitted:.3e} W gross — closes to round-off)")
+    print("the hot face loses, every other face gains; the ceramic table")
+    print("shifts exchange between bands but conserves total power because")
+    print("the constrained view factors satisfy reciprocity exactly.")
+
+
+if __name__ == "__main__":
+    main()

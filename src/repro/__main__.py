@@ -40,6 +40,11 @@ checkpoint/restart and the kill-and-recover drill. See
 multi-shard service fabric: scene-affinity routing across N serve
 shards, work stealing, heartbeat-based failure recovery, and
 SLO-driven autoscaling. See :mod:`repro.fabric.cli`.
+
+``python -m repro spectral [smoke|run|enclosure]`` exercises the
+wavelength-sampled spectral radiation subsystem: the CI smoke
+cross-check, named spectral scenarios, and the view-factor enclosure
+solver. See :mod:`repro.radiation.spectral.cli`.
 """
 
 from __future__ import annotations
@@ -195,6 +200,10 @@ def main(argv=None) -> int:
         from repro.fabric.cli import cmd_fabric
 
         return cmd_fabric(argv[1:])
+    if argv and argv[0] == "spectral":
+        from repro.radiation.spectral.cli import cmd_spectral
+
+        return cmd_spectral(argv[1:])
     return _run_ups(argv)
 
 

@@ -18,7 +18,8 @@ overbroad-except    warning   ``except BaseException``, or ``except Exception``
                               whose body only ``pass``es
 blocking-call       warning   ``.get()`` / ``.acquire()`` / ``.wait()`` with no
                               timeout in comm, service, memory, resilience,
-                              fabric, and check code (plus ``perf/tsdb.py``)
+                              fabric, check, and radiation/spectral code
+                              (plus ``perf/tsdb.py``)
 mutable-default     error     ``def f(x=[])`` and friends
 unlabeled-metric    warning   ``counter()/gauge()/histogram()`` with no label
                               kwargs in multi-instance components (comm, memory,
@@ -60,7 +61,8 @@ RULES = {
     "blocking-call": (
         "warning",
         ".get()/.acquire()/.wait() with no timeout in comm, service, "
-        "memory, resilience, fabric, check, or perf/tsdb.py",
+        "memory, resilience, fabric, check, radiation/spectral, or "
+        "perf/tsdb.py",
     ),
     "mutable-default": (
         "error",
@@ -93,11 +95,12 @@ NP_GLOBAL_RANDOM_FNS = {
 
 #: path fragments where blocking without a timeout is a finding
 #: (resilience drains comm fabrics and restores mid-failure, the
-#: fabric babysits shard processes, and the checkers themselves drive
-#: threads/locks — all get the same no-untimed-blocking discipline as
-#: the layers they touch)
+#: fabric babysits shard processes, the checkers themselves drive
+#: threads/locks, and spectral solves run inside serve/fabric workers —
+#: all get the same no-untimed-blocking discipline as the layers they
+#: touch)
 BLOCKING_SCOPE = ("comm", "service", "memory", "resilience", "fabric",
-                  "check")
+                  "check", "spectral")
 
 #: individual files under the same discipline whose parent package is
 #: not (tsdb's collector thread runs inside the serve loop)

@@ -22,8 +22,13 @@ from repro.radiation.analysis import (
 from repro.radiation.spectral import (
     COMBUSTION_3_BAND,
     GREY,
+    EnclosureScenario,
+    PlanckTable,
     SpectralBand,
+    SpectralModel,
     SpectralRMCRT,
+    SpectralTracer,
+    TabulatedEmissivity,
     band_properties,
     validate_bands,
 )
@@ -37,8 +42,13 @@ __all__ = [
     "symmetry_deviation",
     "COMBUSTION_3_BAND",
     "GREY",
+    "EnclosureScenario",
+    "PlanckTable",
     "SpectralBand",
+    "SpectralModel",
     "SpectralRMCRT",
+    "SpectralTracer",
+    "TabulatedEmissivity",
     "band_properties",
     "validate_bands",
     "SIGMA_SB",

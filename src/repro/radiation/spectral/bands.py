@@ -1,5 +1,12 @@
-"""Spectral (non-grey) radiation via a band loop — the paper's stated
-future work.
+"""WSGG-style grey-band loop — the original spectral approximation.
+
+This is the coarse end of the spectral subsystem: the spectrum as a
+handful of grey bands with prescribed weights and kappa scales, each
+solved by re-running the grey machinery. The wavelength-*sampled*
+path (Planck-distribution band sampling per ray, tabulated surface
+emissivity) lives in :mod:`repro.radiation.spectral.tracer`; this
+module remains the cheap band-loop reference and the home of the
+:class:`SpectralBand` set definitions.
 
 Section III.A: "Adding spectral frequencies to RMCRT would entail
 adding a loop over wave-lengths, eta and is part of future work."

@@ -1,0 +1,174 @@
+"""Tabulated, temperature-dependent spectral surface emissivity.
+
+A :class:`TabulatedEmissivity` holds band emissivities on a grid of
+temperatures and interpolates linearly in temperature (clamping at the
+table ends, the usual engineering convention for sparse property
+data). Values act as *multipliers* on the scene's gray wall emissivity
+(the wall ring of ``abskg``): the gray table (all ones) leaves every
+surface untouched, which is the gray-limit invariant the tests pin.
+
+The named material catalog builds tables from the power-law model
+
+    eps(lambda, T) = clamp(eps0 * (lambda/lambda0)^alpha
+                           * (1 + slope*(T - t_ref)/t_ref), 0.01, 0.99)
+
+evaluated at a band structure's Planck-median wavelengths — the
+tabulated-spectral-emissivity shape of the GPU Monte Carlo exemplars.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+import numpy as np
+
+from repro.radiation.spectral.planck import PlanckTable
+from repro.util.errors import ReproError
+
+
+@dataclass
+class TabulatedEmissivity:
+    """Band emissivity vs temperature, linearly interpolated.
+
+    ``temperatures`` is (nT,) strictly increasing in kelvin;
+    ``values`` is (nT, nbands) with entries in (0, 1].
+    """
+
+    temperatures: np.ndarray
+    values: np.ndarray
+    name: str = "custom"
+
+    def __post_init__(self) -> None:
+        self.temperatures = np.asarray(self.temperatures, dtype=np.float64)
+        self.values = np.asarray(self.values, dtype=np.float64)
+        if self.temperatures.ndim != 1 or self.temperatures.size < 1:
+            raise ReproError("emissivity table needs >= 1 temperature row")
+        if np.any(np.diff(self.temperatures) <= 0):
+            raise ReproError("emissivity table temperatures must increase")
+        if self.values.shape != (self.temperatures.size, self.nbands_guess()):
+            raise ReproError(
+                f"emissivity values shape {self.values.shape} != "
+                f"(nT={self.temperatures.size}, nbands)"
+            )
+        if np.any(self.values <= 0.0) or np.any(self.values > 1.0):
+            raise ReproError("band emissivities must lie in (0, 1]")
+
+    def nbands_guess(self) -> int:
+        return self.values.shape[1] if self.values.ndim == 2 else -1
+
+    @property
+    def nbands(self) -> int:
+        return self.values.shape[1]
+
+    @property
+    def is_gray(self) -> bool:
+        """True when the table is the identity modifier (all ones)."""
+        return bool(np.all(self.values == 1.0))
+
+    # ------------------------------------------------------------------
+    # lookup
+    # ------------------------------------------------------------------
+    def eps_at(self, temperature: float) -> np.ndarray:
+        """(nbands,) band emissivities at one temperature."""
+        return self.band_values(
+            np.arange(self.nbands), np.full(self.nbands, float(temperature))
+        )
+
+    def band_values(self, band, temperature) -> np.ndarray:
+        """Emissivity for ``band`` (int or array) at ``temperature``
+        (array, broadcast against band) — the vectorized lookup the
+        tracer uses per surface cell."""
+        t = np.asarray(temperature, dtype=np.float64)
+        temps = self.temperatures
+        if temps.size == 1:
+            return np.broadcast_to(
+                self.values[0, band], np.broadcast_shapes(t.shape, np.shape(band))
+            ).copy()
+        idx = np.clip(np.searchsorted(temps, t, side="right") - 1, 0, temps.size - 2)
+        t0, t1 = temps[idx], temps[idx + 1]
+        w = np.clip((t - t0) / (t1 - t0), 0.0, 1.0)
+        v0 = self.values[idx, band]
+        v1 = self.values[idx + 1, band]
+        return (1.0 - w) * v0 + w * v1
+
+    # ------------------------------------------------------------------
+    # identity (fingerprint surface)
+    # ------------------------------------------------------------------
+    def digest(self) -> str:
+        """SHA-256 of the table contents — what the spec fingerprint
+        folds in, so two specs differing only in emissivity data cache
+        (and route) distinctly."""
+        h = hashlib.sha256()
+        h.update(self.name.encode())
+        h.update(str(self.values.shape).encode())
+        h.update(np.ascontiguousarray(self.temperatures).tobytes())
+        h.update(np.ascontiguousarray(self.values).tobytes())
+        return h.hexdigest()
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def gray(cls, nbands: int) -> "TabulatedEmissivity":
+        """The identity table: every band, every temperature, eps 1."""
+        return cls(
+            temperatures=np.array([300.0]),
+            values=np.ones((1, nbands)),
+            name="gray",
+        )
+
+    @classmethod
+    def power_law(
+        cls,
+        table: PlanckTable,
+        eps0: float = 0.8,
+        lambda0_um: float = 2.0,
+        alpha: float = 0.0,
+        slope: float = 0.0,
+        t_ref: float = 1000.0,
+        temperatures: Sequence[float] = (300.0, 800.0, 1300.0, 1800.0),
+        name: str = "power-law",
+    ) -> "TabulatedEmissivity":
+        """Tabulate the power-law emissivity model on a band structure.
+
+        Band wavelengths are the table's Planck medians; rows are the
+        given temperatures with the linear temperature correction.
+        """
+        lam = table.band_medians_um()
+        temps = np.asarray(sorted(temperatures), dtype=np.float64)
+        base = eps0 * (lam / lambda0_um) ** alpha
+        correction = 1.0 + slope * (temps[:, None] - t_ref) / t_ref
+        values = np.clip(base[None, :] * correction, 0.01, 0.99)
+        return cls(temperatures=temps, values=values, name=name)
+
+
+#: named material catalog: power-law parameters per material.
+#: "gray" is the identity; the others are engineering-order-of-magnitude
+#: spectral shapes (tungsten brightens toward short wavelengths and with
+#: temperature; oxidized ceramic is high-emissivity and nearly flat;
+#: polished steel is low-emissivity, dropping with wavelength).
+MATERIALS: Dict[str, Dict[str, float]] = {
+    "tungsten": dict(eps0=0.45, lambda0_um=1.0, alpha=-0.35, slope=0.25),
+    "ceramic": dict(eps0=0.90, lambda0_um=4.0, alpha=0.05, slope=-0.05),
+    "steel": dict(eps0=0.25, lambda0_um=2.0, alpha=-0.20, slope=0.15),
+}
+
+
+def named_emissivity(name: str, table: PlanckTable) -> TabulatedEmissivity:
+    """Build a catalog material's table for a band structure.
+
+    ``gray`` yields the identity modifier; unknown names raise with the
+    catalog listed (specs are untrusted input).
+    """
+    if name == "gray":
+        return TabulatedEmissivity.gray(table.nbands)
+    try:
+        params = MATERIALS[name]
+    except KeyError:
+        known = ["gray"] + sorted(MATERIALS)
+        raise ReproError(
+            f"unknown emissivity table {name!r}; known: {', '.join(known)}"
+        ) from None
+    return TabulatedEmissivity.power_law(table, name=name, **params)

@@ -21,8 +21,23 @@ where one exists)::
         <CCRays> false </CCRays>
         <randomSeed> 0 </randomSeed>
       </RMCRT>
+      <Spectral>
+        <bands> 3 </bands>
+        <temperature> 1400 </temperature>
+        <kappaExponent> 0.8 </kappaExponent>
+        <emissivity> tungsten </emissivity>
+      </Spectral>
       <Scheduler type="distributed" ranks="8" pool="waitfree" threads="16"/>
     </Uintah_specification>
+
+The optional ``<Spectral>`` block switches the solve to the
+wavelength-sampled spectral tracer
+(:mod:`repro.radiation.spectral.tracer`): ``bands`` Planck-sampled
+wavelength bands at the given reference ``temperature`` (or explicit
+``<bandEdges>``, micrometres, ``bands + 1`` increasing values with
+``inf`` allowed), a kappa power law in wavelength, and a named surface
+emissivity table. Spectral solves are restricted to single-level grids
+on the serial scheduler — the multi-level band cascade is future work.
 
 Parsing is strict: unknown tags raise, so typos fail loudly instead of
 silently running defaults (a lesson every Uintah user learns once).
@@ -77,10 +92,27 @@ class SchedulerSpec:
 
 
 @dataclass
+class SpectralSpec:
+    """The ``<Spectral>`` block: wavelength-sampled transport.
+
+    ``band_edges_um`` is empty for equal-Planck-fraction banding, or
+    ``bands + 1`` increasing wavelength edges in micrometres.
+    """
+
+    bands: int = 3
+    band_edges_um: tuple = ()
+    temperature: float = 1000.0
+    kappa_exponent: float = 0.0
+    emissivity: str = "gray"
+
+
+@dataclass
 class ProblemSpec:
     grid: GridSpec = field(default_factory=GridSpec)
     rmcrt: RMCRTSpec = field(default_factory=RMCRTSpec)
     scheduler: SchedulerSpec = field(default_factory=SchedulerSpec)
+    #: None = gray transport (the classic solvers); set = spectral
+    spectral: Optional[SpectralSpec] = None
 
 
 def _text(elem: ET.Element) -> str:
@@ -107,6 +139,22 @@ _RMCRT_TAGS = {
     "randomSeed": ("random_seed", int),
 }
 _RMCRT_BOOL_TAGS = {"allowReflect": "allow_reflect", "CCRays": "cc_rays"}
+_SPECTRAL_TAGS = {
+    "bands": ("bands", int),
+    "temperature": ("temperature", float),
+    "kappaExponent": ("kappa_exponent", float),
+    "emissivity": ("emissivity", str),
+}
+
+
+def _parse_band_edges(raw: str) -> tuple:
+    try:
+        return tuple(float(tok) for tok in raw.split())
+    except ValueError:
+        raise ReproError(
+            f"<bandEdges> expects whitespace-separated wavelengths "
+            f"(um, 'inf' allowed), got {raw!r}"
+        ) from None
 
 
 def parse_ups(source: str) -> ProblemSpec:
@@ -144,6 +192,16 @@ def parse_ups(source: str) -> ProblemSpec:
                     )
                 else:
                     raise ReproError(f"unknown <RMCRT> tag <{child.tag}>")
+        elif section.tag == "Spectral":
+            spec.spectral = SpectralSpec()
+            for child in section:
+                if child.tag in _SPECTRAL_TAGS:
+                    attr, conv = _SPECTRAL_TAGS[child.tag]
+                    setattr(spec.spectral, attr, conv(_text(child)))
+                elif child.tag == "bandEdges":
+                    spec.spectral.band_edges_um = _parse_band_edges(_text(child))
+                else:
+                    raise ReproError(f"unknown <Spectral> tag <{child.tag}>")
         elif section.tag == "Scheduler":
             spec.scheduler.type = section.attrib.get("type", "serial")
             spec.scheduler.ranks = int(section.attrib.get("ranks", "1"))
@@ -171,6 +229,8 @@ def _validate(spec: ProblemSpec) -> None:
         raise ReproError("Threshold must be in (0, 1)")
     if s.type not in ("serial", "threaded", "distributed", "gpu"):
         raise ReproError(f"unknown scheduler type {s.type!r}")
+    if spec.spectral is not None:
+        _validate_spectral(spec)
     if s.type != "serial":
         if g.patch_size is None:
             raise ReproError(f"{s.type} runs need <patch_size>")
@@ -181,6 +241,58 @@ def _validate(spec: ProblemSpec) -> None:
                 "allowReflect/CCRays are only supported by the serial "
                 "direct solvers in this reproduction"
             )
+
+
+def _validate_spectral(spec: ProblemSpec) -> None:
+    from repro.radiation.spectral.emissivity import MATERIALS
+
+    sp = spec.spectral
+    if sp.bands < 1:
+        raise ReproError(f"<Spectral> bands must be >= 1, got {sp.bands}")
+    if sp.temperature <= 0:
+        raise ReproError(
+            f"<Spectral> temperature must be positive, got {sp.temperature}"
+        )
+    if sp.band_edges_um and len(sp.band_edges_um) != sp.bands + 1:
+        raise ReproError(
+            f"{sp.bands} spectral bands need {sp.bands + 1} band edges, "
+            f"got {len(sp.band_edges_um)}"
+        )
+    known = {"gray"} | set(MATERIALS)
+    if sp.emissivity not in known:
+        raise ReproError(
+            f"unknown <Spectral> emissivity {sp.emissivity!r}; "
+            f"known: {', '.join(sorted(known))}"
+        )
+    if spec.grid.levels != 1:
+        raise ReproError(
+            "spectral transport is single-level only (the multi-level "
+            "band cascade is future work); set <levels> 1 </levels>"
+        )
+    if spec.scheduler.type != "serial":
+        raise ReproError("spectral transport runs on the serial scheduler only")
+    if spec.rmcrt.allow_reflect:
+        raise ReproError(
+            "allowReflect is not supported by the spectral tracer "
+            "(band-resolved reflections are future work)"
+        )
+
+
+def spectral_model(sp: SpectralSpec):
+    """Resolve a :class:`SpectralSpec` into the tracer's model.
+
+    Pure function of the spec fields — journaled spectral specs
+    rebuild the identical model (and digest) anywhere.
+    """
+    from repro.radiation.spectral.model import SpectralModel
+
+    return SpectralModel.build(
+        bands=sp.bands,
+        temperature=sp.temperature,
+        band_edges_um=sp.band_edges_um or None,
+        kappa_exponent=sp.kappa_exponent,
+        emissivity=sp.emissivity,
+    )
 
 
 @dataclass
@@ -220,8 +332,20 @@ def run_prepared(spec: ProblemSpec, scene: PreparedScene) -> RMCRTResult:
     hoisted out so it can be shared across a batch.
     """
     r = spec.rmcrt
-    # two execution paths: the 3-task pipeline for threaded/distributed/
-    # gpu runs, the direct solvers for serial ones
+    # three execution paths: the spectral tracer for <Spectral> specs,
+    # the 3-task pipeline for threaded/distributed/gpu runs, and the
+    # direct solvers for serial gray ones
+    if spec.spectral is not None:
+        from repro.radiation.spectral.tracer import SpectralTracer
+
+        tracer = SpectralTracer(
+            spectral_model(spec.spectral),
+            rays_per_cell=r.n_divq_rays,
+            threshold=r.threshold,
+            seed=r.random_seed,
+            centered_origins=r.cc_rays,
+        )
+        return tracer.solve(scene.grid, scene.props)
     if spec.scheduler.type != "serial":
         drm = DistributedRMCRT(
             scene.grid,
@@ -268,7 +392,11 @@ def run_ups(spec: ProblemSpec) -> RMCRTResult:
 
 @lru_cache(maxsize=64)
 def _scene_digest(
-    resolution: int, levels: int, refinement_ratio: int, patch_size: Optional[int]
+    resolution: int,
+    levels: int,
+    refinement_ratio: int,
+    patch_size: Optional[int],
+    spectral_digest: Optional[str] = None,
 ) -> str:
     spec = ProblemSpec(
         grid=GridSpec(
@@ -287,6 +415,10 @@ def _scene_digest(
                 "levels": levels,
                 "refinement_ratio": refinement_ratio,
                 "patch_size": patch_size,
+                # the spectral model reshapes the per-band marching
+                # fields, so spectral scenes are distinct from the gray
+                # scene built from the same grid — and from each other
+                "spectral": spectral_digest,
             },
             sort_keys=True,
         ).encode()
@@ -300,19 +432,60 @@ def _scene_digest(
     return h.hexdigest()
 
 
+@lru_cache(maxsize=64)
+def _spectral_model_digest(
+    bands: int,
+    band_edges_um: tuple,
+    temperature: float,
+    kappa_exponent: float,
+    emissivity: str,
+) -> str:
+    return spectral_model(
+        SpectralSpec(
+            bands=bands,
+            band_edges_um=band_edges_um,
+            temperature=temperature,
+            kappa_exponent=kappa_exponent,
+            emissivity=emissivity,
+        )
+    ).digest()
+
+
+def _spectral_digest(spec: ProblemSpec) -> Optional[str]:
+    sp = spec.spectral
+    if sp is None:
+        return None
+    return _spectral_model_digest(
+        sp.bands,
+        tuple(sp.band_edges_um),
+        sp.temperature,
+        sp.kappa_exponent,
+        sp.emissivity,
+    )
+
+
 def scene_fingerprint(spec: ProblemSpec) -> str:
     """Digest of the grid geometry and property fields (batching key)."""
     g = spec.grid
-    return _scene_digest(g.resolution, g.levels, g.refinement_ratio, g.patch_size)
+    return _scene_digest(
+        g.resolution, g.levels, g.refinement_ratio, g.patch_size,
+        _spectral_digest(spec),
+    )
 
 
 def spec_to_dict(spec: ProblemSpec) -> dict:
     """A JSON-able round-trippable form of a spec (request journaling)."""
-    return {
+    doc = {
         "grid": asdict(spec.grid),
         "rmcrt": asdict(spec.rmcrt),
         "scheduler": asdict(spec.scheduler),
     }
+    if spec.spectral is not None:
+        sp = asdict(spec.spectral)
+        # JSON has no Infinity; band edges travel as repr strings
+        sp["band_edges_um"] = [repr(e) for e in spec.spectral.band_edges_um]
+        doc["spectral"] = sp
+    return doc
 
 
 def spec_from_dict(doc: dict) -> ProblemSpec:
@@ -320,12 +493,20 @@ def spec_from_dict(doc: dict) -> ProblemSpec:
     :func:`parse_ups` (a journaled spec is untrusted input: the file
     may have been truncated or edited)."""
     try:
+        spectral = None
+        if doc.get("spectral") is not None:
+            sp = dict(doc["spectral"])
+            sp["band_edges_um"] = tuple(
+                float(e) for e in sp.get("band_edges_um", ())
+            )
+            spectral = SpectralSpec(**sp)
         spec = ProblemSpec(
             grid=GridSpec(**doc.get("grid", {})),
             rmcrt=RMCRTSpec(**doc.get("rmcrt", {})),
             scheduler=SchedulerSpec(**doc.get("scheduler", {})),
+            spectral=spectral,
         )
-    except TypeError as exc:
+    except (TypeError, ValueError) as exc:
         raise ReproError(f"malformed spec document: {exc}") from None
     _validate(spec)
     return spec
@@ -356,6 +537,19 @@ def spec_to_ups(spec: ProblemSpec) -> str:
     lines.append(f"    <CCRays> {str(r.cc_rays).lower()} </CCRays>")
     lines.append(f"    <randomSeed> {r.random_seed} </randomSeed>")
     lines.append("  </RMCRT>")
+    if spec.spectral is not None:
+        sp = spec.spectral
+        lines.append("  <Spectral>")
+        lines.append(f"    <bands> {sp.bands} </bands>")
+        if sp.band_edges_um:
+            edges = " ".join(repr(e) for e in sp.band_edges_um)
+            lines.append(f"    <bandEdges> {edges} </bandEdges>")
+        lines.append(f"    <temperature> {sp.temperature!r} </temperature>")
+        lines.append(
+            f"    <kappaExponent> {sp.kappa_exponent!r} </kappaExponent>"
+        )
+        lines.append(f"    <emissivity> {sp.emissivity} </emissivity>")
+        lines.append("  </Spectral>")
     lines.append(
         f'  <Scheduler type="{s.type}" ranks="{s.ranks}" '
         f'pool="{s.pool}" threads="{s.threads}"/>'
@@ -365,21 +559,27 @@ def spec_to_ups(spec: ProblemSpec) -> str:
 
 
 def spec_fingerprint(spec: ProblemSpec) -> str:
-    """Full content address of a solve: scene + RMCRT params + seed."""
+    """Full content address of a solve: scene + RMCRT params + seed.
+
+    Spectral specs carry a ``spectral`` key (the model digest) that
+    gray specs never have — so even the gray-*limit* spectral spec,
+    whose answer is bit-identical to the gray solve, addresses a
+    distinct cache entry: the estimator is different machinery and the
+    identity is an invariant we test, not an equivalence we assume.
+    """
     r = spec.rmcrt
+    params = {
+        "nDivQRays": r.n_divq_rays,
+        "Threshold": repr(r.threshold),
+        "halo": r.halo,
+        "allowReflect": r.allow_reflect,
+        "CCRays": r.cc_rays,
+        "randomSeed": r.random_seed,
+    }
+    sd = _spectral_digest(spec)
+    if sd is not None:
+        params["spectral"] = sd
     h = hashlib.sha256()
     h.update(scene_fingerprint(spec).encode())
-    h.update(
-        json.dumps(
-            {
-                "nDivQRays": r.n_divq_rays,
-                "Threshold": repr(r.threshold),
-                "halo": r.halo,
-                "allowReflect": r.allow_reflect,
-                "CCRays": r.cc_rays,
-                "randomSeed": r.random_seed,
-            },
-            sort_keys=True,
-        ).encode()
-    )
+    h.update(json.dumps(params, sort_keys=True).encode())
     return h.hexdigest()

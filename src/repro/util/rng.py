@@ -9,24 +9,70 @@ NumPy's ``SeedSequence.spawn`` machinery provides statistically
 independent child streams; we key children on stable integer tuples so
 the same patch always receives the same stream regardless of which rank
 owns it.
+
+Key components may also be *names* (non-numeric identifier strings):
+subsystems that need their own stream family — the spectral sampler's
+per-patch wavelength draws must not perturb the ray stream, or the
+gray and spectral solvers would stop being bit-comparable — register a
+purpose name instead of inventing a magic integer. Names hash to
+stable 62-bit integers (SHA-256 based, so identical across processes
+and PYTHONHASHSEED values) and round-trip through
+:meth:`RandomStreams.get_state` / :meth:`RandomStreams.set_state` the
+same way integer keys do.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Tuple
+import hashlib
+from typing import Dict, Iterable, Tuple, Union
 
 import numpy as np
 
 from repro.util.errors import ReproError
 
+#: a key component: a plain integer, or a non-numeric identifier string
+KeyPart = Union[int, str]
 
-def spawn_stream(seed: int, *key: int) -> np.random.Generator:
-    """A generator derived from ``seed`` and an integer key path.
+
+def _name_to_int(name: str) -> int:
+    """Stable 62-bit integer for a stream name (process-independent)."""
+    digest = hashlib.sha256(name.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") >> 2
+
+
+def _canonical_key(key: Iterable[KeyPart]) -> Tuple[KeyPart, ...]:
+    """Validate and normalise a key path.
+
+    Integers pass through; strings must be non-numeric identifiers so
+    the serialized form (``str(part)``) parses back unambiguously —
+    a name like ``"7"`` would collide with the integer key 7.
+    """
+    out = []
+    for part in key:
+        if isinstance(part, str):
+            if not part or part.lstrip("-").isdigit():
+                raise ReproError(
+                    f"stream name {part!r} is empty or numeric; names must "
+                    f"be identifiers so state keys stay unambiguous"
+                )
+            out.append(part)
+        else:
+            out.append(int(part))
+    return tuple(out)
+
+
+def spawn_stream(seed: int, *key: KeyPart) -> np.random.Generator:
+    """A generator derived from ``seed`` and a key path of integers
+    and/or names.
 
     The same (seed, key) always yields the same stream; distinct keys
     yield independent streams.
     """
-    ss = np.random.SeedSequence(entropy=seed, spawn_key=tuple(int(k) for k in key))
+    spawn_key = tuple(
+        _name_to_int(k) if isinstance(k, str) else int(k)
+        for k in _canonical_key(key)
+    )
+    ss = np.random.SeedSequence(entropy=seed, spawn_key=spawn_key)
     return np.random.Generator(np.random.Philox(ss))
 
 
@@ -42,10 +88,10 @@ class RandomStreams:
 
     def __init__(self, seed: int = 0) -> None:
         self.seed = int(seed)
-        self._cache: Dict[Tuple[int, ...], np.random.Generator] = {}
+        self._cache: Dict[Tuple[KeyPart, ...], np.random.Generator] = {}
 
-    def get(self, *key: int) -> np.random.Generator:
-        k = tuple(int(x) for x in key)
+    def get(self, *key: KeyPart) -> np.random.Generator:
+        k = _canonical_key(key)
         gen = self._cache.get(k)
         if gen is None:
             gen = spawn_stream(self.seed, *k)
@@ -56,19 +102,28 @@ class RandomStreams:
         """Stream for a patch; ``purpose`` separates uses (rays vs noise)."""
         return self.get(purpose, patch_id)
 
-    def fresh(self, *key: int) -> np.random.Generator:
+    def named(self, name: str, *key: KeyPart) -> np.random.Generator:
+        """Stream for a named purpose (e.g. ``named("spectral", patch_id)``).
+
+        Named streams are independent of every integer-keyed stream, so
+        a subsystem can add its own draws without shifting anyone
+        else's sequence — the spectral sampler's requirement.
+        """
+        return self.get(name, *key)
+
+    def fresh(self, *key: KeyPart) -> np.random.Generator:
         """A new generator for (seed, key), bypassing the cache.
 
         Used by tests that need to replay a stream from its start.
         """
         return spawn_stream(self.seed, *key)
 
-    def invalidate(self, keys: Iterable[Tuple[int, ...]] = ()) -> None:
+    def invalidate(self, keys: Iterable[Tuple[KeyPart, ...]] = ()) -> None:
         if not keys:
             self._cache.clear()
         else:
             for k in keys:
-                self._cache.pop(tuple(int(x) for x in k), None)
+                self._cache.pop(_canonical_key(k), None)
 
     # ------------------------------------------------------------------
     # state capture / restore (checkpoint support)
@@ -80,6 +135,8 @@ class RandomStreams:
         restored run must draw the exact values the uninterrupted run
         would have drawn. Keys that were never requested are absent —
         they spawn fresh on first use, exactly as in the original run.
+        Named components serialize as their (non-numeric) identifier
+        text, integers as digits, so the two never collide on restore.
         """
         return {
             "seed": self.seed,
@@ -105,10 +162,22 @@ class RandomStreams:
             )
         self._cache.clear()
         for key_s, gen_state in state.get("streams", {}).items():
-            key = tuple(int(x) for x in key_s.split(",")) if key_s else ()
+            key = _parse_state_key(key_s)
             gen = spawn_stream(self.seed, *key)
             gen.bit_generator.state = _state_from_jsonable(gen_state)
             self._cache[key] = gen
+
+
+def _parse_state_key(key_s: str) -> Tuple[KeyPart, ...]:
+    """Inverse of the ``",".join(str(part))`` state-key serialization:
+    digit runs (with optional sign) are integer components, everything
+    else is a stream name."""
+    if not key_s:
+        return ()
+    return tuple(
+        int(part) if part.lstrip("-").isdigit() else part
+        for part in key_s.split(",")
+    )
 
 
 def _state_to_jsonable(state):

@@ -19,9 +19,13 @@ from repro.ups import (
     ProblemSpec,
     RMCRTSpec,
     SchedulerSpec,
+    SpectralSpec,
     parse_ups,
     scene_fingerprint,
     spec_fingerprint,
+    spec_from_dict,
+    spec_to_dict,
+    spec_to_ups,
 )
 
 UPS_TEXT = """
@@ -143,3 +147,77 @@ class TestSceneKey:
         request = SolveRequest(spec=base_spec())
         assert request.fingerprint == spec_fingerprint(base_spec())
         assert request.scene_key == scene_fingerprint(base_spec())
+
+
+def gray_spec() -> ProblemSpec:
+    """A single-level gray spec — the baseline the spectral variants
+    must separate from (spectral transport is single-level only)."""
+    spec = base_spec()
+    spec.grid.levels = 1
+    return spec
+
+
+def spectral_spec(**kw) -> ProblemSpec:
+    spec = gray_spec()
+    params = dict(bands=3, temperature=1400.0, kappa_exponent=0.8,
+                  emissivity="tungsten")
+    params.update(kw)
+    spec.spectral = SpectralSpec(**params)
+    return spec
+
+
+class TestSpectralSeparation:
+    """The spectral block is result-affecting content: it must split
+    both the full fingerprint (cache entries) and the scene key
+    (per-band marching fields reshape the scene)."""
+
+    def test_gray_vs_spectral_distinct(self):
+        assert spec_fingerprint(gray_spec()) != spec_fingerprint(spectral_spec())
+        assert scene_fingerprint(gray_spec()) != scene_fingerprint(spectral_spec())
+
+    def test_gray_limit_spectral_does_not_collide_with_gray(self):
+        """One full-spectrum band, no kappa shaping, identity
+        emissivity is *numerically* the gray solve — but it runs the
+        spectral code path, so it must still cache separately."""
+        limit = spectral_spec(bands=1, kappa_exponent=0.0, emissivity="gray")
+        assert spec_fingerprint(limit) != spec_fingerprint(gray_spec())
+
+    def test_emissivity_tables_distinct(self):
+        a = spectral_spec(emissivity="tungsten")
+        b = spectral_spec(emissivity="steel")
+        assert spec_fingerprint(a) != spec_fingerprint(b)
+        assert scene_fingerprint(a) != scene_fingerprint(b)
+
+    @pytest.mark.parametrize(
+        "name,kw",
+        [
+            ("bands", dict(bands=4)),
+            ("temperature", dict(temperature=1500.0)),
+            ("kappa_exponent", dict(kappa_exponent=0.4)),
+            ("band_edges", dict(band_edges_um=(0.0, 2.0, 6.0, float("inf")))),
+        ],
+    )
+    def test_model_field_changes_split_the_fingerprint(self, name, kw):
+        assert spec_fingerprint(spectral_spec(**kw)) != spec_fingerprint(
+            spectral_spec()
+        ), f"fingerprint ignored spectral {name}"
+
+    def test_ray_params_still_share_the_spectral_scene(self):
+        a, b = spectral_spec(), spectral_spec()
+        b.rmcrt.n_divq_rays = 50
+        b.rmcrt.random_seed = 99
+        assert scene_fingerprint(a) == scene_fingerprint(b)
+        assert spec_fingerprint(a) != spec_fingerprint(b)
+
+    def test_ups_round_trip_preserves_fingerprint(self):
+        spec = spectral_spec(band_edges_um=(0.0, 2.0, 6.0, float("inf")))
+        assert spec_fingerprint(parse_ups(spec_to_ups(spec))) == spec_fingerprint(
+            spec
+        )
+
+    def test_dict_round_trip_preserves_fingerprint(self):
+        import json
+
+        spec = spectral_spec(band_edges_um=(0.0, 2.0, 6.0, float("inf")))
+        doc = json.loads(json.dumps(spec_to_dict(spec)))
+        assert spec_fingerprint(spec_from_dict(doc)) == spec_fingerprint(spec)

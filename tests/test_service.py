@@ -120,6 +120,27 @@ class TestCacheAndCoalesce:
         fresh = ResultCache(capacity=4, directory=tmp_path)
         assert fresh.get("ab" * 32) is None
 
+    def test_spectral_specs_cache_separately_from_gray(self):
+        """A gray spec and its gray-limit spectral twin return the same
+        numbers but run different code paths — they must occupy
+        distinct cache entries, never coalesce into one solve."""
+        from repro.ups import SpectralSpec
+
+        gray = tiny_spec()
+        spectral = tiny_spec()
+        spectral.spectral = SpectralSpec(
+            bands=1, temperature=1000.0, kappa_exponent=0.0, emissivity="gray"
+        )
+        with ServiceClient(ServiceConfig(workers=2)) as client:
+            a, b = client.solve_many([gray, spectral], timeout=60)
+            stats = client.service.stats()
+        assert stats["solves"] == 2
+        assert a.fingerprint != b.fingerprint
+        assert not a.cache_hit and not b.cache_hit
+        assert not a.coalesced and not b.coalesced
+        # the gray limit is the numerical identity, through the service too
+        np.testing.assert_array_equal(a.divq, b.divq)
+
 
 class TestBackpressureAndDeadlines:
     def test_full_pipeline_rejects_with_backpressure(self):

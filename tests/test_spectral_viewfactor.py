@@ -1,0 +1,167 @@
+"""Tests for the enclosure view-factor solver.
+
+Monte Carlo view factors against the analytic coaxial-rectangles
+oracle, the constraint projection (exact reciprocity, unit row sums),
+and the banded radiosity solve (isothermal black enclosure carries no
+net flux; energy balance closes to round-off).
+"""
+
+import numpy as np
+import pytest
+
+from repro.radiation.constants import SIGMA_SB
+from repro.radiation.spectral.model import SpectralModel
+from repro.radiation.spectral.viewfactor import (
+    NFACES,
+    EnclosureScenario,
+    band_emissive_power,
+    enforce_constraints,
+    face_areas,
+    parallel_plates_view_factor,
+    radiosity_solve,
+    view_factor_matrix,
+)
+from repro.util.errors import ReproError
+from repro.util.rng import RandomStreams
+
+#: unit-cube opposite-face view factor (Modest config 38, a=b=c=1)
+F_CUBE_OPPOSITE = 0.19982489569838746
+
+
+class TestViewFactorMatrix:
+    def test_analytic_oracle_value(self):
+        assert parallel_plates_view_factor(1.0, 1.0, 1.0) == pytest.approx(
+            F_CUBE_OPPOSITE, abs=1e-12
+        )
+
+    def test_mc_matches_analytic_on_unit_cube(self):
+        f = view_factor_matrix((1.0, 1.0, 1.0), samples_per_face=40000)
+        # opposite faces: (0,1), (2,3), (4,5)
+        for i in range(0, NFACES, 2):
+            assert f[i, i + 1] == pytest.approx(F_CUBE_OPPOSITE, abs=5e-3)
+        # the four adjacent faces split the rest symmetrically
+        adj = (1.0 - F_CUBE_OPPOSITE) / 4.0
+        assert f[0, 2] == pytest.approx(adj, abs=5e-3)
+
+    def test_rows_sum_to_one_and_diagonal_is_zero(self):
+        f = view_factor_matrix((2.0, 1.0, 0.5), samples_per_face=5000)
+        np.testing.assert_allclose(f.sum(axis=1), 1.0, atol=1e-12)
+        np.testing.assert_array_equal(np.diag(f), 0.0)  # planar faces
+
+    def test_seed_determinism(self):
+        a = view_factor_matrix((1.0, 1.0, 1.0), samples_per_face=2000, seed=3)
+        b = view_factor_matrix((1.0, 1.0, 1.0), samples_per_face=2000, seed=3)
+        c = view_factor_matrix((1.0, 1.0, 1.0), samples_per_face=2000, seed=4)
+        np.testing.assert_array_equal(a, b)
+        assert np.max(np.abs(a - c)) > 0.0
+
+    def test_external_streams_match_seed(self):
+        a = view_factor_matrix((1.0, 1.0, 1.0), samples_per_face=2000, seed=5)
+        b = view_factor_matrix(
+            (1.0, 1.0, 1.0), samples_per_face=2000, streams=RandomStreams(5)
+        )
+        np.testing.assert_array_equal(a, b)
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            view_factor_matrix((1.0, 1.0), samples_per_face=100)
+        with pytest.raises(ReproError):
+            view_factor_matrix((1.0, -1.0, 1.0), samples_per_face=100)
+        with pytest.raises(ReproError):
+            view_factor_matrix((1.0, 1.0, 1.0), samples_per_face=0)
+
+
+class TestConstraintProjection:
+    def test_reciprocity_exact_and_rows_near_one(self):
+        dims = (2.0, 1.0, 0.5)
+        areas = face_areas(dims)
+        f = enforce_constraints(
+            view_factor_matrix(dims, samples_per_face=5000), areas
+        )
+        s = areas[:, None] * f
+        np.testing.assert_array_equal(s, s.T)  # reciprocity to the bit
+        np.testing.assert_allclose(f.sum(axis=1), 1.0, atol=1e-12)
+
+    def test_projection_moves_toward_analytic(self):
+        dims = (1.0, 1.0, 1.0)
+        raw = view_factor_matrix(dims, samples_per_face=5000)
+        f = enforce_constraints(raw, face_areas(dims))
+        assert f[0, 1] == pytest.approx(F_CUBE_OPPOSITE, abs=5e-3)
+
+    def test_cube_symmetry(self):
+        dims = (1.0, 1.0, 1.0)
+        f = enforce_constraints(
+            view_factor_matrix(dims, samples_per_face=20000), face_areas(dims)
+        )
+        opposite = [f[i, i + 1] for i in range(0, NFACES, 2)]
+        assert max(opposite) - min(opposite) < 8e-3  # MC noise ~3e-3/pair
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ReproError):
+            enforce_constraints(np.eye(4), np.ones(6))
+
+
+class TestRadiosity:
+    def constrained_cube(self):
+        dims = (1.0, 1.0, 1.0)
+        return enforce_constraints(
+            view_factor_matrix(dims, samples_per_face=5000), face_areas(dims)
+        )
+
+    def test_isothermal_black_enclosure_has_no_net_flux(self):
+        f = self.constrained_cube()
+        temps = np.full(NFACES, 1000.0)
+        eps = np.ones((NFACES, 1))
+        emissive = SIGMA_SB * temps[:, None] ** 4
+        j, q = radiosity_solve(f, eps, emissive)
+        np.testing.assert_allclose(j, emissive, rtol=1e-12)
+        np.testing.assert_allclose(q, 0.0, atol=1e-8)
+
+    def test_band_emissive_power_sums_to_stefan_boltzmann(self):
+        model = SpectralModel.build(bands=3, temperature=1200.0)
+        temps = np.array([1500.0, 300.0, 900.0, 900.0, 900.0, 900.0])
+        eb = band_emissive_power(model, temps)
+        assert eb.shape == (NFACES, 3)
+        np.testing.assert_allclose(
+            eb.sum(axis=1), SIGMA_SB * temps ** 4, rtol=1e-9
+        )
+
+    def test_input_shape_validation(self):
+        with pytest.raises(ReproError):
+            radiosity_solve(np.eye(6), np.ones((6, 2)), np.ones((5, 2)))
+
+
+class TestEnclosureScenario:
+    def test_energy_balance_closes_to_roundoff(self):
+        result = EnclosureScenario(samples_per_face=5000).solve()
+        emitted = np.abs(result.face_power).sum()
+        assert abs(result.energy_balance) < 1e-8 * emitted
+
+    def test_hot_face_loses_cold_face_gains(self):
+        result = EnclosureScenario(samples_per_face=5000).solve()
+        assert result.flux[0] > 0.0   # 1500 K face: net emitter
+        assert result.flux[1] < 0.0   # 300 K face: net absorber
+
+    def test_spectral_walls_band_structure(self):
+        model = SpectralModel.build(
+            bands=3, temperature=1200.0, emissivity="ceramic"
+        )
+        result = EnclosureScenario(model=model, samples_per_face=5000).solve()
+        assert result.band_flux.shape == (NFACES, 3)
+        np.testing.assert_allclose(
+            result.band_flux.sum(axis=1), result.flux, rtol=1e-12
+        )
+        assert abs(result.energy_balance) < 1e-8 * np.abs(result.face_power).sum()
+
+    def test_solve_is_deterministic(self):
+        a = EnclosureScenario(samples_per_face=2000).solve()
+        b = EnclosureScenario(samples_per_face=2000).solve()
+        np.testing.assert_array_equal(a.flux, b.flux)
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            EnclosureScenario(face_temperatures=(1.0, 2.0, 3.0))
+        with pytest.raises(ReproError):
+            EnclosureScenario(
+                face_temperatures=(-1.0, 1.0, 1.0, 1.0, 1.0, 1.0)
+            )

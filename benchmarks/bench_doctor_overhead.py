@@ -1,0 +1,177 @@
+"""E20 — streaming-detector overhead vs the <5% observability budget.
+
+The detector bank rides the serve loop's SnapshotCollector cadence, so
+its cost is a contract: every tsdb sample now also flows through the
+anomaly detectors, and that must stay invisible next to the sampling
+itself.
+
+* the micro row prices one :meth:`DetectorBank.observe` call on a
+  realistic ~40-field serve sample (steady state: one dict lookup per
+  field plus the matched detectors' constant-space updates);
+* the macro rows price the serve loop's full per-tick observability
+  work — registry flatten + tsdb append (the SnapshotCollector path)
+  plus the atomic ``status.json`` publish — and, separately, the work
+  the detectors add on top (observe every merged sample and fold the
+  active set into the published document).  The ratio of the two is
+  the end-to-end overhead percentage EXPERIMENTS E20 holds against
+  the 5% budget.  The added work is measured directly rather than by
+  differencing two wall-clock arms: the tick is disk-bound and its
+  run-to-run noise (~10%) would drown a ~3% signal.
+
+Results land in ``BENCH_doctor_overhead.json``.
+"""
+
+import json
+import time
+
+import pytest
+
+from repro.perf import write_bench_artifact
+from repro.perf.detect import default_bank
+from repro.perf.metrics import MetricsRegistry
+from repro.perf.tsdb import SnapshotCollector, TimeSeriesStore
+from repro.util.atomic import atomic_write_text
+from repro.util.rng import spawn_stream
+
+OVERHEAD_BUDGET_PCT = 5.0
+REPEATS = 3
+SAMPLES = 400
+
+
+@pytest.fixture(scope="module")
+def artifact_rows():
+    rows = []
+    yield rows
+    write_bench_artifact(
+        "doctor_overhead",
+        params={"budget_pct": OVERHEAD_BUDGET_PCT, "repeats": REPEATS,
+                "samples": SAMPLES},
+        rows=rows,
+    )
+
+
+def _sample_stream(n, seed=31):
+    """n healthy serve-shaped tsdb records (~40 numeric fields each)."""
+    gen = spawn_stream(seed, 2020)
+    hits = misses = served = 0.0
+    out = []
+    for i in range(n):
+        served += float(gen.integers(1, 4))
+        hits += float(gen.integers(1, 4))
+        misses += float(gen.random() < 0.1)
+        rec = {
+            "t": float(i),
+            "served": served,
+            "outstanding": float(gen.integers(0, 3)),
+            "slo.queue_depth": float(gen.integers(0, 3)),
+            "slo.solve.p95_s": 0.1 + 0.004 * float(gen.standard_normal()),
+            "slo.solve.p99_s": 0.15 + 0.006 * float(gen.standard_normal()),
+            "slo.solve.error_rate": 0.0,
+            "service.cache.hits{tier=memory}": hits,
+            "service.cache.misses": misses,
+        }
+        for k in range(30):  # unmatched bulk fields (cached empty routes)
+            rec[f"scheduler.field_{k}"] = float(gen.random())
+        out.append(rec)
+    return out
+
+
+def test_observe_call_cost(benchmark, artifact_rows):
+    bank = default_bank("serve")
+    stream = _sample_stream(SAMPLES)
+    for rec in stream[:50]:
+        bank.observe(rec)  # warm the route cache: the steady state
+
+    def burst():
+        for rec in stream:
+            bank.observe(rec)
+
+    benchmark(burst)
+    us_per_observe = benchmark.stats.stats.mean * 1e6 / SAMPLES
+    artifact_rows.append({
+        "arm": "micro",
+        "us_per_observe": us_per_observe,
+        "mean_s": benchmark.stats.stats.mean,
+    })
+    # one observed sample must stay far below the serve pass (~50ms)
+    assert us_per_observe < 2_000
+
+
+#: the status.json skeleton _publish_status writes every pass
+_STATUS_DOC = {
+    "uptime_s": 12.0, "queue_depth": 0, "degraded": False,
+    "breaches": [], "policy": {"p95_target_s": 0.5},
+    "endpoints": {"solve": {"requests": 100, "errors": 0,
+                            "error_rate": 0.0, "p50_s": 0.05,
+                            "p95_s": 0.11, "p99_s": 0.2}},
+    "shard": {"shard_id": "shard0", "served": 100, "outstanding": 0},
+}
+
+
+def _bare_tick(spool, collector, stream):
+    """What the serve loop pays per observability tick WITHOUT the
+    detectors: registry flatten + tsdb append + atomic status publish.
+    This is the budget's denominator."""
+    t0 = time.perf_counter()
+    for rec in stream:
+        sampled = collector.sample()
+        sampled.update(rec)
+        atomic_write_text(spool / "status.json", json.dumps(_STATUS_DOC))
+    return time.perf_counter() - t0
+
+
+def _detector_work(bank, merged, repeats=5):
+    """What the detectors ADD to that tick: observe + folding the
+    active set into the published document. Measured directly (the
+    added work is additive and tiny next to the disk-backed tick, so
+    differencing two noisy wall-clock arms would drown it)."""
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        for rec in merged:
+            bank.observe(rec)
+            bank.as_dict()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def test_end_to_end_overhead_within_budget(artifact_rows, tmp_path):
+    """Detector cost as a fraction of the serve loop's per-tick
+    observability work."""
+    stream = _sample_stream(SAMPLES)
+    registry = MetricsRegistry()
+    for i in range(40):
+        registry.counter(f"service.bulk_{i}").inc(i)
+    bare = []
+    merged = None
+    for i in range(REPEATS):
+        spool = tmp_path / f"bare{i}"
+        spool.mkdir()
+        coll = SnapshotCollector(
+            TimeSeriesStore(spool, rank=0, retention=2 * SAMPLES),
+            registry=registry)
+        bare.append(_bare_tick(spool, coll, stream))
+        if merged is None:  # the exact records the on-arm would see
+            merged = []
+            for rec in stream:
+                s = coll.sample()
+                s.update(rec)
+                merged.append(s)
+    detector_s = _detector_work(default_bank("serve"), merged)
+    bare_s = min(bare)
+    us_per_tick_bare = bare_s * 1e6 / SAMPLES
+    us_per_tick_detector = detector_s * 1e6 / SAMPLES
+    overhead_pct = us_per_tick_detector / us_per_tick_bare * 100.0
+    artifact_rows.append({
+        "arm": "bare_tick", "best_s": bare_s,
+        "us_per_tick": us_per_tick_bare,
+    })
+    artifact_rows.append({
+        "arm": "detector_added", "best_s": detector_s,
+        "us_per_tick": us_per_tick_detector,
+    })
+    artifact_rows.append({"arm": "overhead", "overhead_pct": overhead_pct})
+    assert overhead_pct < OVERHEAD_BUDGET_PCT, (
+        f"detector bank costs {overhead_pct:.2f}% of the per-tick "
+        f"observability work (budget {OVERHEAD_BUDGET_PCT}%)"
+    )

@@ -45,6 +45,13 @@ SLO-driven autoscaling. See :mod:`repro.fabric.cli`.
 wavelength-sampled spectral radiation subsystem: the CI smoke
 cross-check, named spectral scenarios, and the view-factor enclosure
 solver. See :mod:`repro.radiation.spectral.cli`.
+
+``python -m repro doctor [live|postmortem|drill]`` runs the automated
+root-cause doctor: it correlates streaming anomaly detections (tsdb
+replay through :mod:`repro.perf.detect`), fabric supervisor events,
+flight-recorder postmortems, and status facts into a ranked hypothesis
+list, and its ``drill`` mode injects three known causes and requires
+the top hypothesis to name each one. See :mod:`repro.perf.doctor`.
 """
 
 from __future__ import annotations
@@ -204,6 +211,10 @@ def main(argv=None) -> int:
         from repro.radiation.spectral.cli import cmd_spectral
 
         return cmd_spectral(argv[1:])
+    if argv and argv[0] == "doctor":
+        from repro.perf.doctor import cmd_doctor
+
+        return cmd_doctor(argv[1:])
     return _run_ups(argv)
 
 

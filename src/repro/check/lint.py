@@ -103,8 +103,9 @@ BLOCKING_SCOPE = ("comm", "service", "memory", "resilience", "fabric",
                   "check", "spectral")
 
 #: individual files under the same discipline whose parent package is
-#: not (tsdb's collector thread runs inside the serve loop)
-BLOCKING_SCOPE_FILES = ("perf/tsdb.py",)
+#: not (tsdb's collector thread runs inside the serve loop; the
+#: detector bank and doctor run on that same cadence / control loop)
+BLOCKING_SCOPE_FILES = ("perf/tsdb.py", "perf/detect.py", "perf/doctor.py")
 
 #: path fragments where metric series must carry labels
 METRIC_LABEL_SCOPE = ("comm", "memory", "dw")

@@ -1,0 +1,95 @@
+"""Structured, append-only fabric event log (``events.jsonl``).
+
+The supervisor and router previously narrated lifecycle transitions
+only through in-memory lists (``recoveries``, ``scale_actions``) and
+stdout — gone with the process, invisible to postmortem tooling. The
+event log is the durable record the root-cause doctor
+(:mod:`repro.perf.doctor`) correlates with tsdb detections: every
+shard spawn, death, re-home, respawn, steal, reap, retire, and
+autoscale decision lands as one JSON line with a monotone ``seq``.
+
+One writer (the fabric control loop) appends via
+:func:`repro.util.atomic.append_jsonl` — a single short-line append
+whose only crash artifact is a torn final line, which the reader
+tolerates exactly like the tsdb scanner does. ``seq`` is re-seeded
+from the surviving file at open, so ordering survives control-loop
+restarts.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.util.atomic import append_jsonl
+
+#: every event kind the fabric emits, in no particular order
+EVENT_KINDS = (
+    "spawn",      # supervisor started a shard process
+    "death",      # heartbeat-stale or exited shard detected
+    "rehome",     # claims/requests/journal moved off a dead shard
+    "respawn",    # dead shard's process relaunched under the same id
+    "steal",      # router moved queued work between live shards
+    "autoscale",  # autoscaler changed (or decided) the fleet size
+    "reap",       # drained shard stopped and removed
+    "retire",     # shard asked to drain (stop file dropped)
+)
+
+
+class EventLog:
+    """Append-only JSONL event stream with a monotone sequence."""
+
+    def __init__(self, path) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        existing = read_events(self.path)
+        self._seq = (existing[-1]["seq"] + 1) if existing else 0
+
+    def emit(self, kind: str, **data) -> dict:
+        """Append one event; returns the stored record."""
+        if kind not in EVENT_KINDS:
+            raise ValueError(
+                f"unknown fabric event kind {kind!r} (use {EVENT_KINDS})")
+        record = {"t": time.time(), "seq": self._seq, "kind": kind}
+        record.update(data)
+        append_jsonl(self.path, record)
+        self._seq += 1
+        return record
+
+    def read(self, t0: Optional[float] = None,
+             kinds: Optional[Sequence[str]] = None) -> List[dict]:
+        return read_events(self.path, t0=t0, kinds=kinds)
+
+    def tail(self, n: int) -> List[dict]:
+        return self.read()[-n:]
+
+
+def read_events(path, t0: Optional[float] = None,
+                kinds: Optional[Sequence[str]] = None) -> List[dict]:
+    """Read an ``events.jsonl``, tolerating a torn final line; returns
+    records ordered by ``seq``."""
+    path = Path(path)
+    if not path.exists():
+        return []
+    out: List[dict] = []
+    with path.open("r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                rec = json.loads(line)
+            except json.JSONDecodeError:
+                continue  # torn tail from a crash mid-append
+            if not (isinstance(rec, dict) and "seq" in rec and "kind" in rec):
+                continue
+            out.append(rec)
+    out.sort(key=lambda r: r["seq"])
+    if t0 is not None:
+        out = [r for r in out if r.get("t", 0.0) >= t0]
+    if kinds is not None:
+        wanted = set(kinds)
+        out = [r for r in out if r["kind"] in wanted]
+    return out

@@ -31,11 +31,13 @@ from typing import Dict, List, Optional
 import numpy as np
 
 from repro.fabric.autoscaler import AutoscalePolicy, Autoscaler
+from repro.fabric.events import EventLog
 from repro.fabric.hashring import rendezvous_shard
 from repro.fabric.router import Router
 from repro.fabric.shard import ShardHandle
 from repro.fabric.supervisor import Fleet, FleetSupervisor
 from repro.perf import tracectx
+from repro.perf.detect import default_bank, worst_severity
 from repro.perf.tsdb import TimeSeriesStore
 from repro.service.spool import read_result_meta, write_request
 from repro.ups import (
@@ -85,6 +87,7 @@ class Fabric:
         for d in (self.inbox, self.outbox, self.shards_root):
             d.mkdir(parents=True, exist_ok=True)
         self.fleet = Fleet()
+        self.events = EventLog(self.root / "events.jsonl")
         self.supervisor = FleetSupervisor(
             self.fleet,
             self.shards_root,
@@ -93,11 +96,15 @@ class Fabric:
             max_queue=self.config.max_queue,
             tsdb_interval_s=self.config.tsdb_interval_s,
             front_outbox=self.outbox,
+            event_log=self.events,
         )
-        self.router = Router(self.root, self.fleet)
+        self.router = Router(self.root, self.fleet, event_log=self.events)
         self.autoscaler = Autoscaler(
             TimeSeriesStore(self.root / "tsdb", rank=0), self.config.policy
         )
+        #: streaming anomaly detectors over the fleet-level series the
+        #: autoscaler samples each tick (backlog, burn, per-shard load)
+        self.detect_bank = default_bank("fabric")
         self.ticks = 0
         self.scale_actions: List[dict] = []
         self._last_recovery_t: Optional[float] = None
@@ -158,7 +165,9 @@ class Fabric:
             status = shard.status()
             if status is not None and status.get("degraded"):
                 degraded += 1
-        self.autoscaler.observe(now, live, backlog, worst_burn, degraded)
+        sample = self.autoscaler.observe(now, live, backlog, worst_burn,
+                                         degraded)
+        self.detect_bank.observe(sample)
         if self.config.autoscale and live > 0:
             desired, reason = self.autoscaler.decide(now, live)
             desired = min(self.config.policy.max_shards,
@@ -168,6 +177,8 @@ class Fabric:
                 self.scale_actions.append(
                     {"t": now, "from": live, "to": desired, "reason": reason}
                 )
+                self.events.emit("autoscale", from_shards=live,
+                                 to_shards=desired, reason=reason)
 
         self.ticks += 1
         doc = self._status_doc(now)
@@ -210,6 +221,7 @@ class Fabric:
             status = shard.status()
             degraded = bool(status and status.get("degraded"))
             any_degraded = any_degraded or (degraded and not shard.draining)
+            shard_detect = (status or {}).get("detections") or {}
             shards[sid] = {
                 "state": (
                     "draining" if shard.draining
@@ -222,6 +234,7 @@ class Fabric:
                 "restarts": shard.restarts,
                 "served": (status or {}).get("shard", {}).get("served", 0),
                 "breaches": (status or {}).get("breaches", []),
+                "detections_worst": shard_detect.get("worst"),
             }
         recovering = (
             self._last_recovery_t is not None
@@ -235,6 +248,22 @@ class Fabric:
             state = "recovering"
         else:
             state = "ok"
+        detections = self.detect_bank.as_dict(now)
+        shard_worsts = [
+            s["detections_worst"] for s in shards.values()
+            if s.get("detections_worst")
+        ]
+        if detections["worst"]:
+            shard_worsts.append(detections["worst"])
+        incident = None
+        if shard_worsts or self.supervisor.recoveries:
+            from repro.perf.doctor import summarize_live
+
+            incident = summarize_live(
+                self.detect_bank.active(now),
+                self.events.tail(50),
+                now=now,
+            )
         return {
             "t": now,
             "state": state,
@@ -247,6 +276,9 @@ class Fabric:
             "scale_actions": self.scale_actions[-10:],
             "autoscale": self.config.autoscale,
             "ticks": self.ticks,
+            "detections": detections,
+            "detections_worst_any": worst_severity(shard_worsts),
+            "incident": incident,
             "shards": shards,
         }
 
@@ -289,6 +321,8 @@ def aggregate_status(root) -> dict:
             age = max(0.0, now - float(hb)) if isinstance(hb, (int, float)) else None
             exited = bool(info.get("exited"))
             stale = age is not None and age > timeout
+            detect = doc.get("detections") or {}
+            det_worst = detect.get("worst")
             if exited:
                 state = "exited"
             elif doc.get("degraded"):
@@ -296,6 +330,11 @@ def aggregate_status(root) -> dict:
                 worst = "degraded"
             elif stale:
                 state = "dead"
+                worst = "degraded"
+            elif det_worst == "critical":
+                # a live shard screaming critical detections counts
+                # against the fleet even before its SLO math degrades
+                state = "degraded"
                 worst = "degraded"
             else:
                 state = "ok"
@@ -310,6 +349,10 @@ def aggregate_status(root) -> dict:
                 "requests": solve.get("requests", 0),
                 "p99_s": solve.get("p99_s"),
                 "breaches": doc.get("breaches", []),
+                "detections_worst": det_worst,
+                "detections": [
+                    d.get("message") for d in detect.get("active", [])
+                ],
             }
     if worst == "ok" and fab is not None and fab.get("state") in (
         "recovering", "degraded"
@@ -360,8 +403,18 @@ def format_fleet(doc: dict) -> str:
             )
             for breach in s.get("breaches", []):
                 lines.append(f"    BREACH: {breach}")
+            for message in (s.get("detections") or [])[:4]:
+                worst_tag = (s.get("detections_worst") or "warn").upper()
+                lines.append(f"    DETECT [{worst_tag}]: {message}")
     else:
         lines.append("  no shards found")
+    incident = fab.get("incident")
+    if incident and incident.get("hypotheses"):
+        top = incident["hypotheses"][0]
+        lines.append(
+            f"  incident: {top.get('cause')} ({top.get('subject') or 'fleet'}) "
+            f"confidence {top.get('confidence', 0):.0%} — {top.get('summary')}"
+        )
     for rec in fab.get("recoveries", [])[-3:]:
         lines.append(
             f"  recovery: {rec.get('shard')} {rec.get('reason')} — "

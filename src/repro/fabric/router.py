@@ -38,11 +38,13 @@ from repro.util.errors import ReproError
 class Router:
     """Scene-affinity request routing over a fleet of shard spools."""
 
-    def __init__(self, root, fleet) -> None:
+    def __init__(self, root, fleet, event_log=None) -> None:
         self.root = Path(root)
         self.inbox = self.root / "inbox"
         self.outbox = self.root / "outbox"
         self.fleet = fleet
+        #: optional :class:`repro.fabric.events.EventLog` for steals
+        self.event_log = event_log
         self.routed = 0
         self.stolen = 0
         self.collected = 0
@@ -133,6 +135,11 @@ class Router:
             get_metrics().counter(
                 "fabric.stolen", src=busiest, dst=idlest
             ).inc(len(moved))
+            if self.event_log is not None:
+                self.event_log.emit(
+                    "steal", src=busiest, dst=idlest, moved=len(moved),
+                    tickets=[Path(m).stem for m in moved],
+                )
         return moved
 
     # ------------------------------------------------------------------

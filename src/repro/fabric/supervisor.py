@@ -94,6 +94,7 @@ class FleetSupervisor:
         max_queue: int = 256,
         tsdb_interval_s: float = 0.5,
         front_outbox=None,
+        event_log=None,
     ) -> None:
         self.fleet = fleet
         self.shards_root = Path(shards_root)
@@ -105,7 +106,14 @@ class FleetSupervisor:
         #: (a drained shard leaves the fleet, so the router would never
         #: scan its outbox again)
         self.front_outbox = Path(front_outbox) if front_outbox else None
+        #: optional :class:`repro.fabric.events.EventLog` — the durable
+        #: record the root-cause doctor correlates with detections
+        self.event_log = event_log
         self.recoveries: List[dict] = []
+
+    def _emit(self, kind: str, **data) -> None:
+        if self.event_log is not None:
+            self.event_log.emit(kind, **data)
 
     # ------------------------------------------------------------------
     # membership
@@ -124,6 +132,8 @@ class FleetSupervisor:
         shard = self.fleet.add(self.build_shard(self.fleet.next_id()))
         shard.spawn()
         get_metrics().counter("fabric.shards_grown").inc()
+        self._emit("spawn", shard=shard.shard_id,
+                   pid=shard.proc.pid if shard.proc else None)
         return shard
 
     def retire(self, shard_id: str) -> None:
@@ -136,6 +146,7 @@ class FleetSupervisor:
         shard.draining = True
         shard.request_stop()
         get_metrics().counter("fabric.shards_retired").inc()
+        self._emit("retire", shard=shard_id)
 
     def reap_drained(self) -> List[str]:
         """Remove draining shards whose process has exited. Their
@@ -149,6 +160,7 @@ class FleetSupervisor:
             self._rehome(shard, reason="drained")
             self.fleet.remove(shard_id)
             reaped.append(shard_id)
+            self._emit("reap", shard=shard_id)
         return reaped
 
     # ------------------------------------------------------------------
@@ -184,14 +196,27 @@ class FleetSupervisor:
     def recover(self, shard_id: str) -> dict:
         """Re-home a dead shard's accepted work, then respawn it."""
         shard = self.fleet.shards[shard_id]
+        reason = ("process-exit" if shard.process_dead()
+                  else "heartbeat-stale")
+        self._emit("death", shard=shard_id, reason=reason,
+                   restarts=shard.restarts)
         shard.kill()  # a stale-heartbeat zombie must not wake up later
         shard.wait(timeout=5.0)
         record = self._rehome(shard, reason="died")
+        self._emit(
+            "rehome", shard=shard_id, target=record["target"],
+            claims_released=record["claims_released"],
+            requests_rehomed=record["requests_rehomed"],
+            journal_rehomed=record["journal_rehomed"],
+        )
         # respawn under the same id: HRW placement is per-id, so the
         # replacement owns exactly the dead shard's keyspace and its
         # on-disk cache directory is still warm
         shard.spawn()
         record["respawned"] = True
+        self._emit("respawn", shard=shard_id,
+                   pid=shard.proc.pid if shard.proc else None,
+                   restarts=shard.restarts)
         get_metrics().counter("fabric.shards_recovered").inc()
         self.recoveries.append(record)
         return record

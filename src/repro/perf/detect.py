@@ -1,0 +1,595 @@
+"""Streaming anomaly detection over :class:`TimeSeriesStore` samples.
+
+The tsdb (PR 6) gave the fleet *history*; this module gives it
+*judgement*. Four small streaming detectors — each a constant-space
+state machine fed one sample at a time, cheap enough to run on the
+serve loop's :class:`SnapshotCollector` cadence — turn raw series into
+structured :class:`Detection` records:
+
+* :class:`EwmaBand` — EWMA mean with an EWMA absolute-deviation band
+  (a streaming stand-in for median/MAD); fires when a sample breaks
+  ``k`` deviations out. Catches step changes and spikes.
+* :class:`Cusum` — two-sided CUSUM changepoint detector on
+  standardized residuals; accumulates small persistent shifts an
+  instantaneous band test never sees. Catches slow drift.
+* :class:`CounterStall` — a monotone counter that stops advancing
+  while companion pending-work stays nonzero is a wedged loop, not an
+  idle one. Catches flat-line stalls.
+* :class:`QuantileDrift` — recent-vs-baseline ratio on slowly-moving
+  series (the P² SLO quantiles, cache hit ratio); direction-aware so
+  latency inflation and hit-rate collapse are both first-class.
+
+:class:`DetectorBank` routes sample fields to detector instances by
+fnmatch pattern, tracks the active set (with a hold window so a
+detection outlives the single sample that raised it), and can replay
+a whole store for postmortem use (:meth:`DetectorBank.scan`). The
+serve loop and the fabric control loop each own a bank
+(:func:`default_bank`) and fold ``bank.as_dict()`` into
+``status.json`` / ``fabric_status.json``; :mod:`repro.perf.doctor`
+correlates the detections with fabric events and flight-recorder
+postmortems into ranked root-cause hypotheses.
+
+Detectors are keyed by sample timestamp, not arrival: replaying a
+ring-compacted file (which only ever *drops oldest* samples) can
+shorten a warmup but never re-feeds or reorders points, so compaction
+seams cannot manufacture phantom spikes.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from dataclasses import dataclass, field
+from fnmatch import fnmatchcase
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.util.errors import PerfError
+
+#: severity levels, mildest first; index = rank
+SEVERITIES = ("info", "warn", "critical")
+
+
+def severity_rank(severity: str) -> int:
+    try:
+        return SEVERITIES.index(severity)
+    except ValueError:
+        raise PerfError(f"unknown severity {severity!r} (use {SEVERITIES})")
+
+
+def worst_severity(severities) -> Optional[str]:
+    """The highest-ranked severity in the iterable, or None when empty."""
+    worst = -1
+    for sev in severities:
+        worst = max(worst, severity_rank(sev))
+    return SEVERITIES[worst] if worst >= 0 else None
+
+
+@dataclass
+class Detection:
+    """One structured anomaly: which detector, which series, when,
+    how bad, and the numeric evidence that justified it."""
+
+    detector: str
+    series: str
+    t: float
+    severity: str
+    value: float
+    window: Tuple[float, float]
+    message: str
+    evidence: Dict[str, float] = field(default_factory=dict)
+
+    def as_dict(self) -> dict:
+        return {
+            "detector": self.detector,
+            "series": self.series,
+            "t": self.t,
+            "severity": self.severity,
+            "value": self.value,
+            "window": list(self.window),
+            "message": self.message,
+            "evidence": dict(self.evidence),
+        }
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "Detection":
+        return cls(
+            detector=str(doc["detector"]),
+            series=str(doc["series"]),
+            t=float(doc["t"]),
+            severity=str(doc["severity"]),
+            value=float(doc["value"]),
+            window=tuple(doc.get("window") or (0.0, float(doc["t"]))),
+            message=str(doc.get("message", "")),
+            evidence=dict(doc.get("evidence") or {}),
+        )
+
+
+class _SeriesDetector:
+    """Base: one detector instance bound to one series."""
+
+    name = "base"
+
+    def __init__(self) -> None:
+        self.series: str = ""
+        self._t0: Optional[float] = None
+
+    def bind(self, series: str) -> "_SeriesDetector":
+        self.series = series
+        return self
+
+    def observe(self, t: float, value: float,
+                context: Optional[Dict[str, float]] = None
+                ) -> Optional[Detection]:
+        raise NotImplementedError
+
+    def _window(self, t: float) -> Tuple[float, float]:
+        return (self._t0 if self._t0 is not None else t, t)
+
+    def _make(self, t: float, value: float, severity: str, message: str,
+              evidence: Dict[str, float]) -> Detection:
+        return Detection(
+            detector=self.name,
+            series=self.series,
+            t=t,
+            severity=severity,
+            value=value,
+            window=self._window(t),
+            message=message,
+            evidence=evidence,
+        )
+
+
+class EwmaBand(_SeriesDetector):
+    """EWMA mean/absolute-deviation band breakout.
+
+    The deviation floor (``rel_floor * |mean| + abs_floor``) keeps a
+    near-constant series from alarming on measurement jitter: a series
+    flat at 0.1 needs to move materially, not by 1e-6, to fire.
+    """
+
+    name = "ewma-band"
+
+    def __init__(self, alpha: float = 0.3, k_warn: float = 6.0,
+                 k_crit: float = 12.0, warmup: int = 8,
+                 rel_floor: float = 0.05, abs_floor: float = 1e-9) -> None:
+        super().__init__()
+        if not 0 < alpha <= 1:
+            raise PerfError(f"ewma alpha must be in (0, 1], got {alpha}")
+        if k_crit < k_warn:
+            raise PerfError("k_crit must be >= k_warn")
+        self.alpha = alpha
+        self.k_warn = k_warn
+        self.k_crit = k_crit
+        self.warmup = max(2, int(warmup))
+        self.rel_floor = rel_floor
+        self.abs_floor = abs_floor
+        self._n = 0
+        self._mean = 0.0
+        self._dev = 0.0
+
+    def observe(self, t, value, context=None):
+        if self._t0 is None:
+            self._t0 = t
+        self._n += 1
+        if self._n == 1:
+            self._mean = value
+            return None
+        if self._n <= self.warmup:
+            # warmup: converge fast, never alarm
+            self._mean += 0.5 * (value - self._mean)
+            self._dev += 0.5 * (abs(value - self._mean) - self._dev)
+            return None
+        floor = self.rel_floor * abs(self._mean) + self.abs_floor
+        spread = max(self._dev, floor)
+        z = abs(value - self._mean) / spread
+        detection = None
+        if z >= self.k_warn:
+            severity = "critical" if z >= self.k_crit else "warn"
+            direction = "above" if value > self._mean else "below"
+            detection = self._make(
+                t, value, severity,
+                f"{self.series} broke the EWMA band {direction} "
+                f"(value {value:g} vs mean {self._mean:g} "
+                f"± {spread:g}, z={z:.1f})",
+                {"mean": self._mean, "dev": spread, "z": z},
+            )
+            # adapt slowly through an anomaly so a sustained shift
+            # keeps registering instead of instantly becoming normal
+            alpha = self.alpha / 8.0
+        else:
+            alpha = self.alpha
+        self._mean += alpha * (value - self._mean)
+        self._dev += alpha * (abs(value - self._mean) - self._dev)
+        return detection
+
+
+class Cusum(_SeriesDetector):
+    """Two-sided CUSUM changepoint detector on standardized residuals.
+
+    ``drift`` is the per-sample allowance (in baseline-σ units) and
+    ``threshold`` the alarm level; after an alarm the baseline rebases
+    to the current value so the detector re-arms for the *next*
+    change instead of alarming forever on the new regime.
+    """
+
+    name = "cusum"
+
+    def __init__(self, drift: float = 0.5, threshold: float = 8.0,
+                 warmup: int = 8, rel_floor: float = 0.05,
+                 abs_floor: float = 1e-9) -> None:
+        super().__init__()
+        self.drift = drift
+        self.threshold = threshold
+        self.warmup = max(2, int(warmup))
+        self.rel_floor = rel_floor
+        self.abs_floor = abs_floor
+        self._baseline: List[float] = []
+        self._mean = 0.0
+        self._std = 0.0
+        self._s_pos = 0.0
+        self._s_neg = 0.0
+
+    def observe(self, t, value, context=None):
+        if self._t0 is None:
+            self._t0 = t
+        if len(self._baseline) < self.warmup:
+            self._baseline.append(value)
+            if len(self._baseline) == self.warmup:
+                n = len(self._baseline)
+                self._mean = sum(self._baseline) / n
+                var = sum((v - self._mean) ** 2 for v in self._baseline) / n
+                self._std = math.sqrt(var)
+            return None
+        std = max(self._std,
+                  self.rel_floor * abs(self._mean) + self.abs_floor)
+        z = (value - self._mean) / std
+        self._s_pos = max(0.0, self._s_pos + z - self.drift)
+        self._s_neg = max(0.0, self._s_neg - z - self.drift)
+        s = max(self._s_pos, self._s_neg)
+        if s < self.threshold:
+            return None
+        direction = "upward" if self._s_pos >= self._s_neg else "downward"
+        severity = "critical" if s >= 2 * self.threshold else "warn"
+        detection = self._make(
+            t, value, severity,
+            f"{self.series} changepoint: {direction} shift from baseline "
+            f"{self._mean:g} (cusum {s:.1f} >= {self.threshold:g})",
+            {"s_pos": self._s_pos, "s_neg": self._s_neg,
+             "mean": self._mean, "std": std},
+        )
+        # rebase onto the new regime and re-arm
+        self._mean = value
+        self._s_pos = self._s_neg = 0.0
+        return detection
+
+
+class CounterStall(_SeriesDetector):
+    """A cumulative counter that stops advancing despite pending work.
+
+    A flat counter on an idle service is healthy; a flat counter while
+    the companion ``pending_field`` (queue depth, outstanding count)
+    stays at or above ``min_pending`` is a wedged loop. A *decrease*
+    is a counter reset (process restart) and re-arms the detector
+    instead of alarming.
+    """
+
+    name = "counter-stall"
+
+    def __init__(self, stall_samples: int = 5,
+                 pending_field: Optional[str] = None,
+                 min_pending: float = 1.0) -> None:
+        super().__init__()
+        self.stall_samples = max(1, int(stall_samples))
+        self.pending_field = pending_field
+        self.min_pending = min_pending
+        self._last: Optional[float] = None
+        self._grew = False
+        self._flat = 0
+
+    def observe(self, t, value, context=None):
+        if self._t0 is None:
+            self._t0 = t
+        if self._last is None:
+            self._last = value
+            return None
+        delta = value - self._last
+        self._last = value
+        if delta < 0:
+            self._grew = False
+            self._flat = 0
+            return None
+        if delta > 0:
+            self._grew = True
+            self._flat = 0
+            return None
+        if not self._grew:
+            return None
+        self._flat += 1
+        if self._flat < self.stall_samples:
+            return None
+        pending = None
+        if self.pending_field is not None:
+            pending = (context or {}).get(self.pending_field)
+            if pending is None or pending < self.min_pending:
+                return None
+        severity = ("critical" if self._flat >= 2 * self.stall_samples
+                    else "warn")
+        extra = (f" with {self.pending_field}={pending:g} pending"
+                 if pending is not None else "")
+        return self._make(
+            t, value, severity,
+            f"{self.series} stalled at {value:g} for {self._flat} "
+            f"samples{extra}",
+            {"flat_samples": float(self._flat),
+             "pending": float(pending) if pending is not None else 0.0},
+        )
+
+
+class QuantileDrift(_SeriesDetector):
+    """Recent-vs-baseline ratio drift on a slowly-moving series.
+
+    Built for the P² SLO quantiles (``direction="up"`` — latency
+    inflation) and the cache hit ratio (``direction="down"`` —
+    hit-rate collapse). The baseline is the median of the first
+    ``baseline_samples`` values; recent is an EWMA.
+    """
+
+    name = "quantile-drift"
+
+    def __init__(self, direction: str = "up", baseline_samples: int = 6,
+                 alpha: float = 0.4, ratio_warn: float = 2.5,
+                 ratio_crit: float = 5.0, min_abs: float = 1e-6) -> None:
+        super().__init__()
+        if direction not in ("up", "down"):
+            raise PerfError(f"drift direction must be up|down, got {direction}")
+        self.direction = direction
+        self.baseline_samples = max(2, int(baseline_samples))
+        self.alpha = alpha
+        self.ratio_warn = ratio_warn
+        self.ratio_crit = ratio_crit
+        self.min_abs = min_abs
+        self._head: List[float] = []
+        self._baseline: Optional[float] = None
+        self._recent: Optional[float] = None
+
+    def observe(self, t, value, context=None):
+        if self._t0 is None:
+            self._t0 = t
+        if self._baseline is None:
+            self._head.append(value)
+            if len(self._head) < self.baseline_samples:
+                return None
+            ordered = sorted(self._head)
+            mid = len(ordered) // 2
+            self._baseline = (ordered[mid] if len(ordered) % 2
+                              else 0.5 * (ordered[mid - 1] + ordered[mid]))
+            self._recent = self._baseline
+            self._head = []
+            return None
+        self._recent += self.alpha * (value - self._recent)
+        if self.direction == "up":
+            base = max(self._baseline, self.min_abs)
+            ratio = self._recent / base
+            verb = "inflated"
+        else:
+            if self._baseline < self.min_abs:
+                return None  # nothing meaningful to collapse from
+            ratio = self._baseline / max(self._recent, self.min_abs * 1e-3)
+            verb = "collapsed"
+        if ratio < self.ratio_warn:
+            return None
+        severity = "critical" if ratio >= self.ratio_crit else "warn"
+        return self._make(
+            t, value, severity,
+            f"{self.series} {verb} {ratio:.1f}x from baseline "
+            f"{self._baseline:g} (recent {self._recent:g})",
+            {"baseline": self._baseline, "recent": self._recent,
+             "ratio": ratio},
+        )
+
+
+# ----------------------------------------------------------------------
+# the bank: pattern routing, active set, derived fields
+# ----------------------------------------------------------------------
+#: summed to form the derived cache hit ratio
+_HIT_FIELDS = ("service.cache.hits{tier=memory}", "service.cache.hits{tier=disk}")
+_MISS_FIELD = "service.cache.misses"
+#: the derived series name the hit-rate-collapse rule watches
+CACHE_HIT_RATIO = "service.cache.hit_ratio"
+
+
+class DetectorBank:
+    """Routes sample fields to detector instances and tracks the
+    active detection set.
+
+    ``rules`` is ``[(fnmatch_pattern, detector_factory), ...]``; a
+    field matching several patterns gets one detector per match. The
+    field->detectors routing is cached per field name, so steady-state
+    :meth:`observe` cost is a dict lookup plus O(matched detectors).
+    """
+
+    def __init__(
+        self,
+        rules: Sequence[Tuple[str, Callable[[], _SeriesDetector]]],
+        hold_s: float = 120.0,
+        max_detections: int = 256,
+        derive_cache_ratio: bool = False,
+    ) -> None:
+        self.rules = list(rules)
+        self.hold_s = float(hold_s)
+        self.detections: deque = deque(maxlen=max_detections)
+        self.derive_cache_ratio = derive_cache_ratio
+        self.observed = 0
+        self.emitted = 0
+        # "t" is the sample timestamp, never a series — pre-seeding an
+        # empty route keeps a "*" rule from binding a detector to it
+        self._routes: Dict[str, List[_SeriesDetector]] = {"t": []}
+        self._active: Dict[Tuple[str, str], Detection] = {}
+        self._last_t: Optional[float] = None
+        self._prev_hits: Optional[float] = None
+        self._prev_misses: Optional[float] = None
+
+    # -- routing -------------------------------------------------------
+    def _detectors_for(self, field_name: str) -> List[_SeriesDetector]:
+        routed = self._routes.get(field_name)
+        if routed is None:
+            routed = [
+                factory().bind(field_name)
+                for pattern, factory in self.rules
+                if fnmatchcase(field_name, pattern)
+            ]
+            self._routes[field_name] = routed
+        return routed
+
+    # -- derived fields --------------------------------------------------
+    def _derive(self, fields: Dict) -> Dict[str, float]:
+        """Derived series from raw sample fields (tolerates non-numeric
+        values — it reads the raw record on the hot path)."""
+        if not self.derive_cache_ratio:
+            return {}
+        hits = 0.0
+        have_hits = False
+        for k in _HIT_FIELDS:
+            v = fields.get(k)
+            if isinstance(v, (int, float)) and not isinstance(v, bool):
+                hits += float(v)
+                have_hits = True
+        raw = fields.get(_MISS_FIELD)
+        misses = (float(raw) if isinstance(raw, (int, float))
+                  and not isinstance(raw, bool) else None)
+        if misses is None and not have_hits:
+            return {}
+        misses = misses or 0.0
+        out: Dict[str, float] = {}
+        if self._prev_hits is not None:
+            # clamp resets: a counter that went backwards restarted,
+            # so the new absolute value IS the delta since restart
+            dh = hits - self._prev_hits
+            dm = misses - self._prev_misses
+            if dh < 0 or dm < 0:
+                dh, dm = hits, misses
+            if dh + dm >= 1.0:
+                out[CACHE_HIT_RATIO] = dh / (dh + dm)
+        self._prev_hits, self._prev_misses = hits, misses
+        return out
+
+    # -- the hot path ----------------------------------------------------
+    def observe(self, record: dict) -> List[Detection]:
+        """Feed one tsdb sample record; returns any new detections.
+
+        Routed-first: the steady-state cost per field is one dict
+        lookup, and value-type checks run only for the (few) fields a
+        rule actually matched — a serve sample is mostly bulk series
+        no detector watches.
+        """
+        t = float(record.get("t", 0.0))
+        self.observed += 1
+        self._last_t = t
+        new: List[Detection] = []
+        routes = self._routes
+        for name, value in record.items():
+            dets = routes.get(name)
+            if dets is None:
+                dets = self._detectors_for(name)
+            if not dets:
+                continue
+            if (isinstance(value, bool)
+                    or not isinstance(value, (int, float))
+                    or not math.isfinite(value)):
+                continue
+            value = float(value)
+            for det in dets:
+                detection = det.observe(t, value, context=record)
+                if detection is not None:
+                    new.append(detection)
+        if self.derive_cache_ratio:
+            for name, value in self._derive(record).items():
+                for det in self._detectors_for(name):
+                    detection = det.observe(t, value, context=record)
+                    if detection is not None:
+                        new.append(detection)
+        for detection in new:
+            self.detections.append(detection)
+            self._active[(detection.detector, detection.series)] = detection
+        self.emitted += len(new)
+        return new
+
+    def scan(self, store, t0: Optional[float] = None,
+             t1: Optional[float] = None) -> List[Detection]:
+        """Replay a store's retained samples through this bank —
+        the postmortem path. Returns every detection emitted."""
+        out: List[Detection] = []
+        for rec in store.samples(t0, t1):
+            out.extend(self.observe(rec))
+        return out
+
+    # -- the read side ---------------------------------------------------
+    def active(self, now: Optional[float] = None) -> List[Detection]:
+        """Detections still inside the hold window, worst first."""
+        if now is None:
+            now = self._last_t
+        if now is None:
+            return []
+        live = [d for d in self._active.values() if now - d.t <= self.hold_s]
+        live.sort(key=lambda d: (-severity_rank(d.severity), d.t))
+        return live
+
+    def worst(self, now: Optional[float] = None) -> Optional[str]:
+        return worst_severity(d.severity for d in self.active(now))
+
+    def as_dict(self, now: Optional[float] = None) -> dict:
+        active = self.active(now)
+        return {
+            "active": [d.as_dict() for d in active],
+            "worst": worst_severity(d.severity for d in active),
+            "observed": self.observed,
+            "emitted": self.emitted,
+        }
+
+
+def default_rules(kind: str) -> List[Tuple[str, Callable[[], _SeriesDetector]]]:
+    """The stock rule set for one telemetry surface.
+
+    ``serve`` watches a shard's own tsdb (SLO quantiles, queue,
+    solve/serve counters, cache ratio); ``fabric`` watches the fleet
+    series the autoscaler writes into the root tsdb each tick.
+    """
+    if kind == "serve":
+        return [
+            ("slo.*.p95_s", lambda: QuantileDrift(direction="up")),
+            ("slo.*.p99_s", lambda: QuantileDrift(direction="up")),
+            ("slo.queue_depth", lambda: EwmaBand(abs_floor=2.0)),
+            ("slo.queue_depth", lambda: Cusum(abs_floor=2.0)),
+            ("slo.*.error_rate", lambda: EwmaBand(abs_floor=0.05)),
+            (CACHE_HIT_RATIO,
+             lambda: QuantileDrift(direction="down", min_abs=0.05,
+                                   ratio_warn=2.0, ratio_crit=4.0)),
+            ("served", lambda: CounterStall(pending_field="outstanding")),
+            ("service.worker.solves*",
+             lambda: CounterStall(pending_field="slo.queue_depth",
+                                  stall_samples=8)),
+        ]
+    if kind == "fabric":
+        return [
+            ("fabric.backlog", lambda: EwmaBand(abs_floor=2.0)),
+            ("fabric.backlog", lambda: Cusum(abs_floor=2.0)),
+            ("fabric.backlog_per_shard", lambda: EwmaBand(abs_floor=2.0)),
+            ("fabric.worst_burn",
+             lambda: QuantileDrift(direction="up", min_abs=0.05)),
+        ]
+    raise PerfError(f"unknown detector rule set {kind!r} (use serve|fabric)")
+
+
+def default_bank(kind: str, hold_s: float = 120.0) -> DetectorBank:
+    return DetectorBank(
+        default_rules(kind),
+        hold_s=hold_s,
+        derive_cache_ratio=(kind == "serve"),
+    )
+
+
+def scan_store(store, kind: str = "serve") -> Tuple[DetectorBank, List[Detection]]:
+    """Fresh-bank postmortem replay of one store's retained history."""
+    bank = default_bank(kind, hold_s=math.inf)
+    detections = bank.scan(store)
+    return bank, detections

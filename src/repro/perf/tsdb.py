@@ -32,6 +32,7 @@ the result as sparkline history.
 from __future__ import annotations
 
 import json
+import math
 import os
 import time
 from pathlib import Path
@@ -152,11 +153,16 @@ class TimeSeriesStore:
         t0: Optional[float] = None,
         t1: Optional[float] = None,
     ) -> List[Tuple[float, float]]:
-        """Range scan of one field: ``[(t, value), ...]`` ascending."""
+        """Range scan of one field: ``[(t, value), ...]`` ascending.
+        Non-finite values (NaN/inf, e.g. from a corrupted sample) are
+        skipped — downstream detectors and rate math assume finite
+        points."""
         return [
             (rec["t"], float(rec[name]))
             for rec in self.samples(t0, t1)
             if isinstance(rec.get(name), (int, float))
+            and not isinstance(rec.get(name), bool)
+            and math.isfinite(float(rec[name]))
         ]
 
     def latest(self) -> Optional[dict]:
@@ -172,8 +178,25 @@ class TimeSeriesStore:
         """Per-second increase of a (cumulative) counter field over the
         window. Negative deltas — a counter reset across a process
         restart — are clamped to zero rather than poisoning the rate,
-        the standard monotone-counter treatment."""
+        the standard monotone-counter treatment.
+
+        When a window lower bound ``t0`` is given, the last sample at
+        or before ``t0`` is included as the baseline. Without it a
+        window holding a single sample would be unanswerable, and the
+        increase between the baseline and the first in-window sample
+        would be silently dropped at every window edge — which is how
+        sliding-window callers (detectors, the autoscaler) would see
+        phantom rate dips."""
+        if t0 is not None and t1 is not None and t1 < t0:
+            return None
         pts = self.series(name, t0, t1)
+        if t0 is not None:
+            # a sample exactly at t0 is already the window's baseline;
+            # only reach back when the window opens between samples
+            if not pts or pts[0][0] > t0:
+                before = [p for p in self.series(name, None, t0) if p[0] < t0]
+                if before:
+                    pts = [before[-1]] + pts
         if len(pts) < 2:
             return None
         elapsed = pts[-1][0] - pts[0][0]
@@ -202,7 +225,15 @@ class TimeSeriesStore:
             raise PerfError(f"unknown downsample agg {agg!r}")
         buckets: Dict[float, List[float]] = {}
         for t, v in self.series(name, t0, t1):
-            edge = (t // bucket_s) * bucket_s
+            # float floor-division misassigns edge samples for
+            # non-integer buckets (0.3 // 0.1 == 2.0): snap quotients
+            # within one part in 1e9 of the next integer upward so a
+            # sample exactly on an edge lands in the bucket it opens
+            q = t / bucket_s
+            idx = math.floor(q)
+            if (idx + 1) - q <= 1e-9 * max(1.0, abs(q)):
+                idx += 1
+            edge = idx * bucket_s
             buckets.setdefault(edge, []).append(v)
         out = []
         for edge in sorted(buckets):

@@ -30,7 +30,15 @@ KINDS = (
     "solve-fault",     # a service solve raises on its first `attempts` tries
     "chunk-corrupt",   # flip a byte in a chunk of the newest checkpoint
     "chunk-torn",      # truncate a chunk of the newest checkpoint
+    # doctor-drill causes (repro.perf.doctor): fleet-level injections
+    # whose root cause the diagnosis engine must name from telemetry
+    "shard-death",     # SIGKILL the busiest fabric shard mid-claim
+    "worker-slowdown", # a serve worker solves `attempts`x slower
+    "cache-poison",    # corrupt every payload in the disk result cache
 )
+
+#: the subset a doctor drill injects, in drill order
+DOCTOR_KINDS = ("shard-death", "worker-slowdown", "cache-poison")
 
 #: spawn-key purpose for seeded plan generation (see util.rng)
 _PLAN_STREAM_PURPOSE = 7401
@@ -178,6 +186,15 @@ class FaultPlan:
                     )
 
         return hook
+
+    # ------------------------------------------------------------------
+    # doctor-drill queries (repro.perf.doctor)
+    # ------------------------------------------------------------------
+    def doctor_events(self) -> List[FaultEvent]:
+        """The fleet-level injections a doctor drill performs, in plan
+        order; each one's ``kind`` is the ground-truth root cause the
+        doctor's top-ranked hypothesis must name."""
+        return [e for e in self.events if e.kind in DOCTOR_KINDS]
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:

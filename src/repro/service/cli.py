@@ -38,6 +38,7 @@ from typing import Optional
 import numpy as np
 
 from repro.perf import tracectx
+from repro.perf.detect import default_bank
 from repro.perf.metrics import MetricsRegistry, set_metrics
 from repro.perf.tracer import SpanTracer, set_tracer
 from repro.perf.tsdb import (
@@ -89,7 +90,7 @@ def _service_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--trace", default=None, help="write Chrome trace here")
 
 
-def _build_config(args) -> ServiceConfig:
+def _build_config(args, fault_hook=None) -> ServiceConfig:
     return ServiceConfig(
         max_queue=args.max_queue,
         workers=args.workers,
@@ -99,7 +100,23 @@ def _build_config(args) -> ServiceConfig:
         cache_dir=None if args.no_cache else args.cache_dir,
         coalesce=not args.no_cache,
         journal_dir=args.journal,
+        fault_hook=fault_hook,
     )
+
+
+def _slowdown_hook(delay_s: float, after: int):
+    """A fault hook that sleeps ``delay_s`` inside every solve attempt
+    past the first ``after`` — the doctor drill's "one worker went
+    slow" cause, injected where a real regression would land (the
+    solve path), so latency quantiles drift while nothing dies."""
+    state = {"n": 0}
+
+    def hook(fingerprint: str, attempt: int) -> None:
+        state["n"] += 1
+        if state["n"] > after:
+            time.sleep(delay_s)
+
+    return hook
 
 
 def _install_observability(args):
@@ -281,6 +298,17 @@ def cmd_serve(argv) -> int:
         help="exit gracefully (drain outstanding, claim nothing new) "
         "once this file exists (default: <spool>/serve.stop)",
     )
+    parser.add_argument(
+        "--inject-slowdown", type=float, default=0.0, metavar="SECONDS",
+        help="fault injection for the doctor drill: sleep this long "
+        "inside every solve attempt (after --inject-slowdown-after "
+        "warmup solves)",
+    )
+    parser.add_argument(
+        "--inject-slowdown-after", type=int, default=0, metavar="N",
+        help="number of solves served at full speed before the "
+        "injected slowdown kicks in (gives drift detectors a baseline)",
+    )
     _service_args(parser)
     args = parser.parse_args(argv)
 
@@ -298,12 +326,21 @@ def cmd_serve(argv) -> int:
     last_request = time.monotonic()
     print(f"serving from {spool} as {args.shard_id} "
           f"(idle timeout {args.idle_timeout}s)")
-    with RadiationService(_build_config(args), metrics=metrics, tracer=tracer) as svc:
+    fault_hook = None
+    if args.inject_slowdown > 0:
+        fault_hook = _slowdown_hook(
+            args.inject_slowdown, args.inject_slowdown_after
+        )
+        print(f"fault injection: +{args.inject_slowdown}s per solve "
+              f"after {args.inject_slowdown_after} warmup solve(s)")
+    config = _build_config(args, fault_hook=fault_hook)
+    with RadiationService(config, metrics=metrics, tracer=tracer) as svc:
         client = ServiceClient(svc)
         # metrics history: one collector sampling the registry plus the
         # SLO snapshot into spool/tsdb on a cadence; samples accumulate
         # across serve restarts (append-only, ring-retained)
         collector = None
+        bank = None
         if args.tsdb_interval > 0:
             store = TimeSeriesStore(
                 spool / "tsdb", rank=0, retention=args.tsdb_retention
@@ -314,6 +351,10 @@ def cmd_serve(argv) -> int:
                 interval_s=args.tsdb_interval,
                 extra=lambda: flatten_status(svc.slo.snapshot()),
             )
+            # streaming anomaly detectors ride the collector cadence:
+            # each tsdb sample also flows through the detector bank,
+            # and active detections publish with the status document
+            bank = default_bank("serve")
         # warm restart, part 1: requests this shard claimed but never
         # answered before a crash go back to the inbox (to be
         # re-claimed below, possibly by a sibling shard)
@@ -391,12 +432,16 @@ def cmd_serve(argv) -> int:
             # identity and a heartbeat timestamp, atomically
             # republished every pass — the fabric supervisor reads
             # heartbeat staleness from here to detect shard death
+            if collector is not None:
+                record = collector.maybe_sample(
+                    served=served, outstanding=len(outstanding)
+                )
+                if record is not None:
+                    bank.observe(record)
             _publish_status(
                 spool, svc, args.shard_id, served, len(outstanding),
-                inbox, claim_dir,
+                inbox, claim_dir, bank=bank,
             )
-            if collector is not None:
-                collector.maybe_sample(served=served, outstanding=len(outstanding))
             if not outstanding and (
                 stopping
                 or done_budget
@@ -404,12 +449,13 @@ def cmd_serve(argv) -> int:
             ):
                 break
             time.sleep(0.05)
+        if collector is not None:
+            record = collector.sample(served=served, outstanding=len(outstanding))
+            bank.observe(record)
         _publish_status(
             spool, svc, args.shard_id, served, len(outstanding),
-            inbox, claim_dir, exited=True,
+            inbox, claim_dir, exited=True, bank=bank,
         )
-        if collector is not None:
-            collector.sample(served=served, outstanding=len(outstanding))
         stats = svc.stats()
     hits = stats["cache_hits_memory"] + stats["cache_hits_disk"]
     print(
@@ -497,19 +543,52 @@ def cmd_status(argv) -> int:
             print(f"error: unreadable status file {path}: {exc}", file=sys.stderr)
             return 1
         print(format_status(snapshot))
+        detect_block = _format_detections(snapshot)
+        if detect_block:
+            print(detect_block)
         history = history_block()
         if history is not None:
             print(history)
         refreshes += 1
         if not args.watch:
-            return 3 if snapshot.get("degraded") else 0
+            return _status_exit(snapshot)
         if args.max_refreshes is not None and refreshes >= args.max_refreshes:
-            return 3 if snapshot.get("degraded") else 0
+            return _status_exit(snapshot)
         try:
             time.sleep(args.interval)
         except KeyboardInterrupt:
             return 0
         print()
+
+
+def _format_detections(snapshot: dict) -> Optional[str]:
+    """Active anomaly detections (and any published incident) from a
+    status document, one DETECT line each."""
+    detect = snapshot.get("detections") or {}
+    active = detect.get("active") or []
+    lines = [
+        f"  DETECT [{d.get('severity', '?').upper()}]: {d.get('message')}"
+        for d in active
+    ]
+    incident = snapshot.get("incident")
+    if incident and incident.get("hypotheses"):
+        top = incident["hypotheses"][0]
+        lines.append(
+            f"  INCIDENT: {top.get('cause')} "
+            f"({top.get('subject') or 'service'}) "
+            f"confidence {top.get('confidence', 0):.0%}"
+        )
+    return "\n".join(lines) if lines else None
+
+
+def _status_exit(snapshot: dict) -> int:
+    """Exit-code verdict: the SLO degraded flag and the worst active
+    detection severity both count — a shard that still meets its SLOs
+    while a detector screams critical is already an incident."""
+    detect = snapshot.get("detections") or {}
+    if snapshot.get("degraded") or detect.get("worst") == "critical":
+        return 3
+    return 0
 
 
 def _status_fabric(args) -> int:
@@ -553,11 +632,15 @@ def _publish_status(
     inbox: Path,
     claim_dir: Path,
     exited: bool = False,
+    bank=None,
 ) -> None:
     """Atomically publish the shard's status.json: the SLO snapshot
-    plus shard identity, queue depths, and a wall-clock heartbeat."""
+    plus shard identity, queue depths, active anomaly detections, and
+    a wall-clock heartbeat."""
     doc = svc.slo.snapshot()
     doc["heartbeat_t"] = time.time()
+    if bank is not None:
+        doc["detections"] = bank.as_dict()
     doc["shard"] = {
         "shard_id": shard_id,
         "pid": os.getpid(),

@@ -16,6 +16,7 @@ should never be self-inflicted.
 from __future__ import annotations
 
 import io
+import json
 import os
 from pathlib import Path
 from typing import Dict, Union
@@ -38,6 +39,7 @@ FS_EFFECTS: Dict[str, dict] = {
     "atomic_write_text": {"effect": "atomic_publish", "path_arg": 0},
     "atomic_savez": {"effect": "atomic_publish", "path_arg": 0},
     "atomic_save_array": {"effect": "atomic_publish", "path_arg": 0},
+    "append_jsonl": {"effect": "append", "path_arg": 0},
 }
 
 
@@ -98,3 +100,21 @@ def atomic_save_array(path: PathLike, array: np.ndarray) -> Path:
     buf = io.BytesIO()
     np.save(buf, array, allow_pickle=False)
     return atomic_write_bytes(path, buf.getvalue())
+
+
+def append_jsonl(path: PathLike, record: dict) -> Path:
+    """Append one JSON record as a single newline-terminated line.
+
+    Appends are not replace-atomic, but a single ``write`` of one
+    short line means the only failure mode a crash can leave behind is
+    a torn *final* line — which every JSONL reader in this tree
+    (tsdb scan, event log) already tolerates and heals. POSIX O_APPEND
+    keeps concurrent appenders from interleaving within a line for
+    writes this small.
+    """
+    target = Path(path)
+    line = json.dumps(record, sort_keys=True) + "\n"
+    with target.open("a", encoding="utf-8") as fh:
+        fh.write(line)
+        fh.flush()
+    return target

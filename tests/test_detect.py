@@ -1,0 +1,414 @@
+"""Tests for the streaming anomaly detectors: each detector vs
+synthetic ground truth (step change, slow drift, counter reset,
+flat-line stall), false-positive bounds on seeded noise, and the
+DetectorBank's routing, hold window, derived cache ratio, and store
+replay."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.perf.detect import (
+    CACHE_HIT_RATIO,
+    CounterStall,
+    Cusum,
+    Detection,
+    DetectorBank,
+    EwmaBand,
+    QuantileDrift,
+    default_bank,
+    default_rules,
+    scan_store,
+    severity_rank,
+    worst_severity,
+)
+from repro.perf.tsdb import TimeSeriesStore
+from repro.util.errors import PerfError
+from repro.util.rng import spawn_stream
+
+
+def feed(det, values, t0=0.0, context=None):
+    """Feed a value sequence; returns (index, detection) pairs."""
+    det.bind(det.series or "x")
+    out = []
+    for i, v in enumerate(values):
+        d = det.observe(t0 + float(i), v, context=context)
+        if d is not None:
+            out.append((i, d))
+    return out
+
+
+def noise(n, loc=1.0, scale=0.02, seed=7):
+    gen = spawn_stream(seed, 4242)
+    return list(loc + scale * gen.standard_normal(n))
+
+
+# ----------------------------------------------------------------------
+# severity helpers
+# ----------------------------------------------------------------------
+class TestSeverity:
+    def test_rank_order(self):
+        assert severity_rank("info") < severity_rank("warn") < severity_rank(
+            "critical")
+
+    def test_unknown_rejected(self):
+        with pytest.raises(PerfError):
+            severity_rank("meltdown")
+
+    def test_worst(self):
+        assert worst_severity([]) is None
+        assert worst_severity(["info", "critical", "warn"]) == "critical"
+        assert worst_severity(["info", "info"]) == "info"
+
+
+# ----------------------------------------------------------------------
+# ground truth: step change
+# ----------------------------------------------------------------------
+class TestEwmaBand:
+    def test_step_change_fires(self):
+        values = noise(30) + [5.0] * 5  # step from ~1.0 to 5.0
+        hits = feed(EwmaBand(), values)
+        assert hits, "step change must break the band"
+        first_idx, first = hits[0]
+        assert first_idx >= 30  # not before the step
+        assert first.severity in ("warn", "critical")
+        assert first.evidence["z"] >= 6.0
+        assert "above" in first.message
+
+    def test_quiet_on_seeded_noise(self):
+        # false-positive bound: pure stationary noise never alarms
+        assert feed(EwmaBand(), noise(400, seed=11)) == []
+
+    def test_warmup_never_alarms(self):
+        # a wild warmup sequence is learning, not alarming
+        det = EwmaBand(warmup=8)
+        assert feed(det, [0.0, 100.0, -50.0, 25.0, 3.0, 7.0, 4.0, 5.0]) == []
+
+    def test_sustained_shift_keeps_registering(self):
+        # slow adaptation through anomalies: a persistent step keeps
+        # firing rather than instantly becoming the new normal
+        values = noise(20) + [8.0] * 10
+        hits = feed(EwmaBand(), values)
+        assert len(hits) >= 3
+
+    def test_validates_params(self):
+        with pytest.raises(PerfError):
+            EwmaBand(alpha=0.0)
+        with pytest.raises(PerfError):
+            EwmaBand(k_warn=9.0, k_crit=6.0)
+
+    def test_deviation_floor_suppresses_microjitter(self):
+        # a series flat at 100 +- 1e-7 must not alarm on 1e-6 moves
+        values = [100.0] * 20 + [100.000001] * 5
+        assert feed(EwmaBand(), values) == []
+
+
+# ----------------------------------------------------------------------
+# ground truth: slow drift
+# ----------------------------------------------------------------------
+class TestCusum:
+    def test_slow_drift_fires(self):
+        # drift of +1.5% of the mean per sample: too small for the
+        # band test, but CUSUM accumulates it
+        base = noise(30, loc=1.0, scale=0.01, seed=3)
+        drifting = [1.0 + 0.015 * i for i in range(40)]
+        hits = feed(Cusum(), base + drifting)
+        assert hits, "slow drift must trip the changepoint detector"
+        idx, det = hits[0]
+        assert idx >= 30
+        assert "upward" in det.message
+
+    def test_band_misses_the_same_drift(self):
+        # the reason Cusum exists: the instantaneous band test stays
+        # quiet on the drift Cusum catches (EWMA tracks the ramp)
+        base = noise(30, loc=1.0, scale=0.01, seed=3)
+        drifting = [1.0 + 0.015 * i for i in range(40)]
+        assert feed(EwmaBand(), base + drifting) == []
+
+    def test_downward_drift_reports_direction(self):
+        base = noise(20, loc=2.0, scale=0.01, seed=9)
+        falling = [2.0 - 0.03 * i for i in range(40)]
+        hits = feed(Cusum(), base + falling)
+        assert hits
+        assert "downward" in hits[0][1].message
+
+    def test_rebases_after_alarm(self):
+        # after the alarm the baseline moves to the new regime, so a
+        # *stable* new level stops alarming (re-armed, not latched)
+        base = [1.0] * 10
+        stepped = [3.0] * 60
+        hits = feed(Cusum(), base + stepped)
+        assert hits
+        # allow the re-armed detector to fire on the step again at
+        # most a couple of times, never continuously
+        assert len(hits) <= 4
+
+    def test_quiet_on_seeded_noise(self):
+        assert feed(Cusum(), noise(400, seed=13)) == []
+
+
+# ----------------------------------------------------------------------
+# ground truth: flat-line stall + counter reset
+# ----------------------------------------------------------------------
+class TestCounterStall:
+    def test_stall_with_pending_work_fires(self):
+        det = CounterStall(stall_samples=3, pending_field="queue")
+        values = [0.0, 5.0, 9.0] + [9.0] * 6
+        hits = feed(det, values, context={"queue": 4.0})
+        assert hits
+        idx, d = hits[0]
+        assert idx >= 5  # grew through 2, then 3 flat samples
+        assert d.evidence["pending"] == 4.0
+        assert "stalled" in d.message
+
+    def test_idle_flatline_is_healthy(self):
+        # flat counter with an empty queue is idle, not wedged
+        det = CounterStall(stall_samples=3, pending_field="queue")
+        values = [0.0, 5.0, 9.0] + [9.0] * 10
+        assert feed(det, values, context={"queue": 0.0}) == []
+
+    def test_counter_reset_rearms_instead_of_alarming(self):
+        # ground truth: a restart (counter decrease) must not read as
+        # a stall — the detector re-arms and needs fresh growth
+        det = CounterStall(stall_samples=3, pending_field="queue")
+        values = [0.0, 50.0, 2.0] + [2.0] * 10
+        assert feed(det, values, context={"queue": 9.0}) == []
+
+    def test_never_grew_never_alarms(self):
+        det = CounterStall(stall_samples=2, pending_field="queue")
+        assert feed(det, [7.0] * 12, context={"queue": 5.0}) == []
+
+    def test_escalates_to_critical(self):
+        det = CounterStall(stall_samples=2, pending_field="queue")
+        values = [0.0, 1.0] + [1.0] * 8
+        hits = feed(det, values, context={"queue": 2.0})
+        assert hits[0][1].severity == "warn"
+        assert hits[-1][1].severity == "critical"
+
+    def test_no_pending_field_fires_unconditionally(self):
+        det = CounterStall(stall_samples=2)
+        assert feed(det, [0.0, 3.0, 3.0, 3.0])
+
+
+# ----------------------------------------------------------------------
+# ground truth: quantile drift (latency up, hit-ratio down)
+# ----------------------------------------------------------------------
+class TestQuantileDrift:
+    def test_latency_inflation_fires_critical(self):
+        det = QuantileDrift(direction="up", baseline_samples=4)
+        values = [0.05, 0.06, 0.05, 0.055] + [0.4] * 6
+        hits = feed(det, values)
+        assert hits
+        assert hits[-1][1].severity == "critical"
+        assert hits[-1][1].evidence["ratio"] >= 5.0
+        assert "inflated" in hits[-1][1].message
+
+    def test_hit_ratio_collapse_fires(self):
+        det = QuantileDrift(direction="down", baseline_samples=4,
+                            min_abs=0.05, ratio_warn=2.0, ratio_crit=4.0)
+        values = [1.0, 0.95, 1.0, 0.9] + [0.0] * 6
+        hits = feed(det, values)
+        assert hits
+        assert hits[-1][1].severity == "critical"
+        assert "collapsed" in hits[-1][1].message
+
+    def test_zero_baseline_down_never_fires(self):
+        # a cold cache (baseline ratio ~0) has nothing to collapse
+        # from; direction=down must stay quiet, not divide by zero
+        det = QuantileDrift(direction="down", baseline_samples=4,
+                            min_abs=0.05)
+        assert feed(det, [0.0] * 20) == []
+
+    def test_quiet_on_seeded_noise(self):
+        det = QuantileDrift(direction="up", baseline_samples=6)
+        assert feed(det, noise(300, loc=0.1, scale=0.005, seed=21)) == []
+
+    def test_validates_direction(self):
+        with pytest.raises(PerfError):
+            QuantileDrift(direction="sideways")
+
+
+# ----------------------------------------------------------------------
+# the bank
+# ----------------------------------------------------------------------
+class TestDetectorBank:
+    def test_routes_by_pattern_and_caches(self):
+        bank = DetectorBank([("slo.*.p95_s",
+                              lambda: QuantileDrift(baseline_samples=2))])
+        for i in range(3):
+            bank.observe({"t": float(i), "slo.solve.p95_s": 0.1,
+                          "unrelated": 5.0})
+        assert set(bank._routes) == {"t", "slo.solve.p95_s", "unrelated"}
+        assert bank._routes["unrelated"] == []
+        assert len(bank._routes["slo.solve.p95_s"]) == 1
+        assert bank.observed == 3
+
+    def test_timestamp_never_routes_even_on_wildcard(self):
+        bank = DetectorBank([("*", lambda: EwmaBand())])
+        bank.observe({"t": 5.0, "x": 1.0})
+        assert bank._routes["t"] == []
+        assert len(bank._routes["x"]) == 1
+
+    def test_detection_lands_in_active_set(self):
+        bank = DetectorBank(
+            [("lat", lambda: QuantileDrift(baseline_samples=2))], hold_s=50.0)
+        for i, v in enumerate([0.1, 0.1, 1.0, 1.0, 1.0]):
+            bank.observe({"t": float(i), "lat": v})
+        active = bank.active()
+        assert active and active[0].series == "lat"
+        assert bank.worst() in ("warn", "critical")
+        doc = bank.as_dict()
+        assert doc["worst"] == bank.worst()
+        assert doc["emitted"] == len(
+            bank.detections) == bank.emitted
+        # round-trips through the status document
+        assert Detection.from_dict(doc["active"][0]).series == "lat"
+
+    def test_hold_window_expires(self):
+        bank = DetectorBank(
+            [("lat", lambda: QuantileDrift(baseline_samples=2))], hold_s=10.0)
+        for i, v in enumerate([0.1, 0.1, 1.0]):
+            bank.observe({"t": float(i), "lat": v})
+        assert bank.active(now=2.0)
+        assert bank.active(now=100.0) == []
+        assert bank.worst(now=100.0) is None
+
+    def test_nonnumeric_and_bool_fields_skipped(self):
+        # routing is by name, but bool/str/non-finite VALUES must
+        # never reach a detector
+        bank = DetectorBank([("*", lambda: EwmaBand())])
+        for i in range(4):
+            bank.observe({"t": float(i), "flag": True, "name": "x",
+                          "inf": math.inf, "ok": 1.0})
+        assert bank._routes["ok"][0]._n == 4
+        for skipped in ("flag", "name", "inf"):
+            assert bank._routes[skipped][0]._n == 0
+
+    def test_derived_hit_ratio_and_reset_clamp(self):
+        bank = DetectorBank([], derive_cache_ratio=True)
+        seen = []
+
+        def snap(hits_mem, hits_disk, misses, t):
+            bank.observe({
+                "t": t,
+                "service.cache.hits{tier=memory}": hits_mem,
+                "service.cache.hits{tier=disk}": hits_disk,
+                "service.cache.misses": misses,
+            })
+            route = bank._derive({
+                "service.cache.hits{tier=memory}": hits_mem,
+                "service.cache.hits{tier=disk}": hits_disk,
+                "service.cache.misses": misses,
+            })
+            return route
+
+        bank.observe({"t": 0.0, "service.cache.hits{tier=memory}": 0.0,
+                      "service.cache.misses": 0.0})
+        out = bank._derive({"service.cache.hits{tier=memory}": 4.0,
+                            "service.cache.hits{tier=disk}": 1.0,
+                            "service.cache.misses": 5.0})
+        # deltas: +5 hits, +5 misses -> ratio 0.5
+        assert out[CACHE_HIT_RATIO] == pytest.approx(0.5)
+        # a restart: counters go backwards -> absolute values ARE the
+        # deltas since restart (clamp, don't emit garbage)
+        out = bank._derive({"service.cache.hits{tier=memory}": 1.0,
+                            "service.cache.misses": 3.0})
+        assert out[CACHE_HIT_RATIO] == pytest.approx(0.25)
+
+    def test_derived_ratio_feeds_detectors(self):
+        bank = default_bank("serve")
+        t = 0.0
+        hits = 0.0
+        # healthy: every sample adds hits (ratio 1.0) x8 baseline
+        for _ in range(8):
+            hits += 2.0
+            bank.observe({"t": t,
+                          "service.cache.hits{tier=disk}": hits,
+                          "service.cache.misses": 0.0})
+            t += 1.0
+        # poisoned: only misses advance
+        misses = 0.0
+        for _ in range(6):
+            misses += 2.0
+            bank.observe({"t": t,
+                          "service.cache.hits{tier=disk}": hits,
+                          "service.cache.misses": misses})
+            t += 1.0
+        series = {d.series for d in bank.detections}
+        assert CACHE_HIT_RATIO in series
+        worst = [d for d in bank.detections if d.series == CACHE_HIT_RATIO]
+        assert worst[-1].severity == "critical"
+
+    def test_default_rules_validate_kind(self):
+        with pytest.raises(PerfError):
+            default_rules("orchestra")
+        assert default_rules("serve")
+        assert default_rules("fabric")
+
+    def test_scan_store_replays_history(self, tmp_path):
+        store = TimeSeriesStore(tmp_path, rank=0, retention=256)
+        for i in range(8):
+            store.append({"slo.solve.p95_s": 0.05}, t=float(i))
+        for i in range(8, 14):
+            store.append({"slo.solve.p95_s": 0.5}, t=float(i))
+        bank, detections = scan_store(store, kind="serve")
+        assert detections
+        assert detections[-1].detector == "quantile-drift"
+        assert detections[-1].severity == "critical"
+        # infinite hold: postmortem active set keeps everything
+        assert bank.active(now=1e12)
+
+    def test_compaction_seam_no_phantom_detections(self, tmp_path):
+        # ring compaction drops oldest samples; replaying the
+        # compacted file must not invent detections a full replay
+        # would not have produced at those timestamps
+        store = TimeSeriesStore(tmp_path, rank=0, retention=16)
+        gen = spawn_stream(5, 99)
+        for i in range(64):  # several compactions deep
+            store.append(
+                {"slo.solve.p95_s": 0.1 + 0.002 * float(gen.standard_normal())},
+                t=float(i),
+            )
+        _, detections = scan_store(store, kind="serve")
+        assert detections == []
+
+    def test_counter_stall_rule_sees_pending_context(self):
+        bank = default_bank("serve")
+        served = 5.0
+        for i in range(3):
+            bank.observe({"t": float(i), "served": served + i,
+                          "outstanding": 2.0})
+        for i in range(3, 12):
+            bank.observe({"t": float(i), "served": 7.0, "outstanding": 2.0})
+        stalls = [d for d in bank.detections if d.detector == "counter-stall"]
+        assert stalls and stalls[0].series == "served"
+
+
+# ----------------------------------------------------------------------
+# false-positive bound on a realistic healthy serve trace
+# ----------------------------------------------------------------------
+class TestFalsePositiveBound:
+    def test_healthy_synthetic_serve_trace_stays_quiet(self):
+        bank = default_bank("serve")
+        gen = spawn_stream(17, 1234)
+        hits, misses, served = 0.0, 0.0, 0.0
+        emitted = 0
+        for i in range(500):
+            served += float(gen.integers(1, 4))
+            hits += float(gen.integers(1, 4))
+            if gen.random() < 0.1:
+                misses += 1.0
+            bank.observe({
+                "t": float(i),
+                "served": served,
+                "outstanding": float(gen.integers(0, 3)),
+                "slo.queue_depth": float(gen.integers(0, 3)),
+                "slo.solve.p95_s": 0.1 + 0.004 * float(gen.standard_normal()),
+                "slo.solve.p99_s": 0.15 + 0.006 * float(gen.standard_normal()),
+                "slo.solve.error_rate": 0.0,
+                "service.cache.hits{tier=memory}": hits,
+                "service.cache.misses": misses,
+            })
+            emitted += 0
+        assert bank.emitted == 0, [d.message for d in bank.detections]

@@ -1,0 +1,428 @@
+"""Tests for the fabric event log and the root-cause doctor: event
+emit/read ordering (incl. torn tails and supervisor drill ordering),
+evidence collection from synthetic roots, the causal rules vs known
+ground truth, incident read/write/render, summarize_live, the CLI,
+and the detection-aware status verdicts."""
+
+import json
+
+import pytest
+
+from repro.fabric.events import EVENT_KINDS, EventLog, read_events
+from repro.perf.detect import CACHE_HIT_RATIO
+from repro.perf.doctor import (
+    Evidence,
+    collect_evidence,
+    diagnose,
+    format_incident,
+    rank_hypotheses,
+    summarize_live,
+    write_incident,
+)
+from repro.perf.tsdb import TimeSeriesStore
+
+
+# ----------------------------------------------------------------------
+# event log
+# ----------------------------------------------------------------------
+class TestEventLog:
+    def test_emit_and_read_ordered(self, tmp_path):
+        log = EventLog(tmp_path / "events.jsonl")
+        log.emit("spawn", shard="shard0")
+        log.emit("death", shard="shard0", reason="process-exit")
+        log.emit("respawn", shard="shard0")
+        records = log.read()
+        assert [r["kind"] for r in records] == ["spawn", "death", "respawn"]
+        assert [r["seq"] for r in records] == [0, 1, 2]
+        assert all("t" in r for r in records)
+
+    def test_seq_survives_reopen(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        EventLog(path).emit("spawn", shard="a")
+        # control-loop restart: a fresh log continues the sequence
+        second = EventLog(path)
+        rec = second.emit("death", shard="a")
+        assert rec["seq"] == 1
+
+    def test_unknown_kind_rejected(self, tmp_path):
+        log = EventLog(tmp_path / "events.jsonl")
+        with pytest.raises(ValueError):
+            log.emit("explosion", shard="a")
+
+    def test_torn_tail_tolerated(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        log = EventLog(path)
+        log.emit("spawn", shard="a")
+        with path.open("a") as fh:
+            fh.write('{"t": 1.0, "seq": 99, "ki')  # crash mid-append
+        assert [r["kind"] for r in read_events(path)] == ["spawn"]
+        # and the next writer keeps emitting after the torn line
+        assert EventLog(path).emit("death", shard="a")["seq"] == 1
+
+    def test_filters(self, tmp_path):
+        log = EventLog(tmp_path / "events.jsonl")
+        log.emit("spawn", shard="a")
+        log.emit("steal", src="a", dst="b", moved=2)
+        log.emit("death", shard="b")
+        assert [r["kind"] for r in log.read(kinds=("death",))] == ["death"]
+        assert len(log.tail(2)) == 2
+        assert log.read(t0=float("inf")) == []
+
+    def test_missing_file_reads_empty(self, tmp_path):
+        assert read_events(tmp_path / "nope.jsonl") == []
+
+    def test_every_emitted_kind_is_known(self):
+        for kind in ("spawn", "death", "rehome", "respawn", "steal",
+                     "autoscale", "reap", "retire"):
+            assert kind in EVENT_KINDS
+
+
+class TestSupervisorEventOrdering:
+    def test_recover_emits_death_rehome_respawn_in_order(self, tmp_path):
+        from repro.fabric.shard import ShardHandle
+        from repro.fabric.supervisor import Fleet, FleetSupervisor
+
+        fleet = Fleet()
+        shards = {}
+        for name in ("shard0", "shard1"):
+            handle = ShardHandle(name, tmp_path / "shards" / name)
+            handle.paths.ensure()
+            # stub the process layer: this test is about the event
+            # protocol, not subprocesses
+            handle.spawn = lambda: None
+            handle.kill = lambda: None
+            handle.wait = lambda timeout=None: None
+            handle.process_dead = lambda: True
+            shards[name] = fleet.add(handle)
+        log = EventLog(tmp_path / "events.jsonl")
+        sup = FleetSupervisor(fleet, tmp_path / "shards", event_log=log)
+
+        sup.recover("shard0")
+
+        records = log.read()
+        kinds = [r["kind"] for r in records]
+        assert kinds == ["death", "rehome", "respawn"]
+        # the drill's events land in order: seq is strictly monotone
+        # and each stage references the same victim
+        assert [r["seq"] for r in records] == sorted(r["seq"] for r in records)
+        assert all(r["shard"] == "shard0" for r in records)
+        assert records[0]["reason"] == "process-exit"
+        assert records[1]["target"] == "shard1"
+
+
+# ----------------------------------------------------------------------
+# synthetic roots for evidence collection
+# ----------------------------------------------------------------------
+def make_death_root(tmp_path):
+    """A fabric root whose telemetry says: shard0 died and recovered."""
+    root = tmp_path / "fabroot"
+    root.mkdir()
+    (root / "fabric_status.json").write_text("{}")
+    log = EventLog(root / "events.jsonl")
+    log.emit("spawn", shard="shard0")
+    log.emit("spawn", shard="shard1")
+    log.emit("death", shard="shard0", reason="heartbeat-stale", restarts=0)
+    log.emit("rehome", shard="shard0", target="shard1",
+             claims_released=2, requests_rehomed=3, journal_rehomed=1)
+    log.emit("respawn", shard="shard0", pid=4242, restarts=1)
+    # fleet backlog spikes when the re-homed work lands on the survivor
+    store = TimeSeriesStore(root / "tsdb", rank=0, retention=256)
+    for i in range(10):
+        store.append({"fabric.backlog": 1.0}, t=float(i))
+    for i in range(10, 14):
+        store.append({"fabric.backlog": 40.0}, t=float(i))
+    return root
+
+
+def make_poison_root(tmp_path):
+    """A spool whose telemetry says: the hit ratio collapsed."""
+    root = tmp_path / "spool"
+    root.mkdir()
+    store = TimeSeriesStore(root / "tsdb", rank=0, retention=256)
+    hits = 0.0
+    for i in range(10):
+        hits += 2.0
+        store.append({"service.cache.hits{tier=disk}": hits,
+                      "service.cache.misses": 0.0}, t=float(i))
+    misses = 0.0
+    for i in range(10, 18):
+        misses += 2.0
+        store.append({"service.cache.hits{tier=disk}": hits,
+                      "service.cache.misses": misses}, t=float(i))
+    (root / "status.json").write_text(json.dumps({
+        "heartbeat_t": 18.0, "degraded": False, "breaches": [],
+        "queue_depth": 0,
+        "shard": {"stats": {"cache_hits_memory": 0.0,
+                            "cache_hits_disk": 0.0,
+                            "cache_misses": 16.0, "solves": 16.0,
+                            "requests": 16.0}},
+    }))
+    return root
+
+
+def make_slowdown_root(tmp_path):
+    """A spool whose telemetry says: latency quantiles drifted up."""
+    root = tmp_path / "slowspool"
+    root.mkdir()
+    store = TimeSeriesStore(root / "tsdb", rank=0, retention=256)
+    for i in range(8):
+        store.append({"slo.solve.p95_s": 0.04, "slo.solve.p99_s": 0.05},
+                     t=float(i))
+    for i in range(8, 14):
+        store.append({"slo.solve.p95_s": 0.45, "slo.solve.p99_s": 0.5},
+                     t=float(i))
+    return root
+
+
+class TestCollectEvidence:
+    def test_death_root_yields_events_and_detections(self, tmp_path):
+        root = make_death_root(tmp_path)
+        evidence = collect_evidence(root)
+        kinds = {e.kind for e in evidence}
+        assert "event" in kinds and "detection" in kinds
+        assert [e.t for e in evidence] == sorted(e.t for e in evidence)
+        deaths = [e for e in evidence
+                  if e.kind == "event" and e.data["kind"] == "death"]
+        assert deaths and "shard0" in deaths[0].summary
+
+    def test_window_restricts_events(self, tmp_path):
+        import time
+
+        root = make_death_root(tmp_path)
+        # a window entirely in the future excludes everything recorded
+        recent = collect_evidence(root, window_s=1.0,
+                                  now=time.time() + 1e6)
+        assert [e for e in recent if e.kind == "event"] == []
+
+    def test_empty_root_yields_nothing(self, tmp_path):
+        root = tmp_path / "empty"
+        root.mkdir()
+        assert collect_evidence(root) == []
+
+
+# ----------------------------------------------------------------------
+# the rules vs ground truth
+# ----------------------------------------------------------------------
+class TestRules:
+    def test_death_root_blames_shard_death(self, tmp_path):
+        incident = diagnose(make_death_root(tmp_path))
+        assert incident["cause"] == "shard-death"
+        assert incident["subject"] == "shard0"
+        top = incident["hypotheses"][0]
+        assert top["confidence"] > 0.5
+        # the evidence chain links the detection AND the fabric event
+        linked = {incident["evidence"][i]["kind"] for i in top["evidence"]}
+        assert "event" in linked
+
+    def test_poison_root_blames_cache(self, tmp_path):
+        incident = diagnose(make_poison_root(tmp_path))
+        assert incident["cause"] == "cache-poison"
+        top = incident["hypotheses"][0]
+        assert "result-cache" in top["subject"]
+        linked = {incident["evidence"][i]["kind"] for i in top["evidence"]}
+        assert "detection" in linked and "status" in linked
+
+    def test_slowdown_root_blames_worker(self, tmp_path):
+        incident = diagnose(make_slowdown_root(tmp_path))
+        assert incident["cause"] == "worker-slowdown"
+
+    def test_death_discounts_slowdown(self):
+        # same latency drift, but with a death in evidence the doctor
+        # must blame the death, not invent a slow worker
+        drift = Evidence(
+            kind="detection", t=5.0, source="root:slo.solve.p95_s",
+            summary="[critical] drift",
+            data={"detector": "quantile-drift", "series": "slo.solve.p95_s",
+                  "severity": "critical", "scope": "root",
+                  "evidence": {"ratio": 9.0}})
+        death = Evidence(
+            kind="event", t=4.0, source="events.jsonl",
+            summary="shard shard1 died",
+            data={"kind": "death", "shard": "shard1", "seq": 0})
+        alone = rank_hypotheses([drift])
+        assert alone[0].cause == "worker-slowdown"
+        together = rank_hypotheses([drift, death])
+        assert together[0].cause == "shard-death"
+
+    def test_queue_overload_only_without_upstream_cause(self):
+        backlog = Evidence(
+            kind="detection", t=1.0, source="root:fabric.backlog",
+            summary="[warn] backlog band break",
+            data={"detector": "ewma-band", "series": "fabric.backlog",
+                  "severity": "warn", "scope": "root", "evidence": {}})
+        alone = rank_hypotheses([backlog])
+        assert alone[0].cause == "queue-overload"
+        death = Evidence(
+            kind="event", t=0.5, source="events.jsonl",
+            summary="shard shard0 died",
+            data={"kind": "death", "shard": "shard0", "seq": 0})
+        together = rank_hypotheses([backlog, death])
+        assert together[0].cause == "shard-death"
+
+    def test_confidences_normalize(self, tmp_path):
+        incident = diagnose(make_death_root(tmp_path))
+        total = sum(h["confidence"] for h in incident["hypotheses"])
+        assert total == pytest.approx(1.0, abs=1e-3)
+
+    def test_no_evidence_no_hypotheses(self):
+        assert rank_hypotheses([]) == []
+
+
+# ----------------------------------------------------------------------
+# incidents: write / render / live summary
+# ----------------------------------------------------------------------
+class TestIncident:
+    def test_write_and_reload(self, tmp_path):
+        incident = diagnose(make_death_root(tmp_path))
+        path = write_incident(tmp_path / "incident.json", incident)
+        loaded = json.loads(path.read_text())
+        assert loaded["cause"] == "shard-death"
+        assert loaded["counts"]["events"] >= 5
+
+    def test_format_renders_timeline_and_ranking(self, tmp_path):
+        incident = diagnose(make_death_root(tmp_path))
+        text = format_incident(incident)
+        assert "timeline:" in text
+        assert "hypotheses (ranked):" in text
+        assert "shard-death" in text
+        assert "shard0 died" in text
+
+    def test_format_handles_healthy_root(self, tmp_path):
+        root = tmp_path / "ok"
+        root.mkdir()
+        text = format_incident(diagnose(root))
+        assert "nothing looks wrong" in text
+
+    def test_summarize_live(self):
+        from repro.perf.detect import Detection
+
+        det = Detection(
+            detector="ewma-band", series="fabric.backlog", t=10.0,
+            severity="critical", value=50.0, window=(0.0, 10.0),
+            message="fabric.backlog broke the EWMA band above")
+        events = [{"kind": "death", "shard": "shard2", "seq": 0, "t": 9.0}]
+        doc = summarize_live([det], events, now=11.0)
+        assert doc["cause"] == "shard-death"
+        assert doc["subject"] == "shard2"
+        assert doc["hypotheses"][0]["evidence_summaries"]
+
+    def test_summarize_live_healthy_is_none(self):
+        assert summarize_live([], [], now=1.0) is None
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+class TestDoctorCli:
+    def test_postmortem_writes_incident(self, tmp_path, capsys):
+        from repro.perf.doctor import cmd_doctor
+
+        root = make_death_root(tmp_path)
+        rc = cmd_doctor(["postmortem", str(root)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "shard-death" in out
+        assert (root / "incident.json").exists()
+
+    def test_live_exit_code_reflects_findings(self, tmp_path, capsys):
+        from repro.perf.doctor import cmd_doctor
+
+        root = make_death_root(tmp_path)
+        assert cmd_doctor(["live", str(root), "--window", "1e9"]) == 3
+        healthy = tmp_path / "healthy"
+        healthy.mkdir()
+        capsys.readouterr()
+        assert cmd_doctor(["live", str(healthy)]) == 0
+
+    def test_main_dispatches_doctor(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        healthy = tmp_path / "healthy"
+        healthy.mkdir()
+        assert main(["doctor", "live", str(healthy)]) == 0
+        assert "nothing looks wrong" in capsys.readouterr().out
+
+
+# ----------------------------------------------------------------------
+# status verdicts fold detections in
+# ----------------------------------------------------------------------
+class TestStatusDetections:
+    BASE = {
+        "uptime_s": 1.0, "queue_depth": 0, "degraded": False,
+        "breaches": [], "policy": {}, "endpoints": {},
+    }
+
+    def _write(self, spool, extra):
+        spool.mkdir(parents=True, exist_ok=True)
+        doc = dict(self.BASE)
+        doc.update(extra)
+        (spool / "status.json").write_text(json.dumps(doc))
+
+    def test_critical_detection_drives_exit_code(self, tmp_path, capsys):
+        from repro.service.cli import cmd_status
+
+        spool = tmp_path / "spool"
+        self._write(spool, {"detections": {
+            "worst": "critical",
+            "active": [{"severity": "critical", "detector": "ewma-band",
+                        "series": "slo.queue_depth",
+                        "message": "slo.queue_depth broke the EWMA band"}],
+            "observed": 10, "emitted": 1,
+        }})
+        rc = cmd_status(["--spool", str(spool)])
+        out = capsys.readouterr().out
+        assert rc == 3
+        assert "DETECT [CRITICAL]" in out
+
+    def test_warn_detection_prints_but_exits_zero(self, tmp_path, capsys):
+        from repro.service.cli import cmd_status
+
+        spool = tmp_path / "spool"
+        self._write(spool, {"detections": {
+            "worst": "warn",
+            "active": [{"severity": "warn", "detector": "cusum",
+                        "series": "fabric.backlog", "message": "drifting"}],
+            "observed": 5, "emitted": 1,
+        }})
+        rc = cmd_status(["--spool", str(spool)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "DETECT [WARN]" in out
+
+    def test_incident_line_renders(self, tmp_path, capsys):
+        from repro.service.cli import cmd_status
+
+        spool = tmp_path / "spool"
+        self._write(spool, {"incident": {
+            "cause": "shard-death",
+            "hypotheses": [{"cause": "shard-death", "subject": "shard0",
+                            "confidence": 0.9, "summary": "it died"}],
+        }})
+        rc = cmd_status(["--spool", str(spool)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "INCIDENT: shard-death (shard0) confidence 90%" in out
+
+    def test_fabric_aggregate_folds_shard_detections(self, tmp_path):
+        from repro.fabric.fabric import aggregate_status
+
+        root = tmp_path / "fab"
+        shard = root / "shards" / "shard0"
+        shard.mkdir(parents=True)
+        doc = dict(self.BASE)
+        doc["heartbeat_t"] = __import__("time").time()
+        doc["detections"] = {
+            "worst": "critical",
+            "active": [{"severity": "critical", "detector": "ewma-band",
+                        "series": "slo.queue_depth", "message": "boom"}],
+            "observed": 3, "emitted": 1,
+        }
+        doc["shard"] = {"shard_id": "shard0", "exited": False,
+                        "served": 1, "outstanding": 0, "stats": {}}
+        (shard / "status.json").write_text(json.dumps(doc))
+        agg = aggregate_status(root)
+        row = agg["shards"]["shard0"]
+        assert row["detections_worst"] == "critical"
+        # an otherwise-healthy shard with a critical detection degrades
+        assert row["state"] == "degraded"
+        assert agg["state"] == "degraded"

@@ -122,6 +122,90 @@ class TestQueries:
             store.downsample("x", 1.0, agg="median")
 
 
+class TestWindowEdges:
+    """Regression tests for window-edge behavior: rate() baselines at
+    the lower bound, counter-reset clamping at window boundaries,
+    empty/single-sample windows, float bucket edges, and replay across
+    ring-compaction seams."""
+
+    def test_rate_includes_baseline_before_window(self, store):
+        # counter: 0 @ t=0, 10 @ t=1, 30 @ t=2, 60 @ t=3
+        for i, total in enumerate([0.0, 10.0, 30.0, 60.0]):
+            store.append({"rays": total}, t=float(i))
+        # a window opening at t=1.5 holds samples at t=2 and t=3 only;
+        # the t=1 sample is the baseline, so the 10->30 increase that
+        # straddles the edge is NOT dropped
+        assert store.rate("rays", t0=1.5) == pytest.approx((20.0 + 30.0) / 2.0)
+
+    def test_rate_single_sample_window_uses_baseline(self, store):
+        for t, total in [(0.0, 0.0), (1.0, 10.0), (2.0, 30.0)]:
+            store.append({"rays": total}, t=t)
+        # window [1.5, 2.5] holds ONE sample; the pre-window baseline
+        # at t=1 makes the rate answerable instead of None
+        assert store.rate("rays", t0=1.5, t1=2.5) == pytest.approx(20.0)
+
+    def test_rate_counter_reset_at_window_boundary(self, store):
+        # the reset (100 -> 5) happens exactly across the window edge:
+        # baseline 100 @ t=1, then 5 @ t=2, 25 @ t=3 in-window; the
+        # negative delta clamps to zero instead of going negative
+        for t, total in [(0.0, 0.0), (1.0, 100.0), (2.0, 5.0), (3.0, 25.0)]:
+            store.append({"rays": total}, t=t)
+        assert store.rate("rays", t0=1.5) == pytest.approx(20.0 / 2.0)
+
+    def test_rate_empty_window_is_none(self, store):
+        for i in range(4):
+            store.append({"rays": float(i)}, t=float(i))
+        assert store.rate("rays", t0=100.0, t1=200.0) is None
+        # inverted window is a caller bug, answered with None not junk
+        assert store.rate("rays", t0=3.0, t1=1.0) is None
+
+    def test_rate_baseline_not_duplicated_when_t0_on_sample(self, store):
+        # t0 exactly on a sample: that sample is in-window; the
+        # baseline logic must not prepend it a second time
+        for i, total in enumerate([0.0, 10.0, 30.0]):
+            store.append({"rays": total}, t=float(i))
+        assert store.rate("rays", t0=1.0) == pytest.approx(20.0)
+
+    def test_rate_unchanged_without_bounds(self, store):
+        for i, total in enumerate([0.0, 10.0, 30.0, 60.0]):
+            store.append({"rays": total}, t=float(i))
+        assert store.rate("rays") == pytest.approx(20.0)
+
+    def test_downsample_float_bucket_edges(self, store):
+        # 0.3 // 0.1 == 2.0 in floats: a sample exactly on a bucket
+        # edge must open its own bucket, not fall into the previous one
+        for t, v in [(0.0, 1.0), (0.1, 2.0), (0.2, 3.0), (0.3, 4.0)]:
+            store.append({"x": v}, t=t)
+        edges = [e for e, _ in store.downsample("x", 0.1)]
+        assert edges == pytest.approx([0.0, 0.1, 0.2, 0.3])
+        assert [v for _, v in store.downsample("x", 0.1)] == [
+            1.0, 2.0, 3.0, 4.0]
+
+    def test_series_skips_nonfinite_and_bools(self, store):
+        store.append({"x": 1.0, "flag": True}, t=0.0)
+        store.append({"x": float("nan")}, t=1.0)
+        store.append({"x": float("inf")}, t=2.0)
+        store.append({"x": 2.0}, t=3.0)
+        assert store.series("x") == [(0.0, 1.0), (3.0, 2.0)]
+        assert store.series("flag") == []
+
+    def test_rate_stable_across_compaction_seam(self, tmp_path):
+        # ring compaction drops the oldest half; the rate over the
+        # surviving window must equal the rate a fresh store computes
+        # over the same samples — no phantom resets at the seam
+        store = TimeSeriesStore(tmp_path, rank=0, retention=8)
+        for i in range(40):  # several compactions
+            store.append({"rays": 10.0 * i}, t=float(i))
+        survived = store.series("rays")
+        assert len(survived) <= 16
+        t_first = survived[0][0]
+        expected = (survived[-1][1] - survived[0][1]) / (
+            survived[-1][0] - t_first)
+        assert store.rate("rays") == pytest.approx(expected)
+        # and windowed: opening mid-seam still sees a clean baseline
+        assert store.rate("rays", t0=t_first + 1.5) == pytest.approx(10.0)
+
+
 # ----------------------------------------------------------------------
 # flattening + collector
 # ----------------------------------------------------------------------
